@@ -1,0 +1,7 @@
+"""Bench: extension — Rout/Cout design-space ablations (Table I rationale)."""
+
+
+def test_ext_ablations(record):
+    result = record("ext_ablation")
+    assert result.metrics["recommended_rout"] <= 100e3
+    assert result.metrics["recommended_cout"] <= 2e-12

@@ -1,0 +1,14 @@
+"""Bench: extension — AC characterisation of the averaging node."""
+
+import pytest
+
+
+def test_ext_ac(record):
+    result = record("ext_ac")
+    # Table I cell: pole within 15% of 1/(2*pi*R*C).
+    assert result.metrics["pole_ratio[100k/1.0p]"] == pytest.approx(
+        1.0, abs=0.15)
+    # Pole scales inversely with Cout (decade apart for 1p vs 10p).
+    ratio = result.metrics["pole_MHz[100k/1.0p]"] / \
+        result.metrics["pole_MHz[100k/10.0p]"]
+    assert ratio == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,14 @@
+"""Bench: extensions — multi-frequency inputs and live supply ramp."""
+
+
+def test_ext_multifreq(record):
+    result = record("ext_multifreq")
+    # Paper's remark holds up to 500 MHz: spread of a few mV.
+    assert result.metrics["spread_upto_500MHz_mV"] < 30.0
+
+
+def test_ext_dynamic_supply(record):
+    result = record("ext_dynamic_supply")
+    assert result.metrics["rail_droop_ratio"] > 1.6
+    assert result.metrics["ratio_spread"] < 0.05
+    assert result.metrics["ratio_worst_dev"] < 0.07

@@ -1,0 +1,8 @@
+"""Bench: extension — behavioural / RC / transistor engine agreement."""
+
+
+def test_ext_engine_fidelity(record):
+    result = record("ext_engine_fidelity")
+    assert result.metrics["worst_rc_vs_behavioral_V"] < 0.05
+    assert result.metrics["worst_spice_vs_behavioral_V"] < 0.20
+    assert result.metrics["calibrated_rms_residual_V"] < 0.05

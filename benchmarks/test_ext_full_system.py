@@ -1,0 +1,8 @@
+"""Bench: extension — complete Fig. 1 perceptron at transistor level."""
+
+
+def test_ext_full_system(record):
+    result = record("ext_full_system")
+    assert result.metrics["mismatches"] == 0
+    assert result.metrics["n_points"] >= 9   # 3 operand sets x 3 supplies
+    assert result.metrics["transistors"] == 62

@@ -1,0 +1,6 @@
+"""Bench: extension — Kessels generator to adder, elastic clock."""
+
+
+def test_ext_kessels(record):
+    result = record("ext_kessels")
+    assert result.metrics["worst_duty_error"] < 0.01

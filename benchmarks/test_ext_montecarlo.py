@@ -1,0 +1,9 @@
+"""Bench: extension — Monte-Carlo mismatch and corner analysis."""
+
+
+def test_ext_montecarlo(record):
+    result = record("ext_montecarlo")
+    # Mismatch-induced sigma stays in the few-mV range on every row.
+    sigmas = [v for k, v in result.metrics.items()
+              if k.startswith("sigma_mV")]
+    assert sigmas and all(s < 30.0 for s in sigmas)

@@ -1,0 +1,24 @@
+"""Bench: extensions — impairment study and energy-per-op comparison."""
+
+
+def test_ext_noise(record):
+    result = record("ext_noise")
+    # The paper's claim: amplitude/frequency immune.
+    assert result.metrics["worst_mV[amplitude sigma 3%]"] == 0.0
+    assert result.metrics["worst_mV[frequency sigma 3%]"] == 0.0
+    # The dual: jitter hits the output directly.
+    assert result.metrics["mean_mV[edge jitter 3% of period]"] > 10.0
+
+
+def test_ext_energy(record):
+    result = record("ext_energy")
+    assert 0.9 < result.metrics["digital_min_reliable_vdd"] < 1.6
+    # The honest finding: PWM costs more energy per op at these
+    # parameters; its advantages are area and elasticity.
+    assert result.metrics["pwm_pJ[2.5V]"] > result.metrics["digital_pJ[2.5V]"]
+
+
+def test_ext_sensitivity(record):
+    result = record("ext_sensitivity")
+    for key, value in result.metrics.items():
+        assert abs(value) < 0.1, key   # ratiometric: far below 1 %/%

@@ -1,0 +1,17 @@
+"""Bench: extension — accuracy vs supply for PWM and both baselines.
+
+Reproduction target (paper's motivation made measurable): the PWM
+perceptron holds its accuracy over the full sweep; the digital MAC
+collapses below its timing-closure voltage; the amplitude-coded analog
+baseline degrades away from nominal.
+"""
+
+
+def test_ext_robustness(record):
+    result = record("ext_robustness")
+    pwm = result.metrics["min_accuracy[PWM (this work)]"]
+    dig = result.metrics["min_accuracy[digital MAC @500MHz]"]
+    ana = result.metrics["min_accuracy[current-mode analog]"]
+    assert pwm >= 0.97
+    assert dig < 0.8
+    assert ana < 0.8

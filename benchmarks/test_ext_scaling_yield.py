@@ -1,0 +1,15 @@
+"""Bench: extensions — architecture scaling and parametric yield."""
+
+
+def test_ext_scaling(record):
+    result = record("ext_scaling")
+    # Error bounded across the sweep; area exactly 6*k*n.
+    worst = [v for k, v in result.metrics.items() if k.startswith("worst")]
+    assert worst and all(v < 50.0 for v in worst)
+    assert result.metrics["transistors[3x3]"] == 54
+
+
+def test_ext_yield(record):
+    result = record("ext_yield")
+    assert result.metrics["pwm_yield"] >= 0.9
+    assert result.metrics["analog_yield"] <= 0.2

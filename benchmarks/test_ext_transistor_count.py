@@ -1,0 +1,6 @@
+"""Bench: extension — transistor count, PWM adder vs digital MAC."""
+
+
+def test_ext_transistor_count(record):
+    result = record("ext_transistor_count")
+    assert result.metrics["pwm_transistors"] == 54

@@ -1,0 +1,16 @@
+"""Bench: Fig. 4 — Vout vs duty cycle for No-load / 5k / 100k.
+
+Reproduction target: output inversely proportional to duty cycle; the
+100 kOhm curve linear (r² > 0.999), the smaller loads visibly bent.
+"""
+
+
+def test_fig4_dc_transfer(record):
+    result = record("fig4")
+    assert result.metrics["r2[100kOhm]"] > 0.999
+    assert result.metrics["r2[100kOhm]"] > result.metrics["r2[5kOhm]"]
+    assert result.metrics["r2[5kOhm]"] > result.metrics["r2[No load]"]
+    # The no-load curve's worst deviation from linear is an order of
+    # magnitude above the 100k curve's (the paper's visual argument).
+    assert result.metrics["max_lin_err[No load]"] > \
+        5 * result.metrics["max_lin_err[100kOhm]"]

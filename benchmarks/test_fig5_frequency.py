@@ -1,0 +1,15 @@
+"""Bench: Fig. 5 — Vout vs input frequency, 1 MHz – 1.5 GHz.
+
+Reproduction target: the three duty-cycle curves stay flat ("almost the
+same for a wide range of frequencies").
+"""
+
+
+def test_fig5_frequency(record):
+    result = record("fig5")
+    for duty in (25, 50, 75):
+        assert result.metrics[f"flatness[DC={duty}%]"] < 0.10
+    # Ordering: higher duty -> lower output, at every frequency.
+    fig = result.figure("fig5")
+    y25, y75 = fig.get("DC=25%").y, fig.get("DC=75%").y
+    assert all(a > b for a, b in zip(y25, y75))

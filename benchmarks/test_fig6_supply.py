@@ -1,0 +1,17 @@
+"""Bench: Fig. 6 — absolute Vout vs supply voltage 0.5–5 V.
+
+Reproduction target: Vout grows almost linearly with Vdd; higher duty
+cycle sits lower.  (The absolute value is therefore not a usable readout
+under supply variation — Fig. 7 provides the fix.)
+"""
+
+
+def test_fig6_supply_absolute(record):
+    result = record("fig6")
+    for duty in (25, 50, 75):
+        assert result.metrics[f"slope[DC={duty}%]"] > 0.1
+    fig = result.figure("fig6")
+    # Ordering at the nominal 2.5 V point: DC=25% above DC=75%.
+    s25, s75 = fig.get("DC=25%"), fig.get("DC=75%")
+    idx = s25.x.index(2.5)
+    assert s25.y[idx] > s75.y[idx]

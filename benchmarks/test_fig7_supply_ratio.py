@@ -1,0 +1,12 @@
+"""Bench: Fig. 7 — ratiometric Vout/Vdd vs supply voltage.
+
+Reproduction target (the paper's headline): from roughly 1–1.5 V the
+Vout/Vdd relationship stays put for every duty cycle — power elasticity.
+"""
+
+
+def test_fig7_supply_ratiometric(record):
+    result = record("fig7")
+    for duty in (25, 50, 75):
+        assert result.metrics[f"usable_from[DC={duty}%]"] <= 1.5
+        assert result.metrics[f"spread[DC={duty}%]"] < 0.08

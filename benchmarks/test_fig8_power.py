@@ -1,0 +1,17 @@
+"""Bench: Fig. 8 — average supply power vs input frequency.
+
+Reproduction target: hundreds of µW, rising with frequency above a
+frequency-flat static-divider floor.  Absolute values differ from the
+paper's (unknown workload, synthetic devices); the range and shape are
+the claim.
+"""
+
+
+def test_fig8_power(record):
+    result = record("fig8")
+    p_min = result.metrics["power_at_min_freq_uW"]
+    p_max = result.metrics["power_at_max_freq_uW"]
+    assert 100 < p_min < 2000
+    assert p_max > p_min
+    assert result.metrics["dynamic_slope_uW_per_MHz"] > 0
+    assert 0 < result.metrics["static_floor_uW"] < p_min

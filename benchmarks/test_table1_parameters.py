@@ -1,0 +1,6 @@
+"""Bench: Table I — parameter echo and derived device quantities."""
+
+
+def test_table1_parameters(record):
+    result = record("table1")
+    assert result.metrics["rout_ron_ratio"] > 5.0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Micro-edge scenario: classification from an energy-harvesting supply.
+
+The paper's motivation: self-powered sensors must compute through the
+power variation a harvester delivers.  This example builds that whole
+scenario:
+
+* a photovoltaic harvester under periodic shadowing charges a storage
+  capacitor — the supply swings between ~1.2 V and ~3 V;
+* a differential PWM perceptron (trained once at nominal supply)
+  classifies sensor samples continuously while the rail moves;
+* the digital and amplitude-coded baselines run the same trace.
+
+Run:  python examples/harvester_classification.py
+"""
+
+import numpy as np
+
+from repro.analog_baseline import CurrentModePerceptron
+from repro.analysis import make_blobs
+from repro.core import PerceptronTrainer
+from repro.digital import DigitalPerceptron
+from repro.signals import HarvesterModel, solar_flicker
+
+
+def build_supply_trace(t_end: float = 8e-3):
+    """Storage-capacitor voltage under a flickering solar harvester."""
+    model = HarvesterModel(c_store=220e-9, v_init=2.5, v_clamp=3.2,
+                           i_load=260e-6, dt=2e-6)
+    harvest = solar_flicker(i_peak=480e-6, period=2e-3, shadow_fraction=0.45)
+    return model.profile(harvest, t_end)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    data = make_blobs(n_per_class=60, n_features=2, separation=0.35,
+                      spread=0.09, seed=42)
+    train, test = data.split(0.7, seed=1)
+
+    print("Training the PWM perceptron at nominal supply (2.5 V)...")
+    trainer = PerceptronTrainer(2, seed=3)
+    fit = trainer.fit(train.X, train.y, epochs=60)
+    pwm = fit.perceptron
+    print(f"  converged={fit.converged}, weights={pwm.weights}, "
+          f"bias={pwm.bias}")
+
+    # Baselines share the decision boundary.
+    w_pos = [max(w, 0) for w in pwm.weights]
+    theta = float(max(-pwm.bias, 0))
+    digital = DigitalPerceptron(w_pos, theta=theta, input_bits=8, n_bits=3,
+                                clock_frequency=500e6)
+    analog = CurrentModePerceptron([float(w) for w in w_pos], theta=theta)
+
+    supply = build_supply_trace()
+    print("\nClassifying the test set while the harvester rail moves:")
+    print(f"{'t (ms)':>7} {'Vdd (V)':>8} {'PWM acc':>8} {'digital':>8} "
+          f"{'analog':>8}")
+    times = np.linspace(0.2e-3, 7.8e-3, 9)
+    pwm_accs = []
+    for t in times:
+        vdd = supply(float(t))
+        correct = {"pwm": 0, "dig": 0, "ana": 0}
+        for x, label in zip(test.X, test.y):
+            correct["pwm"] += int(
+                pwm.predict(x, engine="rc", vdd=vdd) == label)
+            correct["dig"] += int(
+                digital.predict(x, vdd=vdd, rng=rng) == label)
+            correct["ana"] += int(analog.predict(x, vdd=vdd) == label)
+        n = len(test)
+        pwm_accs.append(correct["pwm"] / n)
+        print(f"{t * 1e3:7.2f} {vdd:8.2f} {correct['pwm'] / n:8.2f} "
+              f"{correct['dig'] / n:8.2f} {correct['ana'] / n:8.2f}")
+
+    print(f"\nPWM accuracy across the whole trace: min={min(pwm_accs):.2f} "
+          f"(the duty-cycle encoding and ratiometric comparison do not "
+          f"care where the rail is).")
+
+
+if __name__ == "__main__":
+    main()

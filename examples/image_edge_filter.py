@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Image-sensing workload: 3x3 edge detection with the PWM perceptron.
+
+The paper motivates PWM perceptrons for "sensing systems and image
+processing" at the micro-edge.  Here the paper's exact 3x3-bit weighted
+adder becomes an image-patch classifier: nine pixel intensities are
+PWM-encoded, one differential perceptron per orientation decides whether
+a patch contains a horizontal edge — over a synthetic image, under two
+different supplies.
+
+Run:  python examples/image_edge_filter.py
+"""
+
+import numpy as np
+
+from repro.analysis import make_edge_patches
+from repro.core import PerceptronTrainer
+
+
+def render(grid: np.ndarray, title: str) -> None:
+    """Print a binary map as ASCII art."""
+    print(title)
+    for row in grid:
+        print("   " + "".join("#" if v else "." for v in row))
+    print()
+
+
+def synthetic_image(size: int = 24, seed: int = 5) -> np.ndarray:
+    """A dark scene with one bright horizontal band and one vertical."""
+    rng = np.random.default_rng(seed)
+    img = 0.25 + rng.normal(0, 0.04, (size, size))
+    img[8:11, :] = 0.85   # horizontal band -> horizontal edges above/below
+    img[:, 16:19] = 0.85  # vertical band -> no horizontal edge signature
+    return np.clip(img, 0.0, 1.0)
+
+
+def main() -> None:
+    print("Training a 9-input differential PWM perceptron on synthetic "
+          "3x3 edge patches...")
+    data = make_edge_patches(n_samples=240, contrast=0.5, noise=0.06,
+                             seed=11)
+    trainer = PerceptronTrainer(9, seed=2, learning_rate=0.15)
+    fit = trainer.fit(data.X, data.y, epochs=80)
+    print(f"  converged={fit.converged}  "
+          f"accuracy={fit.final_accuracy:.2f}")
+    print(f"  weights (3x3 kernel, hardware integers):")
+    kernel = np.array(fit.perceptron.weights).reshape(3, 3)
+    for row in kernel:
+        print("   " + " ".join(f"{w:+d}" for w in row))
+    print(f"  bias={fit.perceptron.bias}")
+
+    img = synthetic_image()
+    size = img.shape[0]
+    print(f"\nScanning a {size}x{size} synthetic image "
+          "(bright-top-edge detector) at two supplies...")
+    # Uniform patches sit near the decision boundary; a small
+    # *ratiometric* margin (differential volts normalised by Vdd) turns
+    # the classifier into a clean edge detector at any supply.
+    margin_ratio = 0.015
+    maps = {}
+    for vdd in (2.5, 1.2):
+        hits = np.zeros((size - 2, size - 2), dtype=int)
+        for r in range(size - 2):
+            for c in range(size - 2):
+                patch = img[r:r + 3, c:c + 3].ravel()
+                decision = fit.perceptron.decide(
+                    patch, engine="behavioral", vdd=vdd)
+                hits[r, c] = int(decision.v_out / vdd > margin_ratio)
+        maps[vdd] = hits
+
+    render(img[1:-1:2, 1:-1:2] > 0.5,
+           "Input image (downsampled, '#' = bright):")
+    for vdd, hits in maps.items():
+        render(hits[::2, ::2], f"Detected bright-top edges at "
+               f"Vdd={vdd:.1f} V ('#' = fired):")
+
+    agreement = float((maps[2.5] == maps[1.2]).mean())
+    print(f"Decision agreement between 2.5 V and 1.2 V supplies: "
+          f"{agreement:.1%} — the filter output is supply-independent "
+          f"because the margin is measured relative to the rail.")
+
+
+if __name__ == "__main__":
+    main()

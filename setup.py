@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs cannot build; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``pip install -e .`` on modern toolchains)
+work either way.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of the DATE 2019 PWM mixed-signal perceptron.
+
+Subpackages
+-----------
+``repro.circuit``
+    SPICE-class analog simulator (MNA, DC, transient, shooting PSS).
+``repro.tech``
+    Level-1 MOSFET model, synthetic UMC65-like parameters, corners and
+    Monte-Carlo mismatch.
+``repro.signals``
+    PWM stimulus, supply-variation profiles, Kessels-counter generator.
+``repro.core``
+    The paper's contribution: transcoding inverter cell, binary-weighted
+    PWM adder, mixed-signal perceptron, training.
+``repro.digital`` / ``repro.analog_baseline``
+    Baselines the paper compares against in prose.
+``repro.analysis`` / ``repro.reporting`` / ``repro.experiments``
+    Metrics, table/chart rendering, and one module per paper artefact.
+"""
+
+__version__ = "1.0.0"

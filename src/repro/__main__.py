@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every registered experiment.
+``run <id> [--fidelity fast|paper] [--no-charts] [--csv DIR]``
+    Run one experiment and print its tables/figures.
+``all [--fidelity fast|paper] [--csv DIR]``
+    Run every registered experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .experiments import PAPER_ARTEFACTS, REGISTRY, run_experiment
+from .reporting import figure_to_csv, table_to_csv, write_markdown_report
+
+
+def _export(result, csv_dir: "Path | None") -> None:
+    if csv_dir is None:
+        return
+    csv_dir.mkdir(parents=True, exist_ok=True)
+    if result.table is not None:
+        table_to_csv(result.table, csv_dir / f"{result.experiment_id}.csv")
+    for figure in result.figures:
+        figure_to_csv(figure, csv_dir / f"{figure.figure_id}.csv")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DATE 2019 PWM mixed-signal perceptron")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", choices=sorted(REGISTRY))
+    run_p.add_argument("--fidelity", choices=("fast", "paper"),
+                       default="fast")
+    run_p.add_argument("--no-charts", action="store_true")
+    run_p.add_argument("--csv", type=Path, default=None,
+                       help="export tables/series as CSV into this directory")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--fidelity", choices=("fast", "paper"),
+                       default="fast")
+    all_p.add_argument("--csv", type=Path, default=None)
+    all_p.add_argument("--report", type=Path, default=None,
+                       help="write a combined markdown report here")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid, (title, _runner) in REGISTRY.items():
+            tag = "paper" if eid in PAPER_ARTEFACTS else "ext"
+            print(f"{eid:22s} [{tag:5s}] {title}")
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(args.experiment_id, fidelity=args.fidelity)
+        print(result.render(charts=not args.no_charts))
+        _export(result, args.csv)
+        return 0
+
+    results = {}
+    for eid in REGISTRY:
+        result = run_experiment(eid, fidelity=args.fidelity)
+        results[eid] = result
+        print(result.render(charts=False))
+        print()
+        _export(result, args.csv)
+    if args.report is not None:
+        write_markdown_report(results, args.report,
+                              title="PWM perceptron reproduction report")
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Amplitude-coded analog perceptron baseline (the non-elastic strawman)."""
+
+from .current_mode import CurrentModePerceptron, CurrentModeSpec
+
+__all__ = ["CurrentModePerceptron", "CurrentModeSpec"]

@@ -1,0 +1,125 @@
+"""Amplitude-coded (current-mode) analog perceptron baseline.
+
+The paper motivates PWM encoding by noting that existing analog
+perceptrons (RedEye-style current/charge designs, its refs [9][10])
+carry information in *amplitudes*, which power variation corrupts.  This
+behavioural model makes that failure mode explicit:
+
+* inputs are voltage-coded by supply-referenced DACs, so the physical
+  input level scales with ``Vdd``;
+* weights are current-mirror ratios whose effective gain compresses when
+  the supply erodes the mirror headroom;
+* the decision compares the summed current (into a load resistor)
+  against a *fixed* bandgap-style reference.
+
+At nominal supply it is an exact perceptron; away from nominal the
+decision boundary drifts — the quantitative version of the paper's
+"these are not suitable for working under extreme power variations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class CurrentModeSpec:
+    """Electrical assumptions of the baseline.
+
+    Attributes
+    ----------
+    v_nominal:
+        Design supply, volts.
+    v_headroom:
+        Total mirror + DAC headroom; gain starts compressing once
+        ``vdd`` falls within this margin of the signal swing.
+    compression_power:
+        Sharpness of the gain collapse below the headroom knee.
+    reference_fraction:
+        The fixed decision reference as a fraction of the *nominal*
+        full-scale sum (bandgap: does not track the supply).
+    """
+
+    v_nominal: float = 2.5
+    v_headroom: float = 0.9
+    compression_power: float = 2.0
+    reference_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.v_nominal <= 0 or self.v_headroom <= 0:
+            raise AnalysisError("voltages must be positive")
+        if not 0.0 < self.reference_fraction < 1.0:
+            raise AnalysisError("reference fraction must lie in (0, 1)")
+
+
+class CurrentModePerceptron:
+    """Behavioural amplitude-coded perceptron.
+
+    ``weights`` are real mirror ratios in [0, w_max]; ``theta`` is the
+    decision threshold on the *nominal* weighted sum, mapped onto the
+    fixed reference.
+    """
+
+    def __init__(self, weights: Sequence[float], theta: float, *,
+                 spec: CurrentModeSpec = CurrentModeSpec()):
+        if not len(weights):
+            raise AnalysisError("need at least one weight")
+        if any(w < 0 for w in weights):
+            raise AnalysisError("mirror ratios cannot be negative")
+        self.weights = [float(w) for w in weights]
+        self.theta = float(theta)
+        self.spec = spec
+
+    # -- supply-dependent transfer -------------------------------------------
+
+    def gain(self, vdd: float) -> float:
+        """Mirror gain versus supply: 1 at nominal, compressing below
+        the headroom knee, saturating (slightly) above nominal."""
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        spec = self.spec
+        knee = spec.v_headroom
+        if vdd >= spec.v_nominal:
+            return 1.0
+        if vdd <= knee:
+            return 0.0
+        x = (vdd - knee) / (spec.v_nominal - knee)
+        return float(x ** spec.compression_power)
+
+    def analog_sum(self, values: Sequence[float], vdd: float) -> float:
+        """Summed mirror current in normalised units.
+
+        The supply-referenced input DACs scale the physical input level
+        by ``vdd / v_nominal``; the mirrors multiply by the (compressed)
+        gain.
+        """
+        if len(values) != len(self.weights):
+            raise AnalysisError(
+                f"expected {len(self.weights)} inputs, got {len(values)}")
+        for v in values:
+            if not 0.0 <= float(v) <= 1.0:
+                raise AnalysisError(f"input {v} outside [0, 1]")
+        ideal = float(np.dot(values, self.weights))
+        supply_scale = vdd / self.spec.v_nominal
+        return ideal * supply_scale * self.gain(vdd)
+
+    def predict(self, values: Sequence[float],
+                vdd: Optional[float] = None) -> int:
+        """Decision against the fixed reference."""
+        supply = self.spec.v_nominal if vdd is None else vdd
+        return int(self.analog_sum(values, supply) > self.theta)
+
+    def decision_drift(self, vdd: float) -> float:
+        """Multiplicative drift of the effective decision threshold.
+
+        1.0 means the boundary is where it was designed; the paper's
+        robustness argument is that this quantity stays 1.0 for the PWM
+        design and does not for amplitude coding.
+        """
+        scale = (vdd / self.spec.v_nominal) * self.gain(vdd)
+        return float("inf") if scale == 0.0 else 1.0 / scale

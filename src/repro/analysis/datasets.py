@@ -1,0 +1,122 @@
+"""Synthetic datasets with duty-cycle features.
+
+All features live in [0, 1] so they map directly onto PWM duty cycles.
+The 3x3-patch dataset matches the paper's 3x3 adder: nine pixels, one
+perceptron — the image-sensing workload its introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features (duty cycles) and binary labels."""
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self):
+        if self.X.ndim != 2 or self.y.ndim != 1:
+            raise AnalysisError("X must be 2-D and y 1-D")
+        if len(self.X) != len(self.y):
+            raise AnalysisError("X and y lengths differ")
+        if self.X.size and (self.X.min() < 0.0 or self.X.max() > 1.0):
+            raise AnalysisError("features must lie in [0, 1]")
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def split(self, train_fraction: float = 0.7,
+              seed: Optional[int] = None) -> "Tuple[Dataset, Dataset]":
+        if not 0.0 < train_fraction < 1.0:
+            raise AnalysisError("train fraction must lie in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        tr, te = order[:cut], order[cut:]
+        return (Dataset(self.X[tr], self.y[tr], f"{self.name}_train"),
+                Dataset(self.X[te], self.y[te], f"{self.name}_test"))
+
+
+def make_blobs(n_per_class: int = 50, n_features: int = 2, *,
+               separation: float = 0.4, spread: float = 0.08,
+               seed: Optional[int] = None) -> Dataset:
+    """Two Gaussian clusters inside the unit hypercube."""
+    if n_per_class < 1 or n_features < 1:
+        raise AnalysisError("need at least one sample and one feature")
+    rng = np.random.default_rng(seed)
+    c0 = np.full(n_features, 0.5 - separation / 2)
+    c1 = np.full(n_features, 0.5 + separation / 2)
+    X0 = rng.normal(c0, spread, (n_per_class, n_features))
+    X1 = rng.normal(c1, spread, (n_per_class, n_features))
+    X = np.clip(np.vstack([X0, X1]), 0.0, 1.0)
+    y = np.concatenate([np.zeros(n_per_class, int), np.ones(n_per_class, int)])
+    return Dataset(X, y, "blobs")
+
+
+def make_majority(n_samples: int = 120, n_features: int = 3, *,
+                  noise: float = 0.1, seed: Optional[int] = None) -> Dataset:
+    """Noisy majority vote: label 1 when most features exceed 0.5."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 2, (n_samples, n_features)).astype(float)
+    X = np.clip(base * 0.8 + 0.1 + rng.normal(0, noise, base.shape), 0, 1)
+    y = (base.sum(axis=1) > n_features / 2).astype(int)
+    return Dataset(X, y, "majority")
+
+
+def make_edge_patches(n_samples: int = 160, *, contrast: float = 0.6,
+                      noise: float = 0.08,
+                      seed: Optional[int] = None) -> Dataset:
+    """3x3 image patches: bright-top edges (label 1) vs bright-bottom.
+
+    Nine duty-cycle features — exactly the paper's 3x3 adder workload
+    (three such perceptrons, one per pixel column, would make the full
+    3-input weighted adder).
+    """
+    rng = np.random.default_rng(seed)
+    X = np.empty((n_samples, 9))
+    y = rng.integers(0, 2, n_samples)
+    lo, hi = 0.5 - contrast / 2, 0.5 + contrast / 2
+    for i in range(n_samples):
+        patch = np.full((3, 3), lo)
+        if y[i] == 1:
+            patch[0, :] = hi   # bright top row
+        else:
+            patch[2, :] = hi   # bright bottom row
+        patch += rng.normal(0, noise, (3, 3))
+        X[i] = np.clip(patch, 0.0, 1.0).ravel()
+    return Dataset(X, y.astype(int), "edge_patches")
+
+
+def make_logic(function: str = "and", n_samples: int = 80, *,
+               noise: float = 0.05, seed: Optional[int] = None) -> Dataset:
+    """Noisy two-input logic functions (AND/OR are linearly separable;
+    XOR is not — the MLP test case)."""
+    tables = {
+        "and": [0, 0, 0, 1],
+        "or": [0, 1, 1, 1],
+        "xor": [0, 1, 1, 0],
+        "nand": [1, 1, 1, 0],
+    }
+    key = function.lower()
+    if key not in tables:
+        raise AnalysisError(f"unknown logic function {function!r}")
+    rng = np.random.default_rng(seed)
+    corners = np.array([[0.1, 0.1], [0.1, 0.9], [0.9, 0.1], [0.9, 0.9]])
+    labels = tables[key]
+    idx = rng.integers(0, 4, n_samples)
+    X = np.clip(corners[idx] + rng.normal(0, noise, (n_samples, 2)), 0, 1)
+    y = np.asarray([labels[i] for i in idx], dtype=int)
+    return Dataset(X, y, f"logic_{key}")

@@ -1,0 +1,122 @@
+"""Monte-Carlo robustness analysis of the weighted adder.
+
+Per-cell Pelgrom mismatch (threshold voltage and transconductance) is
+drawn per trial and applied to the switch-level engine through its
+``cell_overrides`` hook; the resulting adder-output error distribution
+quantifies the paper's remark that its errors remain "affordable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from ..core.cells import CellDesign
+from ..core.weighted_adder import WeightedAdder
+from ..tech.corners import CORNER_NAMES, MonteCarloSampler, corner
+
+
+@dataclass(frozen=True)
+class MonteCarloStats:
+    """Error statistics of one Monte-Carlo campaign (volts)."""
+
+    n_trials: int
+    mean_error: float
+    std_error: float
+    worst_error: float
+    errors: "tuple[float, ...]"
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(np.abs(self.errors), q))
+
+
+def adder_monte_carlo(adder: WeightedAdder, duties: Sequence[float],
+                      weights: Sequence[int], *, n_trials: int = 100,
+                      seed: Optional[int] = None,
+                      sampler: Optional[MonteCarloSampler] = None,
+                      vdd: Optional[float] = None) -> MonteCarloStats:
+    """Distribution of the adder error under per-cell device mismatch.
+
+    The error is measured against the *nominal RC-engine* output (not
+    Eq. 2), isolating mismatch from the systematic engine deviation.
+    """
+    if n_trials < 1:
+        raise AnalysisError("need at least one trial")
+    cfg = adder.config
+    sampler = sampler or MonteCarloSampler(seed=seed)
+    nominal = adder.evaluate(duties, weights, engine="rc", vdd=vdd).value
+    errors: List[float] = []
+    for _ in range(n_trials):
+        overrides: Dict[int, CellDesign] = {}
+        for i in range(cfg.n_inputs):
+            for b in range(cfg.n_bits):
+                design = cfg.cell.scaled(float(1 << b))
+                nm = sampler.sample(design.wn, design.length)
+                pm = sampler.sample(design.wp, design.length)
+                overrides[i * cfg.n_bits + b] = replace(
+                    design,
+                    nmos=nm.apply(design.nmos),
+                    pmos=pm.apply(design.pmos))
+        value = adder.evaluate(duties, weights, engine="rc", vdd=vdd,
+                               cell_overrides=overrides).value
+        errors.append(value - nominal)
+    arr = np.asarray(errors)
+    return MonteCarloStats(
+        n_trials=n_trials,
+        mean_error=float(arr.mean()),
+        std_error=float(arr.std(ddof=1)) if n_trials > 1 else 0.0,
+        worst_error=float(np.abs(arr).max()),
+        errors=tuple(arr))
+
+
+def adder_corner_errors(adder: WeightedAdder, duties: Sequence[float],
+                        weights: Sequence[int], *,
+                        vdd: Optional[float] = None) -> "dict[str, float]":
+    """Adder output deviation from TT at each process corner (volts)."""
+    cfg = adder.config
+    results: "dict[str, float]" = {}
+    nominal = adder.evaluate(duties, weights, engine="rc", vdd=vdd).value
+    for name in CORNER_NAMES:
+        cell = replace(cfg.cell,
+                       nmos=corner(cfg.cell.nmos, name),
+                       pmos=corner(cfg.cell.pmos, name))
+        overrides = {
+            i * cfg.n_bits + b: cell.scaled(float(1 << b))
+            for i in range(cfg.n_inputs) for b in range(cfg.n_bits)
+        }
+        value = adder.evaluate(duties, weights, engine="rc", vdd=vdd,
+                               cell_overrides=overrides).value
+        results[name] = value - nominal
+    return results
+
+
+@dataclass(frozen=True)
+class StressPoint:
+    """One (condition, accuracy) record of a classification stress test."""
+
+    condition: float
+    accuracy: float
+
+
+def accuracy_under_supply(predict, X: np.ndarray, y: np.ndarray,
+                          vdd_values: Sequence[float]) -> List[StressPoint]:
+    """Classification accuracy across supply voltages.
+
+    ``predict(x, vdd)`` must return 0/1; works for PWM, digital and
+    current-mode models alike, so the robustness benches can overlay
+    them.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if len(X) != len(y) or len(y) == 0:
+        raise AnalysisError("need a non-empty dataset")
+    points = []
+    for vdd in vdd_values:
+        hits = sum(int(predict(x, float(vdd)) == label)
+                   for x, label in zip(X, y))
+        points.append(StressPoint(condition=float(vdd),
+                                  accuracy=hits / len(y)))
+    return points

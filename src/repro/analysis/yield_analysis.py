@@ -1,0 +1,97 @@
+"""Parametric yield: the fraction of manufactured-and-deployed parts
+that classify correctly.
+
+Combines the two variation axes this library models — per-device
+mismatch (manufacturing) and supply voltage (deployment, e.g. harvester
+statistics) — into a single Monte-Carlo yield figure for a trained
+perceptron.  This is the number a product team would actually sign off
+on, and the strongest single-figure summary of the paper's robustness
+story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from ..core.cells import CellDesign
+from ..core.perceptron import DifferentialPwmPerceptron
+from ..tech.corners import MonteCarloSampler
+from .datasets import Dataset
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Outcome of a yield campaign."""
+
+    n_parts: int
+    accuracy_threshold: float
+    yield_fraction: float
+    mean_accuracy: float
+    worst_accuracy: float
+    accuracies: "tuple[float, ...]"
+
+
+def _mismatched_overrides(config, sampler: MonteCarloSampler) -> Dict[int, CellDesign]:
+    overrides: Dict[int, CellDesign] = {}
+    for i in range(config.n_inputs):
+        for b in range(config.n_bits):
+            design = config.cell.scaled(float(1 << b))
+            nm = sampler.sample(design.wn, design.length)
+            pm = sampler.sample(design.wp, design.length)
+            overrides[i * config.n_bits + b] = replace(
+                design, nmos=nm.apply(design.nmos),
+                pmos=pm.apply(design.pmos))
+    return overrides
+
+
+def perceptron_yield(perceptron: DifferentialPwmPerceptron,
+                     dataset: Dataset, *, n_parts: int = 50,
+                     vdd_sampler: Optional[Callable[[], float]] = None,
+                     accuracy_threshold: float = 0.95,
+                     seed: Optional[int] = None) -> YieldResult:
+    """Monte-Carlo yield of a differential PWM perceptron.
+
+    Each simulated *part* draws fresh mismatch for both cell banks; each
+    *classification* draws a supply voltage from ``vdd_sampler`` (default:
+    the nominal supply).  A part passes when its dataset accuracy meets
+    ``accuracy_threshold``.
+    """
+    if n_parts < 1:
+        raise AnalysisError("need at least one part")
+    if not 0.0 < accuracy_threshold <= 1.0:
+        raise AnalysisError("accuracy threshold must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    sampler = MonteCarloSampler(seed=None if seed is None else seed + 1)
+    config = perceptron.config
+
+    accuracies = []
+    for _part in range(n_parts):
+        pos_overrides = _mismatched_overrides(config, sampler)
+        neg_overrides = _mismatched_overrides(config, sampler)
+        hits = 0
+        for x, label in zip(dataset.X, dataset.y):
+            vdd = float(vdd_sampler()) if vdd_sampler else None
+            duties = list(x) + [1.0]
+            pos = perceptron.pos_adder.evaluate(
+                duties, perceptron._pos_weights, engine="rc", vdd=vdd,
+                cell_overrides=pos_overrides)
+            neg = perceptron.neg_adder.evaluate(
+                duties, perceptron._neg_weights, engine="rc", vdd=vdd,
+                cell_overrides=neg_overrides)
+            prediction = int(perceptron.comparator.compare(pos.value,
+                                                           neg.value))
+            hits += int(prediction == int(label))
+        accuracies.append(hits / len(dataset))
+
+    arr = np.asarray(accuracies)
+    return YieldResult(
+        n_parts=n_parts,
+        accuracy_threshold=accuracy_threshold,
+        yield_fraction=float(np.mean(arr >= accuracy_threshold)),
+        mean_accuracy=float(arr.mean()),
+        worst_accuracy=float(arr.min()),
+        accuracies=tuple(arr))

@@ -1,0 +1,27 @@
+"""Circuit elements."""
+
+from .base import Element, MnaSystem, is_ground
+from .controlled import Vccs, Vcvs, VSwitch
+from .mosfet import Mosfet
+from .passives import Capacitor, Inductor, Resistor
+from .sources import (
+    Idc,
+    ModulatedVoltage,
+    IProfile,
+    PwmVoltage,
+    Vdc,
+    VoltageSource,
+    VProfile,
+    Vpulse,
+    Vpwl,
+    Vsin,
+)
+
+__all__ = [
+    "Element", "MnaSystem", "is_ground",
+    "Resistor", "Capacitor", "Inductor",
+    "Vdc", "Vpulse", "PwmVoltage", "Vsin", "Vpwl", "VProfile",
+    "ModulatedVoltage",
+    "VoltageSource", "Idc", "IProfile",
+    "Mosfet", "VSwitch", "Vcvs", "Vccs",
+]

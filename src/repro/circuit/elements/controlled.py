@@ -1,0 +1,111 @@
+"""Controlled sources and the voltage-controlled switch."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import NetlistError
+from ..units import Quantity, parse_quantity
+from .base import NONLINEAR, STATIC, Element, MnaSystem, node_voltage
+
+
+class Vcvs(Element):
+    """Voltage-controlled voltage source ``v(a,b) = gain * v(cp,cn)``."""
+
+    category = STATIC
+    n_branch_vars = 1
+
+    def __init__(self, name: str, a: str, b: str, cp: str, cn: str,
+                 gain: float):
+        super().__init__(name, (a, b, cp, cn))
+        self.gain = float(gain)
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vcvs":
+        return Vcvs(name, nodes[0], nodes[1], nodes[2], nodes[3], self.gain)
+
+    def stamp_static(self, sys: MnaSystem) -> None:
+        a, b, cp, cn = self._idx
+        br = self._branch[0]
+        sys.stamp_branch_kcl(a, b, br)
+        sys.stamp_branch_voltage_row(br, a, b)
+        if cp >= 0:
+            sys.G[br, cp] -= self.gain
+        if cn >= 0:
+            sys.G[br, cn] += self.gain
+
+
+class Vccs(Element):
+    """Voltage-controlled current source ``i(a→b) = gm * v(cp,cn)``."""
+
+    category = STATIC
+
+    def __init__(self, name: str, a: str, b: str, cp: str, cn: str, gm: float):
+        super().__init__(name, (a, b, cp, cn))
+        self.gm = float(gm)
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vccs":
+        return Vccs(name, nodes[0], nodes[1], nodes[2], nodes[3], self.gm)
+
+    def stamp_static(self, sys: MnaSystem) -> None:
+        a, b, cp, cn = self._idx
+        sys.add_vccs(a, b, cp, cn, self.gm)
+
+
+class VSwitch(Element):
+    """Smooth voltage-controlled switch.
+
+    Conductance between ``a`` and ``b`` moves between ``1/r_off`` and
+    ``1/r_on`` as the control voltage ``v(cp) - v(cn)`` sweeps through
+    ``threshold`` over a transition width ``smooth`` (volts).  The
+    sigmoid transition keeps the Jacobian continuous.
+    """
+
+    category = NONLINEAR
+
+    def __init__(self, name: str, a: str, b: str, cp: str, cn: str, *,
+                 r_on: Quantity = 1.0, r_off: Quantity = 1e9,
+                 threshold: Quantity = 0.5, smooth: Quantity = 0.05):
+        super().__init__(name, (a, b, cp, cn))
+        self.r_on = parse_quantity(r_on)
+        self.r_off = parse_quantity(r_off)
+        self.threshold = parse_quantity(threshold)
+        self.smooth = parse_quantity(smooth)
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise NetlistError(f"{name}: switch resistances must be positive")
+        if self.smooth <= 0:
+            raise NetlistError(f"{name}: smoothing width must be positive")
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "VSwitch":
+        return VSwitch(name, nodes[0], nodes[1], nodes[2], nodes[3],
+                       r_on=self.r_on, r_off=self.r_off,
+                       threshold=self.threshold, smooth=self.smooth)
+
+    def _conductance(self, vc: float) -> "tuple[float, float]":
+        """Return ``(g, dg/dvc)`` at control voltage ``vc``."""
+        g_on = 1.0 / self.r_on
+        g_off = 1.0 / self.r_off
+        z = (vc - self.threshold) / self.smooth
+        if z > 35.0:
+            return g_on, 0.0
+        if z < -35.0:
+            return g_off, 0.0
+        sig = 1.0 / (1.0 + math.exp(-z))
+        g = g_off + (g_on - g_off) * sig
+        dg = (g_on - g_off) * sig * (1.0 - sig) / self.smooth
+        return g, dg
+
+    def stamp_nonlinear(self, sys: MnaSystem, x: np.ndarray, t: float) -> None:
+        a, b, cp, cn = self._idx
+        vc = node_voltage(x, cp) - node_voltage(x, cn)
+        vab = node_voltage(x, a) - node_voltage(x, b)
+        g, dg = self._conductance(vc)
+        # i = g(vc) * vab; linearise in both vab and vc.
+        sys.add_conductance(a, b, g)
+        sys.add_vccs(a, b, cp, cn, dg * vab)
+        # Residual correction: the two linear terms above evaluate to
+        # g*vab + dg*vab*vc at the expansion point; the true current is
+        # g*vab, so cancel the control-term offset.
+        sys.add_current(a, b, -dg * vab * vc)

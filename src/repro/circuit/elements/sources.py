@@ -1,0 +1,334 @@
+"""Independent voltage and current sources.
+
+All voltage sources share :class:`VoltageSource` plumbing (branch-current
+unknown, KCL coupling) and differ only in their ``value(t)`` and
+``breakpoints`` implementations.  The PWM source used throughout the
+perceptron work is :class:`PwmVoltage`, a thin trapezoidal-pulse wrapper
+whose *effective* duty cycle (fraction of the period spent above the
+50 % level) equals the requested duty cycle exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import NetlistError
+from ..units import Quantity, parse_quantity
+from .base import SOURCE, Element, MnaSystem
+
+
+class VoltageSource(Element):
+    """Base class for independent voltage sources between ``a`` (+) and ``b``.
+
+    The branch current is defined flowing from the positive terminal
+    through the source to the negative terminal, so a source *delivering*
+    power has a negative branch current (SPICE convention).
+    """
+
+    category = SOURCE
+    n_branch_vars = 1
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def stamp_source(self, sys: MnaSystem, t: float, scale: float = 1.0) -> None:
+        a, b = self._idx
+        br = self._branch[0]
+        sys.stamp_branch_kcl(a, b, br)
+        sys.stamp_branch_voltage_row(br, a, b)
+        sys.set_branch_rhs(br, scale * self.value(t))
+
+    @property
+    def branch_index(self) -> int:
+        return self._branch[0]
+
+
+class Vdc(VoltageSource):
+    """Constant voltage source."""
+
+    def __init__(self, name: str, a: str, b: str, voltage: Quantity):
+        super().__init__(name, (a, b))
+        self.voltage = parse_quantity(voltage)
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vdc":
+        return Vdc(name, nodes[0], nodes[1], self.voltage)
+
+    def value(self, t: float) -> float:
+        return self.voltage
+
+
+class Vpulse(VoltageSource):
+    """SPICE-style periodic trapezoidal pulse.
+
+    The waveform starts at ``v1``, and each period consists of a rise of
+    ``rise`` seconds, ``width`` seconds at ``v2``, a fall of ``fall``
+    seconds and the remainder at ``v1``.
+    """
+
+    def __init__(self, name: str, a: str, b: str, *, v1: Quantity, v2: Quantity,
+                 delay: Quantity = 0.0, rise: Quantity, fall: Quantity,
+                 width: Quantity, period: Quantity):
+        super().__init__(name, (a, b))
+        self.v1 = parse_quantity(v1)
+        self.v2 = parse_quantity(v2)
+        self.delay = parse_quantity(delay)
+        self.rise = parse_quantity(rise)
+        self.fall = parse_quantity(fall)
+        self.width = parse_quantity(width)
+        self.period = parse_quantity(period)
+        if self.period <= 0:
+            raise NetlistError(f"{name}: pulse period must be positive")
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise NetlistError(f"{name}: pulse segments must be non-negative")
+        if self.rise + self.width + self.fall > self.period:
+            raise NetlistError(
+                f"{name}: rise+width+fall exceeds period "
+                f"({self.rise + self.width + self.fall:.3g} > {self.period:.3g})"
+            )
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vpulse":
+        return Vpulse(name, nodes[0], nodes[1], v1=self.v1, v2=self.v2,
+                      delay=self.delay, rise=self.rise, fall=self.fall,
+                      width=self.width, period=self.period)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = (t - self.delay) % self.period
+        if tau < self.rise:
+            if self.rise == 0:
+                return self.v2
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        tau -= self.rise
+        if tau < self.width:
+            return self.v2
+        tau -= self.width
+        if tau < self.fall:
+            if self.fall == 0:
+                return self.v1
+            return self.v2 + (self.v1 - self.v2) * tau / self.fall
+        return self.v1
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        corners = (0.0, self.rise, self.rise + self.width,
+                   self.rise + self.width + self.fall)
+        points: List[float] = []
+        if t1 <= self.delay:
+            return points
+        k0 = max(0, math.floor((t0 - self.delay) / self.period) - 1)
+        k1 = math.ceil((t1 - self.delay) / self.period) + 1
+        for k in range(int(k0), int(k1)):
+            base = self.delay + k * self.period
+            for c in corners:
+                tc = base + c
+                if t0 < tc <= t1:
+                    points.append(tc)
+        return points
+
+
+class PwmVoltage(Vpulse):
+    """PWM source defined by frequency and duty cycle.
+
+    ``duty`` is the fraction of the period spent *high*, measured at the
+    50 % amplitude level; the trapezoid's flat-top width is adjusted so
+    this holds exactly.  ``duty=0`` and ``duty=1`` produce constant
+    levels.
+    """
+
+    def __init__(self, name: str, a: str, b: str, *, v_low: Quantity = 0.0,
+                 v_high: Quantity, frequency: Quantity, duty: float,
+                 rise_fraction: float = 0.02, delay: Quantity = 0.0,
+                 phase: float = 0.0):
+        v_lo = parse_quantity(v_low)
+        v_hi = parse_quantity(v_high)
+        freq = parse_quantity(frequency)
+        if freq <= 0:
+            raise NetlistError(f"{name}: PWM frequency must be positive")
+        if not 0.0 <= duty <= 1.0:
+            raise NetlistError(f"{name}: duty cycle must lie in [0, 1], got {duty}")
+        if not 0.0 <= phase < 1.0:
+            raise NetlistError(f"{name}: phase must lie in [0, 1)")
+        period = 1.0 / freq
+        if duty == 0.0:
+            super().__init__(name, a, b, v1=v_lo, v2=v_lo, delay=0.0,
+                             rise=0.0, fall=0.0, width=0.0, period=period)
+        elif duty == 1.0:
+            super().__init__(name, a, b, v1=v_hi, v2=v_hi, delay=0.0,
+                             rise=0.0, fall=0.0, width=0.0, period=period)
+        else:
+            # Effective high time measured at the 50% level is
+            # rise/2 + width + fall/2; solve for the flat-top width, and
+            # shrink the edges for extreme duty cycles where the nominal
+            # edge time no longer fits.
+            edge = max(rise_fraction, 0.0) * period
+            width = duty * period - edge
+            if width < 0.0:
+                edge = duty * period
+                width = 0.0
+            if width + 2.0 * edge > period:
+                edge = (1.0 - duty) * period
+                width = period - 2.0 * edge
+            super().__init__(name, a, b, v1=v_lo, v2=v_hi,
+                             delay=parse_quantity(delay) + phase * period,
+                             rise=edge, fall=edge,
+                             width=max(width, 0.0), period=period)
+        self.duty = float(duty)
+        self.frequency = freq
+        self.v_low = v_lo
+        self.v_high = v_hi
+        self.rise_fraction = rise_fraction
+        self.phase = phase
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "PwmVoltage":
+        return PwmVoltage(name, nodes[0], nodes[1], v_low=self.v_low,
+                          v_high=self.v_high, frequency=self.frequency,
+                          duty=self.duty, rise_fraction=self.rise_fraction,
+                          phase=self.phase)
+
+
+class Vsin(VoltageSource):
+    """Sinusoidal source ``offset + amplitude*sin(2*pi*f*(t-delay))``."""
+
+    def __init__(self, name: str, a: str, b: str, *, offset: Quantity = 0.0,
+                 amplitude: Quantity, frequency: Quantity, delay: Quantity = 0.0):
+        super().__init__(name, (a, b))
+        self.offset = parse_quantity(offset)
+        self.amplitude = parse_quantity(amplitude)
+        self.frequency = parse_quantity(frequency)
+        self.delay = parse_quantity(delay)
+        if self.frequency <= 0:
+            raise NetlistError(f"{name}: sine frequency must be positive")
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vsin":
+        return Vsin(name, nodes[0], nodes[1], offset=self.offset,
+                    amplitude=self.amplitude, frequency=self.frequency,
+                    delay=self.delay)
+
+    def value(self, t: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency * (t - self.delay))
+
+
+class Vpwl(VoltageSource):
+    """Piecewise-linear source defined by ``(time, value)`` pairs."""
+
+    def __init__(self, name: str, a: str, b: str, points: Sequence["tuple[float, float]"]):
+        super().__init__(name, (a, b))
+        if len(points) < 1:
+            raise NetlistError(f"{name}: PWL source needs at least one point")
+        times = [parse_quantity(p[0]) for p in points]
+        values = [parse_quantity(p[1]) for p in points]
+        if any(t1 < t0 for t0, t1 in zip(times, times[1:])):
+            raise NetlistError(f"{name}: PWL times must be non-decreasing")
+        self._times = np.asarray(times)
+        self._values = np.asarray(values)
+
+    @property
+    def points(self) -> "list[tuple[float, float]]":
+        return list(zip(self._times.tolist(), self._values.tolist()))
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Vpwl":
+        return Vpwl(name, nodes[0], nodes[1], self.points)
+
+    def value(self, t: float) -> float:
+        return float(np.interp(t, self._times, self._values))
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [float(t) for t in self._times if t0 < t <= t1]
+
+
+class VProfile(VoltageSource):
+    """Voltage source driven by an arbitrary callable ``v(t)``.
+
+    Used for supply profiles (harvester models, brownouts).  Optional
+    explicit breakpoints help the transient engine land on corners.
+    """
+
+    def __init__(self, name: str, a: str, b: str, fn: Callable[[float], float],
+                 breakpoints: Optional[Sequence[float]] = None):
+        super().__init__(name, (a, b))
+        self._fn = fn
+        self._breakpoints = sorted(float(t) for t in breakpoints) if breakpoints else []
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "VProfile":
+        return VProfile(name, nodes[0], nodes[1], self._fn, self._breakpoints)
+
+    def value(self, t: float) -> float:
+        return float(self._fn(t))
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [t for t in self._breakpoints if t0 < t <= t1]
+
+
+class ModulatedVoltage(VoltageSource):
+    """Product of a base source and an envelope: ``v(t) = base(t) * env(t)``.
+
+    The canonical use is a rail-referenced PWM driver: a unit-amplitude
+    PWM base multiplied by the (time-varying) supply envelope, so the
+    pulse amplitude tracks the rail exactly as a driver powered from
+    that rail would.
+    """
+
+    def __init__(self, name: str, a: str, b: str, *, base: VoltageSource,
+                 envelope: Callable[[float], float],
+                 envelope_breakpoints: Optional[Sequence[float]] = None):
+        super().__init__(name, (a, b))
+        self._base = base
+        self._envelope = envelope
+        self._env_breakpoints = sorted(float(t) for t in envelope_breakpoints) \
+            if envelope_breakpoints else []
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "ModulatedVoltage":
+        return ModulatedVoltage(name, nodes[0], nodes[1], base=self._base,
+                                envelope=self._envelope,
+                                envelope_breakpoints=self._env_breakpoints)
+
+    def value(self, t: float) -> float:
+        return self._base.value(t) * float(self._envelope(t))
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        points = list(self._base.breakpoints(t0, t1))
+        points.extend(t for t in self._env_breakpoints if t0 < t <= t1)
+        return points
+
+
+class Idc(Element):
+    """Constant current source driving ``current`` from ``a`` to ``b``."""
+
+    category = SOURCE
+
+    def __init__(self, name: str, a: str, b: str, current: Quantity):
+        super().__init__(name, (a, b))
+        self.current = parse_quantity(current)
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Idc":
+        return Idc(name, nodes[0], nodes[1], self.current)
+
+    def stamp_source(self, sys: MnaSystem, t: float, scale: float = 1.0) -> None:
+        a, b = self._idx
+        sys.add_current(a, b, scale * self.current)
+
+
+class IProfile(Element):
+    """Current source driven by a callable ``i(t)`` (a→b)."""
+
+    category = SOURCE
+
+    def __init__(self, name: str, a: str, b: str, fn: Callable[[float], float],
+                 breakpoints: Optional[Sequence[float]] = None):
+        super().__init__(name, (a, b))
+        self._fn = fn
+        self._breakpoints = sorted(float(t) for t in breakpoints) if breakpoints else []
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "IProfile":
+        return IProfile(name, nodes[0], nodes[1], self._fn, self._breakpoints)
+
+    def stamp_source(self, sys: MnaSystem, t: float, scale: float = 1.0) -> None:
+        a, b = self._idx
+        sys.add_current(a, b, scale * float(self._fn(t)))
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [t for t in self._breakpoints if t0 < t <= t1]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the circuit simulation substrate."""
+
+from __future__ import annotations
+
+
+class CircuitError(Exception):
+    """Base class for every error raised by :mod:`repro.circuit`."""
+
+
+class UnitError(CircuitError, ValueError):
+    """A quantity string could not be parsed."""
+
+
+class NetlistError(CircuitError):
+    """The circuit description is malformed (duplicate names, bad nodes)."""
+
+
+class ConvergenceError(CircuitError):
+    """Newton iteration failed to converge.
+
+    Carries the analysis context so callers can report *where* the solver
+    gave up (useful when a sweep point fails).
+    """
+
+    def __init__(self, message: str, *, analysis: str = "", time: "float | None" = None):
+        detail = message
+        if analysis:
+            detail = f"{analysis}: {detail}"
+        if time is not None:
+            detail = f"{detail} (t={time:.6g}s)"
+        super().__init__(detail)
+        self.analysis = analysis
+        self.time = time
+
+
+class SingularMatrixError(ConvergenceError):
+    """The MNA matrix is singular (floating node or short loop)."""
+
+
+class AnalysisError(CircuitError):
+    """An analysis was asked to do something impossible (bad arguments)."""

@@ -1,0 +1,84 @@
+"""Waveform- and series-level measurements.
+
+These are the quantities the paper reports: period averages, supply
+power, linearity of transfer curves and flatness of robustness sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import AnalysisError
+from .waveform import Waveform
+
+
+def average(wave: Waveform) -> float:
+    """Time-weighted mean (alias of :meth:`Waveform.average`)."""
+    return wave.average()
+
+
+def rms(wave: Waveform) -> float:
+    return wave.rms()
+
+
+def ripple(wave: Waveform) -> float:
+    return wave.peak_to_peak()
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares ``y = slope*x + intercept``."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size < 2:
+        raise AnalysisError("linear fit needs at least two points")
+    slope, intercept = np.polyfit(x_arr, y_arr, 1)
+    return float(slope), float(intercept)
+
+
+def r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    """Coefficient of determination of the best linear fit.
+
+    1.0 means perfectly linear — the paper's criterion for a
+    sufficiently large ``Rout``.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    slope, intercept = linear_fit(x_arr, y_arr)
+    residuals = y_arr - (slope * x_arr + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def max_linearity_error(x: Sequence[float], y: Sequence[float]) -> float:
+    """Worst absolute deviation from the best linear fit (volts)."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    slope, intercept = linear_fit(x_arr, y_arr)
+    return float(np.max(np.abs(y_arr - (slope * x_arr + intercept))))
+
+
+def flatness(values: Sequence[float]) -> float:
+    """Relative spread ``(max - min) / mean`` of a series.
+
+    Zero means perfectly flat — used for the frequency- and
+    supply-resilience claims (paper Figs. 5 and 7).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("flatness of an empty series")
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        return float("inf") if np.ptp(arr) > 0 else 0.0
+    return float(np.ptp(arr) / abs(mean))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` with a zero-safe guard."""
+    if reference == 0.0:
+        return abs(measured)
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,254 @@
+"""Circuit and subcircuit containers.
+
+A :class:`Circuit` is an ordered collection of elements on named nodes.
+``compile()`` flattens composite devices, assigns matrix indices and
+buckets elements by stamping category; analyses call it implicitly.
+
+:class:`SubCircuit` supports hierarchy: a reusable block with declared
+ports that can be instantiated into a parent circuit any number of times
+with automatic node/name prefixing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .elements.base import (
+    NONLINEAR,
+    REACTIVE,
+    SOURCE,
+    STATIC,
+    Element,
+    is_ground,
+)
+from .elements.mosfet import Mosfet
+from .exceptions import NetlistError
+
+
+class Circuit:
+    """A flat-namespace analog circuit."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: "Dict[str, Element]" = {}
+        self._order: List[str] = []
+        # Compile products:
+        self._compiled = False
+        self._flat: List[Element] = []
+        self._node_names: List[str] = []
+        self._node_index: Dict[str, int] = {}
+        self._n_branches = 0
+        self.by_category: Dict[str, List[Element]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add ``element``; returns it for chaining."""
+        if element.name in self._elements:
+            raise NetlistError(f"duplicate element name: {element.name!r}")
+        self._elements[element.name] = element
+        self._order.append(element.name)
+        self._compiled = False
+        return element
+
+    def add_all(self, elements: Iterable[Element]) -> None:
+        for el in elements:
+            self.add(el)
+
+    def remove(self, name: str) -> None:
+        if name not in self._elements:
+            raise NetlistError(f"no element named {name!r}")
+        del self._elements[name]
+        self._order.remove(name)
+        self._compiled = False
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    @property
+    def elements(self) -> List[Element]:
+        """Elements in insertion order (original, pre-expansion)."""
+        return [self._elements[n] for n in self._order]
+
+    def instantiate(self, sub: "SubCircuit", inst_name: str,
+                    port_map: Mapping[str, str]) -> None:
+        """Instantiate ``sub`` under ``inst_name`` with ports connected
+        to the parent nodes in ``port_map``."""
+        missing = set(sub.ports) - set(port_map)
+        if missing:
+            raise NetlistError(
+                f"instance {inst_name!r} missing port connections: {sorted(missing)}"
+            )
+        extra = set(port_map) - set(sub.ports)
+        if extra:
+            raise NetlistError(
+                f"instance {inst_name!r} connects unknown ports: {sorted(extra)}"
+            )
+        for el in sub.elements:
+            new_nodes = []
+            for node in el.node_names:
+                if node in port_map:
+                    new_nodes.append(port_map[node])
+                elif is_ground(node):
+                    new_nodes.append(node)
+                else:
+                    new_nodes.append(f"{inst_name}.{node}")
+            self.add(el.clone(f"{inst_name}.{el.name}", new_nodes))
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self) -> None:
+        """Flatten, index and bind.  Idempotent until the netlist changes."""
+        if self._compiled:
+            return
+        flat: List[Element] = []
+        seen: set = set()
+        for name in self._order:
+            for el in self._elements[name].expand():
+                if el.name in seen:
+                    raise NetlistError(f"duplicate expanded element: {el.name!r}")
+                seen.add(el.name)
+                flat.append(el)
+
+        node_index: Dict[str, int] = {}
+        node_names: List[str] = []
+        for el in flat:
+            for node in el.node_names:
+                if is_ground(node) or node in node_index:
+                    continue
+                node_index[node] = len(node_names)
+                node_names.append(node)
+
+        n_nodes = len(node_names)
+        branch_cursor = n_nodes
+        by_category: Dict[str, List[Element]] = {
+            STATIC: [], REACTIVE: [], SOURCE: [], NONLINEAR: [],
+        }
+        for el in flat:
+            idx = tuple(
+                -1 if is_ground(n) else node_index[n] for n in el.node_names
+            )
+            branches = tuple(range(branch_cursor, branch_cursor + el.n_branch_vars))
+            branch_cursor += el.n_branch_vars
+            el.bind(idx, branches)
+            by_category[el.category].append(el)
+
+        self._flat = flat
+        self._node_names = node_names
+        self._node_index = node_index
+        self._n_branches = branch_cursor - n_nodes
+        self.by_category = by_category
+        self._compiled = True
+
+    # -- compiled accessors ------------------------------------------------
+
+    def _require_compiled(self) -> None:
+        if not self._compiled:
+            self.compile()
+
+    @property
+    def node_names(self) -> List[str]:
+        self._require_compiled()
+        return list(self._node_names)
+
+    @property
+    def n_nodes(self) -> int:
+        self._require_compiled()
+        return len(self._node_names)
+
+    @property
+    def n_branches(self) -> int:
+        self._require_compiled()
+        return self._n_branches
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self.n_branches
+
+    @property
+    def flat_elements(self) -> List[Element]:
+        self._require_compiled()
+        return list(self._flat)
+
+    def node_index(self, name: str) -> int:
+        """Matrix index of node ``name`` (ground → -1)."""
+        self._require_compiled()
+        if is_ground(name):
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise NetlistError(
+                f"no node named {name!r} in circuit {self.name!r}"
+            ) from None
+
+    def has_node(self, name: str) -> bool:
+        self._require_compiled()
+        return is_ground(name) or name in self._node_index
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Element/node/transistor tallies (used by the area experiments)."""
+        self._require_compiled()
+        n_mosfets = sum(1 for el in self._flat if isinstance(el, Mosfet))
+        return {
+            "elements": len(self._flat),
+            "nodes": self.n_nodes,
+            "branches": self._n_branches,
+            "transistors": n_mosfets,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Circuit {self.name!r} elements={len(self._order)}>"
+
+
+class SubCircuit:
+    """A reusable circuit block with declared ports.
+
+    Internal nodes and element names are prefixed with the instance name
+    on instantiation; nodes listed in ``ports`` are mapped to parent
+    nodes, and ground names pass through unchanged.
+    """
+
+    def __init__(self, name: str, ports: Iterable[str]):
+        self.name = name
+        self.ports: Tuple[str, ...] = tuple(ports)
+        if len(set(self.ports)) != len(self.ports):
+            raise NetlistError(f"subcircuit {name!r} has duplicate ports")
+        for p in self.ports:
+            if is_ground(p):
+                raise NetlistError(
+                    f"subcircuit {name!r}: ground cannot be a port (it is global)"
+                )
+        self._elements: Dict[str, Element] = {}
+        self._order: List[str] = []
+
+    def add(self, element: Element) -> Element:
+        if element.name in self._elements:
+            raise NetlistError(
+                f"duplicate element name in subcircuit {self.name!r}: {element.name!r}"
+            )
+        self._elements[element.name] = element
+        self._order.append(element.name)
+        return element
+
+    def add_all(self, elements: Iterable[Element]) -> None:
+        for el in elements:
+            self.add(el)
+
+    @property
+    def elements(self) -> List[Element]:
+        return [self._elements[n] for n in self._order]
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubCircuit {self.name!r} ports={self.ports} "
+            f"elements={len(self._order)}>"
+        )

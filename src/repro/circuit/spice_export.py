@@ -1,0 +1,128 @@
+"""Export circuits as SPICE netlists.
+
+Users with access to a real simulator (ngspice, Spectre, the Cadence ADE
+the paper used) can cross-check this library's results: every `Circuit`
+serialises to a standard ``.cir`` deck, with the Level-1 device
+parameters emitted as ``.model`` cards.  The export covers the element
+set the perceptron work uses; exotic elements raise rather than silently
+dropping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .elements.controlled import Vccs, Vcvs, VSwitch
+from .elements.mosfet import Mosfet
+from .elements.passives import Capacitor, Inductor, Resistor
+from .elements.sources import (
+    Idc,
+    PwmVoltage,
+    Vdc,
+    Vpulse,
+    Vpwl,
+    Vsin,
+)
+from .exceptions import AnalysisError
+from .netlist import Circuit
+
+PathLike = Union[str, Path]
+
+
+def _node(name: str) -> str:
+    """SPICE node name: ground becomes 0, dots become underscores."""
+    from .elements.base import is_ground
+
+    if is_ground(name):
+        return "0"
+    return name.replace(".", "_")
+
+
+def _model_name(mosfet: Mosfet) -> str:
+    base = mosfet.model.name or f"{mosfet.model.polarity}_model"
+    return base.replace(".", "_")
+
+
+def _model_card(mosfet: Mosfet) -> str:
+    m = mosfet.model
+    kind = "NMOS" if m.polarity == "nmos" else "PMOS"
+    # Level-1 parameter mapping; capacitances as overlap terms.
+    return (f".model {_model_name(mosfet)} {kind} (LEVEL=1 VTO={m.vt0:g} "
+            f"KP={m.kp:g} LAMBDA={m.lam:g} "
+            f"CGSO={m.cgso:g} CGDO={m.cgdo:g})")
+
+
+def to_spice(circuit: Circuit, *, title: str = "",
+             analysis_lines: "List[str] | None" = None) -> str:
+    """Serialise ``circuit`` to a SPICE deck (returned as a string)."""
+    circuit.compile()
+    lines: List[str] = [f"* {title or circuit.name}"]
+    models: Dict[str, str] = {}
+
+    for el in circuit.elements:
+        name = el.name.replace(".", "_")
+        nodes = [_node(n) for n in el.node_names]
+        if isinstance(el, Resistor):
+            lines.append(f"R{name} {nodes[0]} {nodes[1]} {el.resistance:g}")
+        elif isinstance(el, Capacitor):
+            card = f"C{name} {nodes[0]} {nodes[1]} {el.capacitance:g}"
+            if el.ic is not None:
+                card += f" IC={el.ic:g}"
+            lines.append(card)
+        elif isinstance(el, Inductor):
+            lines.append(f"L{name} {nodes[0]} {nodes[1]} {el.inductance:g}")
+        elif isinstance(el, Mosfet):
+            model = _model_name(el)
+            models[model] = _model_card(el)
+            lines.append(
+                f"M{name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[2]} "
+                f"{model} W={el.width:g} L={el.length:g}")
+        elif isinstance(el, (Vpulse,)):
+            # Covers PwmVoltage too (a Vpulse subclass).
+            lines.append(
+                f"V{name} {nodes[0]} {nodes[1]} PULSE({el.v1:g} {el.v2:g} "
+                f"{el.delay:g} {el.rise:g} {el.fall:g} {el.width:g} "
+                f"{el.period:g})")
+        elif isinstance(el, Vsin):
+            lines.append(
+                f"V{name} {nodes[0]} {nodes[1]} SIN({el.offset:g} "
+                f"{el.amplitude:g} {el.frequency:g} {el.delay:g})")
+        elif isinstance(el, Vpwl):
+            points = " ".join(f"{t:g} {v:g}" for t, v in el.points)
+            lines.append(f"V{name} {nodes[0]} {nodes[1]} PWL({points})")
+        elif isinstance(el, Vdc):
+            lines.append(f"V{name} {nodes[0]} {nodes[1]} DC {el.voltage:g}")
+        elif isinstance(el, Idc):
+            lines.append(f"I{name} {nodes[0]} {nodes[1]} DC {el.current:g}")
+        elif isinstance(el, Vcvs):
+            lines.append(f"E{name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                         f"{nodes[3]} {el.gain:g}")
+        elif isinstance(el, Vccs):
+            lines.append(f"G{name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                         f"{nodes[3]} {el.gm:g}")
+        elif isinstance(el, VSwitch):
+            model = f"sw_{name}"
+            models[model] = (f".model {model} SW (RON={el.r_on:g} "
+                             f"ROFF={el.r_off:g} VT={el.threshold:g} "
+                             f"VH={el.smooth:g})")
+            lines.append(f"S{name} {nodes[0]} {nodes[1]} {nodes[2]} "
+                         f"{nodes[3]} {model}")
+        else:
+            raise AnalysisError(
+                f"cannot export element type {type(el).__name__} "
+                f"({el.name}) to SPICE")
+
+    lines.extend(sorted(models.values()))
+    if analysis_lines:
+        lines.extend(analysis_lines)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice(circuit: Circuit, path: PathLike, **kwargs) -> Path:
+    """Write the deck to ``path``; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_spice(circuit, **kwargs))
+    return target

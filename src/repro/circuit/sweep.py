@@ -1,0 +1,80 @@
+"""Generic parameter-sweep harness used by every experiment.
+
+A sweep evaluates a function over the Cartesian product of parameter
+grids and collects per-point records (dicts).  Failures can either
+propagate or be recorded, which keeps long benchmark sweeps robust to a
+single hard point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .exceptions import AnalysisError
+
+
+class SweepResult:
+    """Ordered collection of per-point records."""
+
+    def __init__(self, records: List[Dict[str, Any]]):
+        self.records = records
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column across all records."""
+        missing = [i for i, r in enumerate(self.records) if name not in r]
+        if missing:
+            raise AnalysisError(
+                f"column {name!r} missing from sweep records {missing[:3]}")
+        return [r[name] for r in self.records]
+
+    def where(self, **conditions: Any) -> "SweepResult":
+        """Filter records by exact-match conditions."""
+        kept = [
+            r for r in self.records
+            if all(r.get(k) == v for k, v in conditions.items())
+        ]
+        return SweepResult(kept)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"<SweepResult points={len(self.records)}>"
+
+
+def sweep(fn: Callable[..., Mapping[str, Any]],
+          grid: Mapping[str, Sequence[Any]], *,
+          on_error: str = "raise") -> SweepResult:
+    """Evaluate ``fn(**point)`` over the product of ``grid`` values.
+
+    ``fn`` returns a mapping of measured values; each record merges the
+    sweep point with the measurement.  ``on_error`` is ``"raise"`` or
+    ``"record"`` (store the exception message under ``"error"``).
+    """
+    if on_error not in ("raise", "record"):
+        raise AnalysisError(f"bad on_error mode: {on_error!r}")
+    names = list(grid.keys())
+    records: List[Dict[str, Any]] = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        point = dict(zip(names, combo))
+        record = dict(point)
+        try:
+            measured = fn(**point)
+            record.update(measured)
+        except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
+            if on_error == "raise":
+                raise
+            record["error"] = f"{type(exc).__name__}: {exc}"
+        records.append(record)
+    return SweepResult(records)
+
+
+def sweep1d(fn: Callable[[Any], Mapping[str, Any]], name: str,
+            values: Iterable[Any], *, on_error: str = "raise") -> SweepResult:
+    """One-dimensional convenience wrapper around :func:`sweep`."""
+    return sweep(lambda **kw: fn(kw[name]), {name: list(values)},
+                 on_error=on_error)

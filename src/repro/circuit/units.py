@@ -1,0 +1,114 @@
+"""Engineering-notation unit parsing and formatting.
+
+SPICE-style magnitudes are used throughout the library: resistances such
+as ``"100k"``, capacitances such as ``"1p"`` and geometries such as
+``"320n"`` are accepted anywhere a numeric quantity is expected.  The
+parser is deliberately strict: a malformed quantity raises ``UnitError``
+rather than silently returning a wrong value.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+from .exceptions import UnitError
+
+Quantity = Union[int, float, str]
+
+#: SPICE magnitude suffixes.  ``meg`` must be matched before ``m``.
+_SUFFIXES = [
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+]
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z%]*)\s*$"
+)
+
+#: Unit names that may trail a magnitude suffix and are ignored,
+#: e.g. ``"100kOhm"``, ``"1pF"``, ``"2.5V"``, ``"500MHz"`` (``M`` in
+#: ``MHz`` is handled explicitly below because SPICE ``m`` is milli).
+_UNIT_NAMES = ("ohm", "f", "v", "a", "s", "hz", "w", "j")
+
+
+def parse_quantity(value: Quantity) -> float:
+    """Convert ``value`` to a float, honouring SPICE magnitude suffixes.
+
+    >>> parse_quantity("100k")
+    100000.0
+    >>> parse_quantity("1p")
+    1e-12
+    >>> parse_quantity("500MHz")
+    500000000.0
+    >>> parse_quantity(3.3)
+    3.3
+    """
+    if isinstance(value, (int, float)):
+        if isinstance(value, bool):
+            raise UnitError(f"booleans are not quantities: {value!r}")
+        return float(value)
+    if not isinstance(value, str):
+        raise UnitError(f"cannot parse quantity of type {type(value).__name__}")
+
+    match = _NUMBER_RE.match(value)
+    if not match:
+        raise UnitError(f"malformed quantity: {value!r}")
+    mantissa = float(match.group(1))
+    tail = match.group(2)
+    if not tail:
+        return mantissa
+
+    scale, rest = _split_suffix(tail)
+    if rest and rest.lower() not in _UNIT_NAMES:
+        raise UnitError(f"unknown unit in quantity: {value!r}")
+    return mantissa * scale
+
+
+def _split_suffix(tail: str) -> "tuple[float, str]":
+    """Split ``tail`` into a magnitude scale and a residual unit name."""
+    lower = tail.lower()
+    # "MHz"-style: uppercase M means mega when followed by Hz (SPICE "m"
+    # alone is milli).
+    if tail.startswith("M") and lower.endswith("hz") and len(tail) == 3:
+        return 1e6, "hz"
+    for suffix, scale in _SUFFIXES:
+        if lower.startswith(suffix):
+            return scale, lower[len(suffix):]
+    return 1.0, lower
+
+
+def format_quantity(value: float, unit: str = "") -> str:
+    """Format ``value`` with an engineering suffix.
+
+    >>> format_quantity(100e3, "Ohm")
+    '100kOhm'
+    >>> format_quantity(1e-12, "F")
+    '1pF'
+    """
+    if value == 0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for suffix, scale in [
+        ("T", 1e12), ("G", 1e9), ("k", 1e3), ("", 1.0),
+        ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12),
+        ("f", 1e-15), ("a", 1e-18),
+    ]:
+        if magnitude >= scale * 0.9995:
+            scaled = value / scale
+            if abs(scaled - round(scaled)) < 5e-4:
+                return f"{round(scaled):d}{suffix}{unit}"
+            return f"{scaled:.3g}{suffix}{unit}"
+    return f"{value:.3g}{unit}"

@@ -1,0 +1,305 @@
+"""Time-series container with the measurements analog designers expect.
+
+A :class:`Waveform` is an immutable pair of monotonically increasing time
+points and sampled values.  All reductions (average, RMS, ripple) use
+trapezoidal integration so results are consistent with the variable-step
+transient engine that produces them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import AnalysisError
+
+
+class Waveform:
+    """A sampled signal ``y(t)``.
+
+    Parameters
+    ----------
+    t:
+        Monotonically non-decreasing sample times, seconds.
+    y:
+        Sample values, same length as ``t``.
+    name:
+        Optional label used in reprs and exported tables.
+    """
+
+    __slots__ = ("_t", "_y", "name")
+
+    def __init__(self, t: Sequence[float], y: Sequence[float], name: str = ""):
+        t_arr = np.asarray(t, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if t_arr.ndim != 1 or y_arr.ndim != 1:
+            raise AnalysisError("waveform arrays must be one-dimensional")
+        if t_arr.shape != y_arr.shape:
+            raise AnalysisError(
+                f"time and value arrays differ in length: {t_arr.size} vs {y_arr.size}"
+            )
+        if t_arr.size < 1:
+            raise AnalysisError("waveform needs at least one sample")
+        if np.any(np.diff(t_arr) < 0):
+            raise AnalysisError("waveform time axis must be non-decreasing")
+        self._t = t_arr
+        self._y = y_arr
+        self.name = name
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def t(self) -> np.ndarray:
+        """Sample times (read-only view)."""
+        view = self._t.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def y(self) -> np.ndarray:
+        """Sample values (read-only view)."""
+        view = self._y.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._t.size
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Waveform{label} n={len(self)} "
+            f"t=[{self._t[0]:.4g}, {self._t[-1]:.4g}]s>"
+        )
+
+    @property
+    def duration(self) -> float:
+        """Span of the time axis in seconds."""
+        return float(self._t[-1] - self._t[0])
+
+    # -- sampling -------------------------------------------------------
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped to the ends)."""
+        return float(np.interp(time, self._t, self._y))
+
+    def slice(self, t0: float, t1: float) -> "Waveform":
+        """Return the sub-waveform on ``[t0, t1]`` with interpolated ends."""
+        if t1 < t0:
+            raise AnalysisError(f"empty slice: [{t0}, {t1}]")
+        inside = (self._t > t0) & (self._t < t1)
+        t_new = np.concatenate(([t0], self._t[inside], [t1]))
+        y_new = np.concatenate(
+            ([self.value_at(t0)], self._y[inside], [self.value_at(t1)])
+        )
+        return Waveform(t_new, y_new, self.name)
+
+    def resample(self, t_new: Sequence[float]) -> "Waveform":
+        """Linearly resample onto a new time grid."""
+        t_arr = np.asarray(t_new, dtype=float)
+        return Waveform(t_arr, np.interp(t_arr, self._t, self._y), self.name)
+
+    # -- reductions -----------------------------------------------------
+
+    def average(self) -> float:
+        """Time-weighted mean value (trapezoidal)."""
+        if self.duration == 0.0:
+            return float(self._y[0])
+        return float(np.trapezoid(self._y, self._t) / self.duration)
+
+    def rms(self) -> float:
+        """Root-mean-square value (trapezoidal)."""
+        if self.duration == 0.0:
+            return float(abs(self._y[0]))
+        return float(np.sqrt(np.trapezoid(self._y**2, self._t) / self.duration))
+
+    def minimum(self) -> float:
+        return float(self._y.min())
+
+    def maximum(self) -> float:
+        return float(self._y.max())
+
+    def peak_to_peak(self) -> float:
+        """Ripple: max minus min."""
+        return float(self._y.max() - self._y.min())
+
+    def integral(self) -> float:
+        """Trapezoidal integral of ``y`` over the full time span."""
+        return float(np.trapezoid(self._y, self._t))
+
+    def fold(self, period: float, n_bins: int = 200) -> "Waveform":
+        """Overlay the waveform onto one period (eye-diagram style).
+
+        Samples are binned by phase and averaged — the steady-state
+        shape emerges even from a long multi-period transient.  Bins
+        with no samples are interpolated from their neighbours.
+        """
+        if period <= 0:
+            raise AnalysisError("fold period must be positive")
+        if n_bins < 2:
+            raise AnalysisError("fold needs at least two bins")
+        phase = ((self._t - self._t[0]) % period) / period
+        bins = np.minimum((phase * n_bins).astype(int), n_bins - 1)
+        sums = np.bincount(bins, weights=self._y, minlength=n_bins)
+        counts = np.bincount(bins, minlength=n_bins)
+        centers = (np.arange(n_bins) + 0.5) * period / n_bins
+        filled = counts > 0
+        if not filled.any():
+            raise AnalysisError("fold produced no samples")
+        means = np.empty(n_bins)
+        means[filled] = sums[filled] / counts[filled]
+        if not filled.all():
+            means[~filled] = np.interp(centers[~filled], centers[filled],
+                                       means[filled])
+        return Waveform(centers, means, f"{self.name}_folded")
+
+    def spectrum(self, n_points: int = 1024) -> "Tuple[np.ndarray, np.ndarray]":
+        """Single-sided amplitude spectrum ``(frequencies, amplitudes)``.
+
+        The waveform is resampled onto a uniform grid (the engine's
+        steps are breakpoint-aligned, hence non-uniform) before the real
+        FFT.  Amplitudes are peak volts per bin; the DC bin holds the
+        mean.  Used for ripple-harmonic analysis of the averaging node.
+        """
+        if self.duration <= 0.0:
+            raise AnalysisError("spectrum needs a non-zero time span")
+        if n_points < 2:
+            raise AnalysisError("spectrum needs at least two points")
+        t_uniform = np.linspace(self._t[0], self._t[-1], n_points,
+                                endpoint=False)
+        y_uniform = np.interp(t_uniform, self._t, self._y)
+        amplitudes = np.abs(np.fft.rfft(y_uniform)) / n_points
+        amplitudes[1:] *= 2.0
+        frequencies = np.fft.rfftfreq(n_points,
+                                      self.duration / n_points)
+        return frequencies, amplitudes
+
+    def harmonic_amplitude(self, fundamental: float, harmonic: int = 1,
+                           n_points: int = 4096) -> float:
+        """Amplitude of the ``harmonic``-th multiple of ``fundamental``."""
+        if fundamental <= 0 or harmonic < 1:
+            raise AnalysisError("need a positive fundamental and harmonic")
+        freqs, amps = self.spectrum(n_points)
+        target = fundamental * harmonic
+        idx = int(np.argmin(np.abs(freqs - target)))
+        return float(amps[idx])
+
+    # -- event extraction -----------------------------------------------
+
+    def crossings(self, level: float, direction: str = "both") -> np.ndarray:
+        """Interpolated times where the signal crosses ``level``.
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``.
+        """
+        if direction not in ("rise", "fall", "both"):
+            raise AnalysisError(f"bad crossing direction: {direction!r}")
+        y_rel = self._y - level
+        sign = np.sign(y_rel)
+        # Treat exact hits as belonging to the previous sign to avoid
+        # double counting.
+        sign[sign == 0] = 1
+        flips = np.nonzero(np.diff(sign))[0]
+        times = []
+        for i in flips:
+            rising = self._y[i + 1] > self._y[i]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            dy = self._y[i + 1] - self._y[i]
+            if dy == 0.0:
+                continue
+            frac = (level - self._y[i]) / dy
+            times.append(self._t[i] + frac * (self._t[i + 1] - self._t[i]))
+        return np.asarray(times)
+
+    def duty_cycle(self, level: float) -> float:
+        """Fraction of time the signal spends above ``level``."""
+        if self.duration == 0.0:
+            return 1.0 if self._y[0] > level else 0.0
+        above = (self._y[:-1] > level) & (self._y[1:] > level)
+        below = (self._y[:-1] <= level) & (self._y[1:] <= level)
+        dt = np.diff(self._t)
+        time_above = float(np.sum(dt[above]))
+        time_below = float(np.sum(dt[below]))
+        # Segments that cross the level: split at the interpolated
+        # crossing point.
+        mixed = ~(above | below)
+        for i in np.nonzero(mixed)[0]:
+            dy = self._y[i + 1] - self._y[i]
+            if dy == 0.0:
+                continue
+            frac = np.clip((level - self._y[i]) / dy, 0.0, 1.0)
+            t_cross = frac * dt[i]
+            if self._y[i] > level:
+                time_above += t_cross
+                time_below += dt[i] - t_cross
+            else:
+                time_below += t_cross
+                time_above += dt[i] - t_cross
+        total = time_above + time_below
+        return time_above / total if total > 0 else 0.0
+
+    def settling_time(self, final: float, tolerance: float) -> float:
+        """First time after which the signal stays within ``final±tolerance``.
+
+        Returns ``inf`` when the signal never settles inside the band.
+        """
+        outside = np.abs(self._y - final) > tolerance
+        if not outside.any():
+            return float(self._t[0])
+        last_bad = int(np.nonzero(outside)[0][-1])
+        if last_bad == len(self) - 1:
+            return float("inf")
+        return float(self._t[last_bad + 1])
+
+    # -- arithmetic -----------------------------------------------------
+
+    def _binary(self, other: "Waveform | float", op: Callable) -> "Waveform":
+        if isinstance(other, Waveform):
+            t_union = np.union1d(self._t, other._t)
+            a = np.interp(t_union, self._t, self._y)
+            b = np.interp(t_union, other._t, other._y)
+            return Waveform(t_union, op(a, b), self.name)
+        return Waveform(self._t, op(self._y, float(other)), self.name)
+
+    def __add__(self, other):
+        return self._binary(other, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return self._binary(other, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return self._binary(other, lambda a, b: a * b)
+
+    def __truediv__(self, other):
+        return self._binary(other, lambda a, b: a / b)
+
+    def __neg__(self):
+        return Waveform(self._t, -self._y, self.name)
+
+    def abs(self) -> "Waveform":
+        return Waveform(self._t, np.abs(self._y), self.name)
+
+
+def concatenate(waves: Iterable[Waveform], name: str = "") -> Waveform:
+    """Join consecutive waveforms end to end.
+
+    Duplicate boundary samples (the end of one segment equals the start
+    of the next) are merged.
+    """
+    waves = list(waves)
+    if not waves:
+        raise AnalysisError("cannot concatenate zero waveforms")
+    ts: "list[np.ndarray]" = [waves[0].t]
+    ys: "list[np.ndarray]" = [waves[0].y]
+    for w in waves[1:]:
+        t, y = w.t, w.y
+        if ts[-1][-1] == t[0]:
+            t, y = t[1:], y[1:]
+        elif t[0] < ts[-1][-1]:
+            raise AnalysisError("waveforms to concatenate must be in time order")
+        ts.append(t)
+        ys.append(y)
+    return Waveform(np.concatenate(ts), np.concatenate(ys), name or waves[0].name)

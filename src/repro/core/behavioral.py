@@ -1,0 +1,115 @@
+"""Closed-form behavioural model of the weighted adder (paper Eq. 2).
+
+The ideal adder output is
+
+    Vout = Vdd * sum_i(DC_i * W_i) / (k * (2^n - 1))
+
+because each weight bit contributes a conductance proportional to its
+binary significance, disabled/low cells pull toward ground, and the
+shared node averages.  An optional calibration polynomial (fit against
+the transistor-level engine) corrects the systematic deviation caused by
+the PMOS/NMOS on-resistance asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .encoding import check_duties, check_weights, max_weight
+
+
+def eq2_output(duties: Sequence[float], weights: Sequence[int], *,
+               n_bits: int, vdd: float) -> float:
+    """Paper Eq. 2: the theoretical adder output voltage.
+
+    ``k`` is the number of inputs and ``n`` the weight bit-width; the
+    denominator normalises by the total cell conductance, so the output
+    can never exceed ``Vdd``.
+    """
+    duties = check_duties(duties)
+    weights = check_weights(weights, n_bits)
+    if len(duties) != len(weights):
+        raise AnalysisError(
+            f"{len(duties)} duties vs {len(weights)} weights")
+    k = len(duties)
+    if k == 0:
+        raise AnalysisError("adder needs at least one input")
+    acc = sum(d * w for d, w in zip(duties, weights))
+    return vdd * acc / (k * max_weight(n_bits))
+
+
+@dataclass
+class CalibrationModel:
+    """Polynomial correction ``v_corrected = p(v_ideal / vdd) * vdd``.
+
+    Fit with :func:`fit_calibration` against transistor-level results;
+    the identity calibration has coefficients ``[0, 1]`` (constant,
+    linear).
+    """
+
+    coefficients: "list[float]" = field(default_factory=lambda: [0.0, 1.0])
+
+    def apply(self, v_ideal: float, vdd: float) -> float:
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        x = v_ideal / vdd
+        # Horner evaluation, coefficients in ascending order.
+        acc = 0.0
+        for c in reversed(self.coefficients):
+            acc = acc * x + c
+        return float(np.clip(acc, 0.0, 1.0)) * vdd
+
+
+def fit_calibration(v_ideal: Sequence[float], v_measured: Sequence[float],
+                    vdd: float, degree: int = 2) -> CalibrationModel:
+    """Least-squares polynomial fit of measured vs ideal (both in volts)."""
+    x = np.asarray(v_ideal, dtype=float) / vdd
+    y = np.asarray(v_measured, dtype=float) / vdd
+    if x.size != y.size or x.size < degree + 1:
+        raise AnalysisError(
+            f"need at least {degree + 1} calibration points, got {x.size}")
+    coeffs_desc = np.polyfit(x, y, degree)
+    return CalibrationModel(list(coeffs_desc[::-1]))
+
+
+class BehavioralAdder:
+    """Instant adder evaluation: Eq. 2 plus optional calibration."""
+
+    def __init__(self, n_inputs: int, n_bits: int, *, vdd: float = 2.5,
+                 calibration: Optional[CalibrationModel] = None):
+        if n_inputs < 1:
+            raise AnalysisError("adder needs at least one input")
+        self.n_inputs = n_inputs
+        self.n_bits = n_bits
+        self.vdd = vdd
+        self.calibration = calibration
+
+    def output(self, duties: Sequence[float], weights: Sequence[int],
+               *, vdd: Optional[float] = None) -> float:
+        """Average output voltage for the operand set."""
+        supply = self.vdd if vdd is None else vdd
+        if len(duties) != self.n_inputs:
+            raise AnalysisError(
+                f"expected {self.n_inputs} duties, got {len(duties)}")
+        v = eq2_output(duties, weights, n_bits=self.n_bits, vdd=supply)
+        if self.calibration is not None:
+            v = self.calibration.apply(v, supply)
+        return v
+
+    def output_ratio(self, duties: Sequence[float],
+                     weights: Sequence[int]) -> float:
+        """Supply-normalised output ``Vout/Vdd`` — the power-elastic
+        readout quantity (paper Fig. 7)."""
+        return self.output(duties, weights) / self.vdd
+
+    def dot_product(self, duties: Sequence[float],
+                    weights: Sequence[int]) -> float:
+        """The abstract weighted sum ``sum(DC_i * W_i)`` the voltage
+        encodes, recovered from the ideal model."""
+        duties = check_duties(duties)
+        weights = check_weights(weights, self.n_bits)
+        return float(sum(d * w for d, w in zip(duties, weights)))

@@ -1,0 +1,182 @@
+"""Netlist builders for the paper's circuit primitives.
+
+Three blocks from the paper:
+
+* the *transcoding inverter* (Fig. 2): a CMOS inverter whose output
+  drives an ``Rout``/``Cout`` low-pass so the average output voltage is
+  ``Vdd * (1 - duty)``;
+* the NAND2 + inverter *AND cell* (Fig. 3): one per (input, weight-bit)
+  pair — 6 transistors, which is where the paper's "54 transistors for a
+  3x3 adder" comes from;
+* the binary-weighted sizing rule: the cell for weight bit *j* has
+  ``2^j``-wider transistors and a ``2^j``-smaller output resistor (the
+  paper's X1/X2/X4 cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..circuit.elements.mosfet import Mosfet
+from ..circuit.elements.passives import Capacitor, Resistor
+from ..circuit.elements.sources import PwmVoltage, Vdc
+from ..circuit.exceptions import NetlistError
+from ..circuit.netlist import Circuit, SubCircuit
+from ..tech.mosfet_models import MosfetParams, on_resistance
+from ..tech.umc65 import NMOS_UMC65, PMOS_UMC65, TABLE1_SIZING
+
+
+@dataclass(frozen=True)
+class CellDesign:
+    """Geometry and passives of the unit (X1) cell.
+
+    The defaults are the paper's Table I values.  ``scaled(s)`` yields
+    the X2/X4/... variants: transistor widths multiplied and the output
+    resistor divided by the scale factor, exactly the paper's rule.
+    """
+
+    nmos: MosfetParams = NMOS_UMC65
+    pmos: MosfetParams = PMOS_UMC65
+    nmos_width: float = TABLE1_SIZING.nmos_width
+    pmos_width: float = TABLE1_SIZING.pmos_width
+    length: float = TABLE1_SIZING.length
+    rout: float = TABLE1_SIZING.rout
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise NetlistError("cell scale must be positive")
+        if self.rout <= 0:
+            raise NetlistError("cell rout must be positive")
+
+    def scaled(self, s: float) -> "CellDesign":
+        """Binary-weighted variant: widths x ``s``, Rout / ``s``."""
+        return replace(self, scale=self.scale * s)
+
+    # -- effective geometry -------------------------------------------------
+
+    @property
+    def wn(self) -> float:
+        return self.nmos_width * self.scale
+
+    @property
+    def wp(self) -> float:
+        return self.pmos_width * self.scale
+
+    @property
+    def rout_eff(self) -> float:
+        return self.rout / self.scale
+
+    # -- switch-level abstraction ---------------------------------------------
+
+    def pull_up_resistance(self, vdd: float) -> float:
+        """Total resistance of the charging path (PMOS on + Rout)."""
+        return on_resistance(self.pmos, self.wp, self.length, vdd) + self.rout_eff
+
+    def pull_down_resistance(self, vdd: float) -> float:
+        """Total resistance of the discharging path (NMOS on + Rout)."""
+        return on_resistance(self.nmos, self.wn, self.length, vdd) + self.rout_eff
+
+
+def inverter_subckt(design: CellDesign, name: str = "inv") -> SubCircuit:
+    """Plain CMOS inverter: ports ``(in, out, vdd)``."""
+    sub = SubCircuit(name, ports=("in", "out", "vdd"))
+    sub.add(Mosfet("MP", "out", "in", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MN", "out", "in", "0", model=design.nmos,
+                   w=design.wn, l=design.length))
+    return sub
+
+
+def transcoding_inverter_subckt(design: CellDesign,
+                                name: str = "txinv") -> SubCircuit:
+    """Paper Fig. 2 cell *without* the output capacitor.
+
+    Ports ``(in, out, vdd)``; the shared ``Cout`` belongs to the bench
+    (several cells may share one output node).
+    """
+    sub = SubCircuit(name, ports=("in", "out", "vdd"))
+    sub.add(Mosfet("MP", "drain", "in", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MN", "drain", "in", "0", model=design.nmos,
+                   w=design.wn, l=design.length))
+    sub.add(Resistor("ROUT", "drain", "out", design.rout_eff))
+    return sub
+
+
+def nand2_subckt(design: CellDesign, name: str = "nand2") -> SubCircuit:
+    """Two-input NAND: ports ``(a, b, y, vdd)``.
+
+    The series NMOS stack is drawn at twice the inverter NMOS width, the
+    usual equal-drive sizing.
+    """
+    sub = SubCircuit(name, ports=("a", "b", "y", "vdd"))
+    sub.add(Mosfet("MPA", "y", "a", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MPB", "y", "b", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MNA", "y", "a", "mid", model=design.nmos,
+                   w=2 * design.wn, l=design.length))
+    sub.add(Mosfet("MNB", "mid", "b", "0", model=design.nmos,
+                   w=2 * design.wn, l=design.length))
+    return sub
+
+
+def and_cell_subckt(design: CellDesign, name: str = "and_cell") -> SubCircuit:
+    """Paper Fig. 3 weighted-adder cell: AND gate (NAND2 + inverter)
+    followed by the scaled output resistor.
+
+    Ports ``(pwm, w, out, vdd)`` — ``pwm`` is the duty-coded input,
+    ``w`` the weight-bit enable, ``out`` the shared summing node.
+    Six transistors per cell.
+    """
+    sub = SubCircuit(name, ports=("pwm", "w", "out", "vdd"))
+    # NAND2
+    sub.add(Mosfet("MPA", "nand", "pwm", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MPB", "nand", "w", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MNA", "nand", "pwm", "mid", model=design.nmos,
+                   w=2 * design.wn, l=design.length))
+    sub.add(Mosfet("MNB", "mid", "w", "0", model=design.nmos,
+                   w=2 * design.wn, l=design.length))
+    # Output inverter driving Rout
+    sub.add(Mosfet("MPI", "and", "nand", "vdd", model=design.pmos,
+                   w=design.wp, l=design.length))
+    sub.add(Mosfet("MNI", "and", "nand", "0", model=design.nmos,
+                   w=design.wn, l=design.length))
+    sub.add(Resistor("ROUT", "and", "out", design.rout_eff))
+    return sub
+
+
+def build_transcoding_inverter_bench(duty: float, *,
+                                     design: Optional[CellDesign] = None,
+                                     vdd: float = 2.5,
+                                     frequency: float = 500e6,
+                                     cout: float = 1e-12,
+                                     input_amplitude: Optional[float] = None,
+                                     rise_fraction: float = 0.02,
+                                     rout: Optional[float] = None) -> Circuit:
+    """Test bench for the Fig. 2 experiments (Figs. 4–7).
+
+    ``rout=None`` keeps the design's resistor; pass a value (or a tiny
+    one for the "no load" curve) to override.
+    """
+    design = design or CellDesign()
+    if rout is not None:
+        design = replace(design, rout=rout * design.scale)
+    c = Circuit("transcoding_inverter_bench")
+    c.add(Vdc("VDD", "vdd", "0", vdd))
+    c.add(PwmVoltage("VIN", "in", "0", v_high=input_amplitude or vdd,
+                     frequency=frequency, duty=duty,
+                     rise_fraction=rise_fraction))
+    c.instantiate(transcoding_inverter_subckt(design), "X1",
+                  {"in": "in", "out": "out", "vdd": "vdd"})
+    c.add(Capacitor("COUT", "out", "0", cout))
+    return c
+
+
+#: Resistance small enough to act as a wire for the "no load" curve of
+#: Fig. 4, yet non-zero so the netlist stays well-conditioned.
+NO_LOAD_ROUT = 1.0

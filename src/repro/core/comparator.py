@@ -1,0 +1,94 @@
+"""Comparators: the decision stage of the perceptron (paper Fig. 1).
+
+Two families matter for power elasticity:
+
+* :class:`RatiometricComparator` compares the summing-node voltage with a
+  *fraction of the supply* — realisable as a resistive divider feeding a
+  differential pair, so the decision threshold tracks ``Vdd`` and the
+  classification survives supply variation.
+* :class:`AbsoluteComparator` compares against a fixed reference voltage
+  (bandgap-style).  It is the non-elastic alternative; the robustness
+  experiments use it to show *why* ratiometric readout is the right
+  choice.
+* :class:`DifferentialComparator` compares two summing nodes (positive
+  and negative weight banks) — inherently ratiometric.
+
+All comparators expose an input-referred ``offset`` (volts) and optional
+hysteresis so mismatch studies can stress the decision stage too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.exceptions import AnalysisError
+
+
+@dataclass
+class RatiometricComparator:
+    """Fires when ``v > threshold_ratio * vdd + offset``."""
+
+    threshold_ratio: float
+    offset: float = 0.0
+    hysteresis: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.threshold_ratio <= 1.0:
+            raise AnalysisError(
+                f"threshold ratio must lie in [0, 1], got {self.threshold_ratio}")
+        if self.hysteresis < 0:
+            raise AnalysisError("hysteresis must be non-negative")
+        self._state = False
+
+    def threshold(self, vdd: float) -> float:
+        return self.threshold_ratio * vdd + self.offset
+
+    def compare(self, v: float, vdd: float) -> bool:
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        level = self.threshold(vdd)
+        if self.hysteresis > 0.0:
+            level += -self.hysteresis / 2 if self._state else self.hysteresis / 2
+        self._state = v > level
+        return self._state
+
+
+@dataclass
+class AbsoluteComparator:
+    """Fires when ``v > reference + offset`` regardless of the supply.
+
+    Deliberately *not* power-elastic; additionally fails outright when
+    the reference exceeds the rail (the comparator saturates low).
+    """
+
+    reference: float
+    offset: float = 0.0
+
+    def compare(self, v: float, vdd: float) -> bool:
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        if self.reference >= vdd:
+            # Reference above the rail: a real comparator's output is
+            # stuck; model the stuck-low failure.
+            return False
+        return v > self.reference + self.offset
+
+
+@dataclass
+class DifferentialComparator:
+    """Fires when ``v_pos - v_neg > offset`` — supply-independent."""
+
+    offset: float = 0.0
+    hysteresis: float = 0.0
+
+    def __post_init__(self):
+        if self.hysteresis < 0:
+            raise AnalysisError("hysteresis must be non-negative")
+        self._state = False
+
+    def compare(self, v_pos: float, v_neg: float) -> bool:
+        level = self.offset
+        if self.hysteresis > 0.0:
+            level += -self.hysteresis / 2 if self._state else self.hysteresis / 2
+        self._state = (v_pos - v_neg) > level
+        return self._state

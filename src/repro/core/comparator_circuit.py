@@ -1,0 +1,111 @@
+"""Transistor-level comparator: the decision stage of paper Fig. 1.
+
+A five-transistor differential pair (PMOS-mirror load, resistor tail)
+plus an output inverter gives the perceptron a concrete mixed-signal
+decision stage.  The reference input comes from a resistive divider off
+the supply, so the threshold is *ratiometric* — the circuit-level
+realisation of :class:`~repro.core.comparator.RatiometricComparator`.
+
+These netlists complete the full perceptron schematic: PWM sources →
+AND-cell adder → averaging node → differential pair → digital output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.elements.mosfet import Mosfet
+from ..circuit.elements.passives import Capacitor, Resistor
+from ..circuit.exceptions import AnalysisError, NetlistError
+from ..circuit.netlist import Circuit, SubCircuit
+from ..tech.mosfet_models import MosfetParams
+from ..tech.umc65 import NMOS_UMC65, PMOS_UMC65
+
+
+@dataclass(frozen=True)
+class ComparatorDesign:
+    """Sizing of the differential-pair comparator.
+
+    Wide input devices (vs the adder cells) for gain and matching; the
+    tail resistor sets a bias current of roughly
+    ``(Vdd/2 - Vgs) / r_tail``.
+    """
+
+    nmos: MosfetParams = NMOS_UMC65
+    pmos: MosfetParams = PMOS_UMC65
+    input_width: float = 3.2e-6
+    load_width: float = 3.2e-6
+    length: float = 1.2e-6
+    r_tail: float = 50e3
+    output_cap: float = 50e-15
+
+    def __post_init__(self):
+        if self.input_width <= 0 or self.load_width <= 0 or self.length <= 0:
+            raise NetlistError("comparator geometry must be positive")
+        if self.r_tail <= 0:
+            raise NetlistError("tail resistance must be positive")
+
+
+def comparator_subckt(design: ComparatorDesign = ComparatorDesign(),
+                      name: str = "comparator") -> SubCircuit:
+    """Differential pair + mirror load + output buffer.
+
+    Ports ``(inp, inn, out, vdd)``: ``out`` swings high when
+    ``v(inp) > v(inn)``.  Eight transistors plus the tail resistor.
+
+    Operation: ``inp`` drives the mirror-reference leg, so when
+    ``inp > inn`` the mirror sources more current into ``d2`` than the
+    ``inn`` device can sink and ``d2`` rises; two inverters buffer
+    ``d2`` to rails with positive polarity.
+    """
+    sub = SubCircuit(name, ports=("inp", "inn", "out", "vdd"))
+    sub.add(Mosfet("M1", "d1", "inp", "tail", model=design.nmos,
+                   w=design.input_width, l=design.length))
+    sub.add(Mosfet("M2", "d2", "inn", "tail", model=design.nmos,
+                   w=design.input_width, l=design.length))
+    # PMOS current mirror, diode-connected on d1.
+    sub.add(Mosfet("M3", "d1", "d1", "vdd", model=design.pmos,
+                   w=design.load_width, l=design.length))
+    sub.add(Mosfet("M4", "d2", "d1", "vdd", model=design.pmos,
+                   w=design.load_width, l=design.length))
+    sub.add(Resistor("RT", "tail", "0", design.r_tail))
+    # Rail-to-rail buffer (two inverters, positive polarity).
+    sub.add(Mosfet("M5", "outb", "d2", "vdd", model=design.pmos,
+                   w=design.load_width, l=design.length))
+    sub.add(Mosfet("M6", "outb", "d2", "0", model=design.nmos,
+                   w=design.input_width, l=design.length))
+    sub.add(Mosfet("M7", "out", "outb", "vdd", model=design.pmos,
+                   w=design.load_width, l=design.length))
+    sub.add(Mosfet("M8", "out", "outb", "0", model=design.nmos,
+                   w=design.input_width, l=design.length))
+    sub.add(Capacitor("CO", "out", "0", design.output_cap))
+    return sub
+
+
+def reference_divider_subckt(ratio: float, *, total_resistance: float = 1e6,
+                             name: str = "refdiv") -> SubCircuit:
+    """Ratiometric reference: ``v(ref) = ratio * v(vdd)``.
+
+    Ports ``(ref, vdd)``.  A 1 MΩ total keeps its standing current two
+    orders below the adder's.
+    """
+    if not 0.0 < ratio < 1.0:
+        raise AnalysisError(f"divider ratio must lie in (0, 1), got {ratio}")
+    sub = SubCircuit(name, ports=("ref", "vdd"))
+    sub.add(Resistor("RT", "vdd", "ref", total_resistance * (1.0 - ratio)))
+    sub.add(Resistor("RB", "ref", "0", total_resistance * ratio))
+    return sub
+
+
+def build_comparator_bench(v_inp: float, v_inn: float, *, vdd: float = 2.5,
+                           design: ComparatorDesign = ComparatorDesign()) -> Circuit:
+    """DC test bench for the comparator alone."""
+    from ..circuit.elements.sources import Vdc
+
+    c = Circuit("comparator_bench")
+    c.add(Vdc("VDD", "vdd", "0", vdd))
+    c.add(Vdc("VP", "inp", "0", v_inp))
+    c.add(Vdc("VN", "inn", "0", v_inn))
+    c.instantiate(comparator_subckt(design), "XC",
+                  {"inp": "inp", "inn": "inn", "out": "out", "vdd": "vdd"})
+    return c

@@ -1,0 +1,93 @@
+"""Weight and input encoding helpers.
+
+Weights are small unsigned integers (``n_bits`` wide) realised as
+enabled/disabled binary-weighted cells; inputs are duty cycles in
+[0, 1].  Signed weights for the differential perceptron are split into a
+positive and a negative bank.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+
+
+def max_weight(n_bits: int) -> int:
+    """Largest representable weight: ``2**n_bits - 1``."""
+    if n_bits < 1:
+        raise AnalysisError("weights need at least one bit")
+    return (1 << n_bits) - 1
+
+
+def weight_to_bits(weight: int, n_bits: int) -> List[int]:
+    """LSB-first bit decomposition of an unsigned weight.
+
+    >>> weight_to_bits(5, 3)
+    [1, 0, 1]
+    """
+    w = _check_weight(weight, n_bits)
+    return [(w >> b) & 1 for b in range(n_bits)]
+
+
+def bits_to_weight(bits: Sequence[int]) -> int:
+    """Inverse of :func:`weight_to_bits`."""
+    for bit in bits:
+        if bit not in (0, 1):
+            raise AnalysisError(f"bits must be 0/1, got {bit!r}")
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def _check_weight(weight: "int | np.integer", n_bits: int) -> int:
+    if not isinstance(weight, (int, np.integer)) or isinstance(weight, bool):
+        raise AnalysisError(f"weight must be an integer, got {weight!r}")
+    limit = max_weight(n_bits)
+    if not 0 <= weight <= limit:
+        raise AnalysisError(
+            f"weight {weight} out of range [0, {limit}] for {n_bits} bits")
+    return int(weight)
+
+
+def check_weights(weights: Sequence[int], n_bits: int) -> List[int]:
+    return [_check_weight(w, n_bits) for w in weights]
+
+
+def check_duties(duties: Sequence[float]) -> List[float]:
+    out = []
+    for d in duties:
+        d = float(d)
+        if not 0.0 <= d <= 1.0:
+            raise AnalysisError(f"duty cycle {d} outside [0, 1]")
+        out.append(d)
+    return out
+
+
+def quantize_weight(value: float, n_bits: int) -> int:
+    """Round-and-clip a real weight onto the unsigned hardware grid."""
+    return int(np.clip(round(value), 0, max_weight(n_bits)))
+
+
+def split_signed_weight(weight: int, n_bits: int) -> Tuple[int, int]:
+    """Map a signed weight onto (positive-bank, negative-bank) codes.
+
+    >>> split_signed_weight(-3, 3)
+    (0, 3)
+    >>> split_signed_weight(5, 3)
+    (5, 0)
+    """
+    if not isinstance(weight, (int, np.integer)) or isinstance(weight, bool):
+        raise AnalysisError(f"weight must be an integer, got {weight!r}")
+    limit = max_weight(n_bits)
+    if not -limit <= weight <= limit:
+        raise AnalysisError(
+            f"signed weight {weight} out of range [-{limit}, {limit}]")
+    w = int(weight)
+    return (w, 0) if w >= 0 else (0, -w)
+
+
+def quantize_signed_weight(value: float, n_bits: int) -> int:
+    """Round-and-clip a real weight onto the signed hardware grid."""
+    limit = max_weight(n_bits)
+    return int(np.clip(round(value), -limit, limit))

@@ -1,0 +1,216 @@
+"""Mixed-signal PWM perceptrons built on the weighted adder.
+
+:class:`PwmPerceptron` is the paper's architecture: unsigned n-bit
+weights, one weighted adder, a threshold comparator.  The decision
+
+    f(x) = 1  iff  sum_i(DC_i * W_i) > theta
+
+is evaluated ratiometrically (``Vout/Vdd`` against ``theta`` scaled the
+same way), which is exactly what makes it power-elastic.
+
+:class:`DifferentialPwmPerceptron` extends the idea to *signed* weights
+with two cell banks on two summing nodes and a differential comparator:
+``w.x + b > 0`` with ``w = W_pos - W_neg``.  Both banks share the supply
+and the denominator of Eq. 2, so the comparison is supply-independent by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .comparator import (
+    AbsoluteComparator,
+    DifferentialComparator,
+    RatiometricComparator,
+)
+from .encoding import check_duties, max_weight, split_signed_weight
+from .weighted_adder import AdderConfig, AdderResult, WeightedAdder
+
+
+@dataclass(frozen=True)
+class PerceptronDecision:
+    """One classification with its analog evidence."""
+
+    fired: bool
+    v_out: float
+    v_threshold: float
+    adder: AdderResult
+
+    @property
+    def margin(self) -> float:
+        """Analog margin (volts); positive when fired."""
+        return self.v_out - self.v_threshold
+
+
+class PwmPerceptron:
+    """Unsigned-weight perceptron: adder + threshold (paper Figs. 1+3).
+
+    Parameters
+    ----------
+    weights:
+        One unsigned integer per input, each in ``[0, 2**n_bits - 1]``.
+    theta:
+        Decision threshold on the abstract weighted sum
+        ``sum(DC_i * W_i)``; internally converted to the ratiometric
+        voltage threshold ``theta / (k * (2^n - 1))``.
+    bias:
+        Optional unsigned weight of an implicit always-high input
+        (duty = 1), appended as an extra adder channel.
+    """
+
+    def __init__(self, weights: Sequence[int], theta: float, *,
+                 bias: int = 0, config: Optional[AdderConfig] = None,
+                 comparator: Optional[RatiometricComparator] = None):
+        base = config or AdderConfig()
+        self.n_features = len(weights)
+        if self.n_features < 1:
+            raise AnalysisError("perceptron needs at least one input")
+        self.has_bias = bias != 0
+        n_ch = self.n_features + (1 if self.has_bias else 0)
+        self.config = AdderConfig(
+            n_inputs=n_ch, n_bits=base.n_bits, vdd=base.vdd,
+            frequency=base.frequency, cout=base.cout, cell=base.cell,
+            rise_fraction=base.rise_fraction)
+        self.adder = WeightedAdder(self.config)
+        limit = max_weight(self.config.n_bits)
+        self.weights = [int(w) for w in weights]
+        for w in self.weights:
+            if not 0 <= w <= limit:
+                raise AnalysisError(f"weight {w} outside [0, {limit}]")
+        if not 0 <= bias <= limit:
+            raise AnalysisError(f"bias {bias} outside [0, {limit}]")
+        self.bias = int(bias)
+        self.theta = float(theta)
+        denom = n_ch * limit
+        if comparator is None:
+            comparator = RatiometricComparator(
+                threshold_ratio=min(max(self.theta / denom, 0.0), 1.0))
+        self.comparator = comparator
+
+    # -- helpers ----------------------------------------------------------
+
+    def _channels(self, duties: Sequence[float]) -> "tuple[list[float], list[int]]":
+        duties = check_duties(duties)
+        if len(duties) != self.n_features:
+            raise AnalysisError(
+                f"expected {self.n_features} inputs, got {len(duties)}")
+        all_duties = list(duties)
+        all_weights = list(self.weights)
+        if self.has_bias:
+            all_duties.append(1.0)
+            all_weights.append(self.bias)
+        return all_duties, all_weights
+
+    # -- inference ----------------------------------------------------------
+
+    def decide(self, duties: Sequence[float], *, engine: str = "behavioral",
+               vdd: Optional[float] = None,
+               frequency: Optional[float] = None,
+               **engine_kwargs) -> PerceptronDecision:
+        """Full decision with analog evidence."""
+        supply = self.config.vdd if vdd is None else vdd
+        all_duties, all_weights = self._channels(duties)
+        result = self.adder.evaluate(all_duties, all_weights, engine=engine,
+                                     vdd=supply, frequency=frequency,
+                                     **engine_kwargs)
+        if isinstance(self.comparator, AbsoluteComparator):
+            fired = self.comparator.compare(result.value, supply)
+            threshold = self.comparator.reference
+        else:
+            fired = self.comparator.compare(result.value, supply)
+            threshold = self.comparator.threshold(supply)
+        return PerceptronDecision(fired=fired, v_out=result.value,
+                                  v_threshold=threshold, adder=result)
+
+    def predict(self, duties: Sequence[float], **kwargs) -> int:
+        """Binary classification (paper Eq. 1)."""
+        return int(self.decide(duties, **kwargs).fired)
+
+    def ideal_sum(self, duties: Sequence[float]) -> float:
+        """Abstract weighted sum the hardware approximates."""
+        all_duties, all_weights = self._channels(duties)
+        return float(sum(d * w for d, w in zip(all_duties, all_weights)))
+
+
+class DifferentialPwmPerceptron:
+    """Signed-weight perceptron with positive/negative cell banks.
+
+    ``weights`` are signed integers in ``[-(2^n - 1), 2^n - 1]``; the
+    bias is a signed weight on an always-high channel.  Classification is
+    ``w.x + b > 0``, evaluated as a differential comparison of two adder
+    outputs — ratiometric, hence power-elastic.
+    """
+
+    def __init__(self, weights: Sequence[int], *, bias: int = 0,
+                 config: Optional[AdderConfig] = None,
+                 comparator: Optional[DifferentialComparator] = None):
+        base = config or AdderConfig()
+        self.n_features = len(weights)
+        if self.n_features < 1:
+            raise AnalysisError("perceptron needs at least one input")
+        n_ch = self.n_features + 1  # always-on bias channel
+        self.config = AdderConfig(
+            n_inputs=n_ch, n_bits=base.n_bits, vdd=base.vdd,
+            frequency=base.frequency, cout=base.cout, cell=base.cell,
+            rise_fraction=base.rise_fraction)
+        self.pos_adder = WeightedAdder(self.config)
+        self.neg_adder = WeightedAdder(self.config)
+        self.comparator = comparator or DifferentialComparator()
+        self.set_weights(weights, bias)
+
+    def set_weights(self, weights: Sequence[int], bias: int) -> None:
+        if len(weights) != self.n_features:
+            raise AnalysisError(
+                f"expected {self.n_features} weights, got {len(weights)}")
+        n_bits = self.config.n_bits
+        pos: List[int] = []
+        neg: List[int] = []
+        for w in list(weights) + [bias]:
+            p, n = split_signed_weight(int(w), n_bits)
+            pos.append(p)
+            neg.append(n)
+        self.weights = [int(w) for w in weights]
+        self.bias = int(bias)
+        self._pos_weights = pos
+        self._neg_weights = neg
+
+    # -- inference -----------------------------------------------------------
+
+    def decide(self, duties: Sequence[float], *, engine: str = "behavioral",
+               vdd: Optional[float] = None,
+               frequency: Optional[float] = None,
+               **engine_kwargs) -> PerceptronDecision:
+        duties = check_duties(duties)
+        if len(duties) != self.n_features:
+            raise AnalysisError(
+                f"expected {self.n_features} inputs, got {len(duties)}")
+        supply = self.config.vdd if vdd is None else vdd
+        all_duties = list(duties) + [1.0]
+        pos = self.pos_adder.evaluate(all_duties, self._pos_weights,
+                                      engine=engine, vdd=supply,
+                                      frequency=frequency, **engine_kwargs)
+        neg = self.neg_adder.evaluate(all_duties, self._neg_weights,
+                                      engine=engine, vdd=supply,
+                                      frequency=frequency, **engine_kwargs)
+        fired = self.comparator.compare(pos.value, neg.value)
+        return PerceptronDecision(fired=fired, v_out=pos.value - neg.value,
+                                  v_threshold=self.comparator.offset,
+                                  adder=pos)
+
+    def predict(self, duties: Sequence[float], **kwargs) -> int:
+        return int(self.decide(duties, **kwargs).fired)
+
+    def ideal_sum(self, duties: Sequence[float]) -> float:
+        duties = check_duties(duties)
+        return float(np.dot(duties, self.weights) + self.bias)
+
+    @property
+    def transistor_count(self) -> int:
+        """Both banks' cells (comparator not included)."""
+        return self.pos_adder.config.transistor_count + \
+            self.neg_adder.config.transistor_count

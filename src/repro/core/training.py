@@ -1,0 +1,187 @@
+"""Perceptron training with hardware-quantised weights.
+
+Implements the classic Rosenblatt rule on *shadow* (real-valued) weights
+with straight-through quantisation to the n-bit signed hardware grid —
+the software analogue of the compare-and-feedback loop in the paper's
+Fig. 1.  A hardware-in-the-loop mode runs every forward pass through a
+chosen adder engine (behavioural / RC / transistor-level), so training
+can be performed against the simulated mixed-signal datapath itself,
+including under supply variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .encoding import max_weight, quantize_signed_weight
+from .perceptron import DifferentialPwmPerceptron
+from .weighted_adder import AdderConfig
+
+
+@dataclass
+class TrainingRecord:
+    """Per-epoch training telemetry."""
+
+    epoch: int
+    errors: int
+    accuracy: float
+    weights: List[int]
+    bias: int
+
+
+@dataclass
+class TrainingResult:
+    perceptron: DifferentialPwmPerceptron
+    history: List[TrainingRecord]
+    converged: bool
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].accuracy if self.history else 0.0
+
+
+class PerceptronTrainer:
+    """Rosenblatt training of a :class:`DifferentialPwmPerceptron`.
+
+    Parameters
+    ----------
+    config:
+        Adder configuration for the trained perceptron.
+    learning_rate:
+        Step applied to the shadow weights per misclassified sample.
+    weight_scale:
+        Scale from feature space to the integer weight grid: shadow
+        weights are multiplied by it before quantisation.  The default
+        uses the full grid (``2^n - 1``).
+    engine:
+        Adder engine used for forward passes during training
+        (``"behavioral"`` is exact Eq. 2 and fast; ``"rc"``/``"spice"``
+        give true hardware-in-the-loop training).
+    """
+
+    def __init__(self, n_features: int, *,
+                 config: Optional[AdderConfig] = None,
+                 learning_rate: float = 0.2,
+                 weight_scale: Optional[float] = None,
+                 engine: str = "behavioral",
+                 seed: Optional[int] = None):
+        if n_features < 1:
+            raise AnalysisError("need at least one feature")
+        self.n_features = n_features
+        self.config = config or AdderConfig()
+        self.learning_rate = learning_rate
+        self.engine = engine
+        limit = max_weight(self.config.n_bits)
+        self.weight_scale = float(weight_scale) if weight_scale else float(limit)
+        self._rng = np.random.default_rng(seed)
+
+    # -- quantisation -----------------------------------------------------
+
+    def _quantize(self, shadow: np.ndarray) -> "tuple[list[int], int]":
+        n_bits = self.config.n_bits
+        scaled = shadow * self.weight_scale
+        weights = [quantize_signed_weight(v, n_bits) for v in scaled[:-1]]
+        bias = quantize_signed_weight(scaled[-1], n_bits)
+        return weights, bias
+
+    # -- training loop -----------------------------------------------------
+
+    def fit(self, duties: Sequence[Sequence[float]], labels: Sequence[int], *,
+            epochs: int = 50, shuffle: bool = True,
+            vdd: Optional[float] = None,
+            vdd_sampler: Optional[Callable[[], float]] = None,
+            target_accuracy: float = 1.0) -> TrainingResult:
+        """Train until every sample is classified or ``epochs`` elapse.
+
+        ``vdd_sampler`` draws a supply voltage per forward pass, which
+        trains the perceptron *under* supply variation — the micro-edge
+        scenario of the paper's introduction.
+        """
+        X = np.asarray(duties, dtype=float)
+        y = np.asarray(labels, dtype=int)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise AnalysisError(
+                f"duty matrix must be (n_samples, {self.n_features})")
+        if set(np.unique(y)) - {0, 1}:
+            raise AnalysisError("labels must be 0/1")
+        if X.min() < 0.0 or X.max() > 1.0:
+            raise AnalysisError("duty-cycle features must lie in [0, 1]")
+
+        shadow = self._rng.normal(0.0, 0.1, self.n_features + 1)
+        weights, bias = self._quantize(shadow)
+        perceptron = DifferentialPwmPerceptron(weights, bias=bias,
+                                               config=self.config)
+        history: List[TrainingRecord] = []
+        converged = False
+        order = np.arange(len(X))
+
+        for epoch in range(epochs):
+            if shuffle:
+                self._rng.shuffle(order)
+            errors = 0
+            for idx in order:
+                supply = vdd_sampler() if vdd_sampler else vdd
+                pred = perceptron.predict(X[idx], engine=self.engine,
+                                          vdd=supply)
+                err = int(y[idx]) - pred
+                if err != 0:
+                    errors += 1
+                    step = self.learning_rate * err
+                    shadow[:-1] += step * X[idx]
+                    shadow[-1] += step
+                    weights, bias = self._quantize(shadow)
+                    perceptron.set_weights(weights, bias)
+            accuracy = self.evaluate(perceptron, X, y, vdd=vdd)
+            history.append(TrainingRecord(
+                epoch=epoch, errors=errors, accuracy=accuracy,
+                weights=list(perceptron.weights), bias=perceptron.bias))
+            if errors == 0 and accuracy >= target_accuracy:
+                converged = True
+                break
+        return TrainingResult(perceptron=perceptron, history=history,
+                              converged=converged)
+
+    def evaluate(self, perceptron: DifferentialPwmPerceptron,
+                 duties: Sequence[Sequence[float]], labels: Sequence[int], *,
+                 vdd: Optional[float] = None,
+                 engine: Optional[str] = None) -> float:
+        """Classification accuracy on a dataset."""
+        X = np.asarray(duties, dtype=float)
+        y = np.asarray(labels, dtype=int)
+        engine = engine or self.engine
+        hits = sum(
+            int(perceptron.predict(x, engine=engine, vdd=vdd) == label)
+            for x, label in zip(X, y))
+        return hits / len(y) if len(y) else 0.0
+
+
+def reference_feedback_step(perceptron: DifferentialPwmPerceptron,
+                            duties: Sequence[float], reference: int, *,
+                            learning_rate_steps: int = 1,
+                            engine: str = "behavioral",
+                            vdd: Optional[float] = None) -> bool:
+    """One on-line update exactly as drawn in paper Fig. 1.
+
+    The adder output is compared with the reference; on mismatch every
+    weight moves by an integer step in the correcting direction (the
+    hardware has no fractional weights).  Returns True when the output
+    already matched.
+    """
+    pred = perceptron.predict(duties, engine=engine, vdd=vdd)
+    err = int(reference) - pred
+    if err == 0:
+        return True
+    limit = max_weight(perceptron.config.n_bits)
+    new_weights = []
+    for w, d in zip(perceptron.weights, duties):
+        # Move weights whose input was active; integer arithmetic only.
+        step = err * learning_rate_steps if d >= 0.5 else 0
+        new_weights.append(int(np.clip(w + step, -limit, limit)))
+    new_bias = int(np.clip(perceptron.bias + err * learning_rate_steps,
+                           -limit, limit))
+    perceptron.set_weights(new_weights, new_bias)
+    return False

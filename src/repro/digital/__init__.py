@@ -1,0 +1,29 @@
+"""Digital fixed-point perceptron baseline with gate-level cost model."""
+
+from .digital_perceptron import (
+    V_LOGIC_FAIL,
+    DigitalCost,
+    DigitalPerceptron,
+    adder_tree_cost,
+    comparator_cost,
+    multiplier_cost,
+)
+from .fixed_point import (
+    dequantize_unsigned,
+    from_twos_complement,
+    quantize_unsigned,
+    quantize_vector,
+    saturating_add,
+    to_twos_complement,
+)
+from .gates import C_PER_TRANSISTOR, LIBRARY, Gate, gate, gate_delay
+from .serial_mac import SerialMacPerceptron
+
+__all__ = [
+    "DigitalPerceptron", "DigitalCost", "V_LOGIC_FAIL",
+    "multiplier_cost", "adder_tree_cost", "comparator_cost",
+    "quantize_unsigned", "dequantize_unsigned", "quantize_vector",
+    "to_twos_complement", "from_twos_complement", "saturating_add",
+    "Gate", "gate", "gate_delay", "LIBRARY", "C_PER_TRANSISTOR",
+    "SerialMacPerceptron",
+]

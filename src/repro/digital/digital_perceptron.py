@@ -1,0 +1,190 @@
+"""Conventional digital perceptron baseline.
+
+An all-digital perceptron with ``k`` inputs of ``m`` bits and ``n``-bit
+weights: array multipliers feeding an adder tree and a threshold
+comparator.  The *functional* model is exact integer arithmetic; the
+*cost* model counts gates/transistors, switching energy and critical
+path; the *failure* model captures the two ways digital logic loses to
+supply variation — timing violations below the voltage where the
+critical path no longer fits the clock period, and outright logic
+failure near threshold.
+
+This is the comparison target for the paper's "only one gate per bit per
+input" claim and for the power-elasticity experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .fixed_point import quantize_unsigned
+from .gates import C_PER_TRANSISTOR, LIBRARY, gate, gate_delay
+
+#: Supply below which static CMOS logic no longer evaluates at all
+#: (retention/logic collapse), volts.
+V_LOGIC_FAIL = 0.6
+
+
+@dataclass(frozen=True)
+class DigitalCost:
+    """Synthesis-free cost estimate of the datapath."""
+
+    gates: Dict[str, int]
+    transistors: int
+    critical_path_units: float
+
+    def energy_per_op(self, vdd: float, activity: float = 0.15) -> float:
+        """Switched energy per classification, joules."""
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        c_total = self.transistors * C_PER_TRANSISTOR
+        return activity * c_total * vdd * vdd
+
+    def critical_path_delay(self, vdd: float) -> float:
+        return self.critical_path_units * gate_delay(vdd)
+
+    def max_frequency(self, vdd: float) -> float:
+        delay = self.critical_path_delay(vdd)
+        return 0.0 if not math.isfinite(delay) or delay <= 0 else 1.0 / delay
+
+
+def multiplier_cost(m_bits: int, n_bits: int) -> Dict[str, int]:
+    """Array multiplier: ``m*n`` AND gates plus the carry-save rows."""
+    gates: Dict[str, int] = {"AND2": m_bits * n_bits}
+    if n_bits > 1:
+        gates["FULL_ADDER"] = (n_bits - 1) * m_bits
+    return gates
+
+
+def adder_tree_cost(k_inputs: int, width: int) -> Dict[str, int]:
+    """Balanced tree of ripple-carry adders summing ``k`` words."""
+    gates: Dict[str, int] = {}
+    level_width = width
+    remaining = k_inputs
+    adders = 0
+    while remaining > 1:
+        pairs = remaining // 2
+        adders += pairs * level_width
+        remaining = remaining - pairs
+        level_width += 1
+    if adders:
+        gates["FULL_ADDER"] = adders
+    return gates
+
+
+def comparator_cost(width: int) -> Dict[str, int]:
+    """Magnitude comparator as a subtractor: one FA per bit."""
+    return {"FULL_ADDER": width}
+
+
+class DigitalPerceptron:
+    """Functional + cost model of the digital baseline.
+
+    Parameters
+    ----------
+    weights:
+        Unsigned integer weights (same grid as the PWM design).
+    theta:
+        Threshold on the integer weighted sum (after input quantisation).
+    input_bits:
+        Input sample width ``m``; the PWM design's duty-cycle resolution
+        counterpart.
+    n_bits:
+        Weight width ``n``.
+    """
+
+    def __init__(self, weights: Sequence[int], theta: float, *,
+                 input_bits: int = 8, n_bits: int = 3,
+                 clock_frequency: float = 500e6):
+        if not weights:
+            raise AnalysisError("need at least one weight")
+        limit = (1 << n_bits) - 1
+        for w in weights:
+            if not 0 <= int(w) <= limit:
+                raise AnalysisError(f"weight {w} outside [0, {limit}]")
+        self.weights = [int(w) for w in weights]
+        self.theta = float(theta)
+        self.input_bits = input_bits
+        self.n_bits = n_bits
+        self.clock_frequency = clock_frequency
+
+    # -- functional model ---------------------------------------------------
+
+    def weighted_sum(self, duties: Sequence[float]) -> int:
+        """Exact integer MAC of the quantised inputs."""
+        if len(duties) != len(self.weights):
+            raise AnalysisError(
+                f"expected {len(self.weights)} inputs, got {len(duties)}")
+        codes = [quantize_unsigned(float(d), self.input_bits) for d in duties]
+        return sum(c * w for c, w in zip(codes, self.weights))
+
+    def predict(self, duties: Sequence[float], *,
+                vdd: Optional[float] = None,
+                rng: Optional[np.random.Generator] = None) -> int:
+        """Classify; below the reliable-supply window the output is
+        garbage (modelled as a coin flip) or stuck low."""
+        theta_codes = self.theta * ((1 << self.input_bits) - 1)
+        correct = int(self.weighted_sum(duties) > theta_codes)
+        if vdd is None:
+            return correct
+        if vdd < V_LOGIC_FAIL:
+            return 0  # logic collapsed; output node discharged
+        if self.cost().max_frequency(vdd) < self.clock_frequency:
+            # Timing violation: latched result is metastable garbage.
+            rng = rng or np.random.default_rng(0)
+            return int(rng.integers(0, 2))
+        return correct
+
+    def min_reliable_vdd(self) -> float:
+        """Smallest supply meeting timing at the design clock."""
+        lo, hi = V_LOGIC_FAIL, 10.0
+        if self.cost().max_frequency(hi) < self.clock_frequency:
+            return float("inf")
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.cost().max_frequency(mid) >= self.clock_frequency:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    # -- cost model --------------------------------------------------------------
+
+    def cost(self) -> DigitalCost:
+        k = len(self.weights)
+        m, n = self.input_bits, self.n_bits
+        gates: Dict[str, int] = {}
+
+        def merge(extra: Dict[str, int]) -> None:
+            for name, count in extra.items():
+                gates[name] = gates.get(name, 0) + count
+
+        for _ in range(k):
+            merge(multiplier_cost(m, n))
+        product_width = m + n
+        merge(adder_tree_cost(k, product_width))
+        sum_width = product_width + max(1, math.ceil(math.log2(max(k, 2))))
+        merge(comparator_cost(sum_width))
+        # Input/weight/output registers.
+        merge({"DFF": k * (m + n) + 1})
+
+        transistors = sum(gate(name).transistors * cnt
+                          for name, cnt in gates.items())
+        # Critical path in unit delays: multiplier carry chain, then the
+        # adder tree (each level a ripple of ~log width), then the
+        # comparator.  Full-adder stages count 2 units each.
+        multiplier_delay = 2.0 * n
+        tree_delay = 2.0 * math.ceil(math.log2(max(k, 2))) * math.log2(product_width)
+        comparator_delay = 2.0 * math.log2(sum_width)
+        critical = multiplier_delay + tree_delay + comparator_delay
+        return DigitalCost(gates=gates, transistors=transistors,
+                           critical_path_units=critical)
+
+    @property
+    def transistor_count(self) -> int:
+        return self.cost().transistors

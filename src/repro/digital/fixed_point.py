@@ -1,0 +1,54 @@
+"""Unsigned/two's-complement fixed-point helpers for the digital baseline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+
+
+def quantize_unsigned(value: float, bits: int) -> int:
+    """Quantise ``value`` in [0, 1] onto an unsigned ``bits``-wide code."""
+    if bits < 1:
+        raise AnalysisError("need at least one bit")
+    if not 0.0 <= value <= 1.0:
+        raise AnalysisError(f"value {value} outside [0, 1]")
+    top = (1 << bits) - 1
+    return int(round(value * top))
+
+
+def dequantize_unsigned(code: int, bits: int) -> float:
+    top = (1 << bits) - 1
+    if not 0 <= code <= top:
+        raise AnalysisError(f"code {code} outside [0, {top}]")
+    return code / top
+
+
+def to_twos_complement(value: int, bits: int) -> int:
+    """Encode a signed integer into a ``bits``-wide two's-complement word."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise AnalysisError(f"{value} not representable in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def from_twos_complement(word: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    if not 0 <= word <= mask:
+        raise AnalysisError(f"word {word:#x} wider than {bits} bits")
+    sign_bit = 1 << (bits - 1)
+    return (word & mask) - ((word & sign_bit) << 1)
+
+
+def saturating_add(a: int, b: int, bits: int) -> int:
+    """Signed saturating addition at ``bits`` width."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return int(np.clip(a + b, lo, hi))
+
+
+def quantize_vector(values: Sequence[float], bits: int) -> "list[int]":
+    return [quantize_unsigned(float(v), bits) for v in values]

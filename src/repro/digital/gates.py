@@ -1,0 +1,88 @@
+"""Static-CMOS gate library with transistor counts and switching energy.
+
+The paper's headline efficiency claim is architectural: one 6-transistor
+gate per weight bit versus a conventional digital multiply-accumulate
+datapath.  To make the comparison quantitative we need a gate library
+with transistor counts (area proxy), input capacitance (energy) and a
+supply-dependent delay model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuit.exceptions import AnalysisError
+
+#: Effective switched capacitance per transistor at minimum size, farads.
+#: Chosen to match the gate capacitance of the synthetic UMC65-like
+#: devices at near-minimum geometry.
+C_PER_TRANSISTOR = 0.15e-15
+
+#: Alpha-power-law delay parameters (Sakurai–Newton).
+DELAY_VT = 0.45
+DELAY_ALPHA = 1.3
+#: FO4-ish unit delay at the nominal 2.5 V supply, seconds.
+DELAY_T0 = 40e-12
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One library cell."""
+
+    name: str
+    transistors: int
+    #: Gate inputs (for capacitance accounting).
+    inputs: int
+    #: Logic depth contribution in unit delays.
+    delay_units: float = 1.0
+
+    @property
+    def input_capacitance(self) -> float:
+        """Total input capacitance, farads."""
+        return self.transistors * C_PER_TRANSISTOR
+
+    def switching_energy(self, vdd: float, activity: float = 0.5) -> float:
+        """Energy per evaluation at switching activity ``activity``."""
+        if vdd <= 0:
+            raise AnalysisError("vdd must be positive")
+        return activity * self.input_capacitance * vdd * vdd
+
+
+#: The library: transistor counts for standard static-CMOS realisations.
+LIBRARY: Dict[str, Gate] = {
+    "INV": Gate("INV", 2, 1),
+    "NAND2": Gate("NAND2", 4, 2),
+    "NOR2": Gate("NOR2", 4, 2),
+    "AND2": Gate("AND2", 6, 2),   # NAND2 + INV
+    "OR2": Gate("OR2", 6, 2),
+    "XOR2": Gate("XOR2", 12, 2),
+    "MUX2": Gate("MUX2", 12, 3),
+    "HALF_ADDER": Gate("HALF_ADDER", 14, 2, delay_units=2.0),   # XOR + AND
+    "FULL_ADDER": Gate("FULL_ADDER", 28, 3, delay_units=2.0),
+    "DFF": Gate("DFF", 24, 2, delay_units=3.0),
+}
+
+
+def gate(name: str) -> Gate:
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"no gate named {name!r}; available: {sorted(LIBRARY)}") from None
+
+
+def gate_delay(vdd: float, *, t0: float = DELAY_T0, vt: float = DELAY_VT,
+               alpha: float = DELAY_ALPHA, v_nominal: float = 2.5) -> float:
+    """Supply-dependent unit gate delay (alpha-power law).
+
+    ``t_d ∝ Vdd / (Vdd - Vt)^alpha`` normalised to ``t0`` at the nominal
+    supply.  Returns ``inf`` at or below threshold — the digital pipeline
+    simply stops, which is the failure mode the paper's introduction
+    invokes.
+    """
+    if vdd <= vt:
+        return float("inf")
+    norm = v_nominal / (v_nominal - vt) ** alpha
+    return t0 * (vdd / (vdd - vt) ** alpha) / norm

@@ -1,0 +1,124 @@
+"""Bit-serial digital MAC — the small-area digital alternative.
+
+The array-multiplier baseline in :mod:`digital_perceptron` is the fast
+digital design; a fair area comparison against the 54-transistor PWM
+adder should also include the *smallest* digital option: a bit-serial
+MAC that processes one input bit per cycle through a single adder.  It
+trades latency (``k * m`` cycles per classification) for area, which is
+exactly the axis the PWM design competes on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .digital_perceptron import V_LOGIC_FAIL, DigitalCost
+from .fixed_point import quantize_unsigned
+from .gates import gate, gate_delay
+
+
+class SerialMacPerceptron:
+    """Bit-serial perceptron: one adder, shift registers, a comparator.
+
+    Functionally identical to the parallel design (exact integer MAC);
+    the cost and latency models differ.
+    """
+
+    def __init__(self, weights: Sequence[int], theta: float, *,
+                 input_bits: int = 8, n_bits: int = 3,
+                 clock_frequency: float = 500e6):
+        if not weights:
+            raise AnalysisError("need at least one weight")
+        limit = (1 << n_bits) - 1
+        for w in weights:
+            if not 0 <= int(w) <= limit:
+                raise AnalysisError(f"weight {w} outside [0, {limit}]")
+        self.weights = [int(w) for w in weights]
+        self.theta = float(theta)
+        self.input_bits = input_bits
+        self.n_bits = n_bits
+        self.clock_frequency = clock_frequency
+
+    # -- functional -------------------------------------------------------
+
+    def weighted_sum(self, duties: Sequence[float]) -> int:
+        if len(duties) != len(self.weights):
+            raise AnalysisError(
+                f"expected {len(self.weights)} inputs, got {len(duties)}")
+        codes = [quantize_unsigned(float(d), self.input_bits)
+                 for d in duties]
+        # Bit-serial shift-and-add, LSB first — bit-exact equivalent of
+        # the parallel product.
+        total = 0
+        for code, weight in zip(codes, self.weights):
+            acc = 0
+            for bit_pos in range(self.input_bits):
+                if (code >> bit_pos) & 1:
+                    acc += weight << bit_pos
+            total += acc
+        return total
+
+    def predict(self, duties: Sequence[float], *,
+                vdd: Optional[float] = None,
+                rng: Optional[np.random.Generator] = None) -> int:
+        theta_codes = self.theta * ((1 << self.input_bits) - 1)
+        correct = int(self.weighted_sum(duties) > theta_codes)
+        if vdd is None:
+            return correct
+        if vdd < V_LOGIC_FAIL:
+            return 0
+        if self.cost().max_frequency(vdd) < self.clock_frequency:
+            rng = rng or np.random.default_rng(0)
+            return int(rng.integers(0, 2))
+        return correct
+
+    # -- cost -----------------------------------------------------------------
+
+    def cost(self) -> DigitalCost:
+        k = len(self.weights)
+        m, n = self.input_bits, self.n_bits
+        acc_width = m + n + max(1, math.ceil(math.log2(max(k, 2))))
+        gates: Dict[str, int] = {
+            # One accumulator-width adder, shared across all inputs.
+            "FULL_ADDER": acc_width,
+            # Input shift registers + weight register + accumulator.
+            "DFF": k * m + k * n + acc_width,
+            # Bit-gating of the weight into the adder.
+            "AND2": n,
+            # Control counter (~log2(k*m) bits).
+            "MUX2": acc_width,
+        }
+        gates["DFF"] += math.ceil(math.log2(max(k * m, 2)))  # sequencer
+        transistors = sum(gate(name).transistors * cnt
+                          for name, cnt in gates.items())
+        # Critical path per cycle: adder ripple + mux.
+        critical = 2.0 * math.log2(acc_width) + 1.0
+        return DigitalCost(gates=gates, transistors=transistors,
+                           critical_path_units=critical)
+
+    @property
+    def transistor_count(self) -> int:
+        return self.cost().transistors
+
+    def cycles_per_classification(self) -> int:
+        """Bit-serial latency: every input bit takes a cycle."""
+        return len(self.weights) * self.input_bits
+
+    def latency(self, vdd: float) -> float:
+        """Seconds per classification at the fastest safe clock."""
+        delay = self.cost().critical_path_delay(vdd)
+        if not math.isfinite(delay):
+            return float("inf")
+        period = max(delay, 1.0 / self.clock_frequency)
+        return self.cycles_per_classification() * period
+
+    def energy_per_classification(self, vdd: float,
+                                  activity: float = 0.15) -> float:
+        """Switched energy: per-cycle energy times the cycle count."""
+        per_cycle = self.cost().energy_per_op(vdd, activity)
+        return per_cycle * self.cycles_per_classification()

@@ -1,0 +1,15 @@
+"""One module per paper table/figure, plus extension experiments.
+
+Use the registry::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("table2", fidelity="paper").render())
+"""
+
+from .base import FIDELITIES, ExperimentResult, check_fidelity
+from .registry import PAPER_ARTEFACTS, REGISTRY, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult", "FIDELITIES", "check_fidelity",
+    "REGISTRY", "PAPER_ARTEFACTS", "run_experiment", "run_all",
+]

@@ -1,0 +1,66 @@
+"""Experiment result container and shared fidelity handling.
+
+Every experiment module exposes ``run(fidelity=...) -> ExperimentResult``.
+
+* ``fidelity="fast"`` — coarse grids and/or the RC engine; used by unit
+  tests and smoke runs (seconds).
+* ``fidelity="paper"`` — the grids and transistor-level engine used to
+  regenerate the paper's artefacts; used by the benchmarks (minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..circuit.exceptions import AnalysisError
+from ..reporting.figures import FigureData
+from ..reporting.tables import Table
+
+FIDELITIES = ("fast", "paper")
+
+
+def check_fidelity(fidelity: str) -> str:
+    if fidelity not in FIDELITIES:
+        raise AnalysisError(
+            f"unknown fidelity {fidelity!r}; choose from {FIDELITIES}")
+    return fidelity
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced, ready for printing/export."""
+
+    experiment_id: str
+    title: str
+    fidelity: str
+    table: Optional[Table] = None
+    extra_tables: List[Table] = field(default_factory=list)
+    figures: List[FigureData] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, *, charts: bool = True) -> str:
+        """Human-readable report."""
+        parts = [f"=== {self.experiment_id}: {self.title} "
+                 f"[{self.fidelity}] ==="]
+        if self.table is not None:
+            parts.append(self.table.render())
+        for extra in self.extra_tables:
+            parts.append(extra.render())
+        for figure in self.figures:
+            parts.append(figure.as_table().render())
+            if charts:
+                parts.append(figure.render_ascii())
+        if self.metrics:
+            parts.append("metrics:")
+            parts.extend(f"  {k} = {v}" for k, v in sorted(self.metrics.items()))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def figure(self, figure_id: str) -> FigureData:
+        for f in self.figures:
+            if f.figure_id == figure_id:
+                return f
+        raise AnalysisError(f"no figure {figure_id!r} in {self.experiment_id}")

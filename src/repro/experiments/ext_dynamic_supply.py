@@ -1,0 +1,97 @@
+"""Extension — elasticity *during* a supply transient.
+
+Figs. 6/7 sweep the supply statically.  The harvester scenario is
+dynamic: the rail moves while the circuit computes.  This experiment
+runs a single transistor-level transient of the Fig. 2 cell while the
+supply ramps from 2.5 V to 1.25 V, with the PWM driver *referenced to
+the same rail* (its amplitude tracks the droop, as a driver powered from
+that rail would).  The windowed ratio ``avg(Vout)/avg(Vdd)`` must stay
+at ``1 - duty`` throughout the 2x droop.
+
+The cell keeps Table I's 100 kΩ (Rout-dominance is what linearises the
+ratio) but uses a 0.1 pF capacitor, moving the averaging pole to
+tau = 10 ns so the output can track a ramp that fits in an affordable
+transient; the windows average away the larger ripple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.elements.passives import Capacitor
+from ..circuit.netlist import Circuit
+from ..circuit.transient import transient
+from ..core.cells import CellDesign, transcoding_inverter_subckt
+from ..reporting.figures import FigureData
+from ..signals.pwm import rail_referenced_pwm
+from ..signals.supply import ramp
+from .base import ExperimentResult, check_fidelity
+
+EXPERIMENT_ID = "ext_dynamic_supply"
+TITLE = "Ratiometric output during a live supply ramp (2.5 V -> 1.25 V)"
+
+DUTY = 0.5
+FREQUENCY = 500e6
+ROUT = 100e3
+COUT = 0.1e-12
+
+
+def _build(t_ramp: float) -> Circuit:
+    from dataclasses import replace
+
+    supply = ramp(2.5, 1.25, t_ramp)
+    c = Circuit("dynamic_supply_cell")
+    c.add(supply.to_source("VDD", "vdd"))
+    c.add(rail_referenced_pwm("VIN", "in", supply, frequency=FREQUENCY,
+                              duty=DUTY))
+    design = replace(CellDesign(), rout=ROUT)
+    c.instantiate(transcoding_inverter_subckt(design), "X1",
+                  {"in": "in", "out": "out", "vdd": "vdd"})
+    c.add(Capacitor("COUT", "out", "0", COUT))
+    return c
+
+
+def run(fidelity: str = "fast") -> ExperimentResult:
+    check_fidelity(fidelity)
+    n_windows = 24 if fidelity == "paper" else 14
+    periods_per_window = 10 if fidelity == "paper" else 8
+    period = 1.0 / FREQUENCY
+    t_ramp = n_windows * periods_per_window * period
+    circuit = _build(t_ramp)
+    dt = period / (60 if fidelity == "paper" else 40)
+    result_tr = transient(circuit, t_ramp, dt,
+                          ic={"out": 2.5 * (1 - DUTY)}, uic=True)
+
+    out = result_tr.node("out")
+    vdd_wave = result_tr.node("vdd")
+    window = t_ramp / n_windows
+    times, ratios, rails = [], [], []
+    # Skip the first two windows (initial-condition settling, ~2 tau).
+    for k in range(2, n_windows):
+        t0, t1 = k * window, (k + 1) * window
+        v_out = out.slice(t0, t1).average()
+        v_dd = vdd_wave.slice(t0, t1).average()
+        times.append((t0 + t1) / 2 * 1e9)
+        ratios.append(v_out / v_dd)
+        rails.append(v_dd)
+
+    figure = FigureData(EXPERIMENT_ID, TITLE, "time (ns)", "ratio / volts")
+    figure.add_series("Vout/Vdd (windowed)", times, ratios)
+    figure.add_series("Vdd (V)", times, rails)
+    spread = float(np.ptp(ratios))
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, fidelity=fidelity,
+        figures=[figure],
+        metrics={"ratio_spread": spread,
+                 "ratio_mean": float(np.mean(ratios)),
+                 "ratio_worst_dev": float(np.max(np.abs(
+                     np.asarray(ratios) - (1 - DUTY)))),
+                 "rail_droop_ratio": rails[0] / rails[-1]})
+    result.notes.append(
+        f"While the rail droops {rails[0] / rails[-1]:.2f}x *during* "
+        f"operation, the windowed Vout/Vdd stays within {spread:.3f} "
+        f"peak-to-peak of its mean {np.mean(ratios):.3f} (ideal "
+        f"1-duty = {1 - DUTY:.2f}); the residual tilt is the averaging "
+        "pole lagging the moving rail by ~tau. Elasticity holds "
+        "dynamically, not just across static operating points.")
+    return result

@@ -1,0 +1,79 @@
+"""Extension — energy per classification: PWM adder vs digital MAC.
+
+The paper argues its gate-per-bit structure "significantly reduces the
+logic utilization and, thereafter, the power consumption".  Power alone
+is not comparable across designs with different evaluation times, so
+this experiment compares *energy per classification*:
+
+* PWM adder: supply power (RC engine, static + the transistor engine's
+  measured total at nominal) times the evaluation window (the averaging
+  node's settling time, ~5 RC time constants);
+* digital MAC: switched-capacitance energy model per operation at the
+  clock rate that meets timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.weighted_adder import AdderConfig, WeightedAdder
+from ..digital.digital_perceptron import DigitalPerceptron
+from ..reporting.tables import Table
+from .base import ExperimentResult, check_fidelity
+
+EXPERIMENT_ID = "ext_energy"
+TITLE = "Energy per classification: PWM adder vs digital MAC"
+
+WORKLOAD_DUTIES = (0.70, 0.80, 0.90)
+WORKLOAD_WEIGHTS = (7, 7, 7)
+
+
+def run(fidelity: str = "fast") -> ExperimentResult:
+    check_fidelity(fidelity)
+    adder = WeightedAdder(AdderConfig())
+    vdd_points = (1.0, 1.5, 2.5, 3.5) if fidelity == "fast" \
+        else tuple(np.arange(1.0, 4.01, 0.5))
+
+    table = Table(["Vdd (V)", "PWM settle (ns)", "PWM energy (pJ)",
+                   "digital energy (pJ)", "digital min Vdd ok?"],
+                  title="Energy per classification")
+    digital = DigitalPerceptron(list(WORKLOAD_WEIGHTS), theta=10.0,
+                                input_bits=8, n_bits=3,
+                                clock_frequency=500e6)
+    v_min_digital = digital.min_reliable_vdd()
+    metrics = {"digital_min_reliable_vdd": v_min_digital}
+    for vdd in vdd_points:
+        rc = adder.evaluate(WORKLOAD_DUTIES, WORKLOAD_WEIGHTS,
+                            engine="rc", vdd=float(vdd))
+        legs = adder.rc_legs(WORKLOAD_DUTIES, WORKLOAD_WEIGHTS,
+                             vdd=float(vdd))
+        # Evaluation window: 5x the summing node's worst-case time
+        # constant (conservatively using each leg's weaker drive).
+        g_min_total = sum(1.0 / max(leg.r_up, leg.r_down) for leg in legs)
+        settle = 5.0 * adder.config.cout / g_min_total
+        pwm_energy = rc.power * settle
+        digital_energy = digital.cost().energy_per_op(float(vdd))
+        table.add_row(float(vdd), settle * 1e9, pwm_energy * 1e12,
+                      digital_energy * 1e12,
+                      bool(vdd >= v_min_digital))
+        metrics[f"pwm_pJ[{vdd:.1f}V]"] = pwm_energy * 1e12
+        metrics[f"digital_pJ[{vdd:.1f}V]"] = digital_energy * 1e12
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, fidelity=fidelity,
+        table=table, metrics=metrics)
+    result.notes.append(
+        "PWM energy = static supply power x a 5-tau settling window "
+        "(RC engine; the transistor engine adds the dynamic gate power "
+        "measured in fig8). Digital energy = switched-capacitance model "
+        "at the same function.")
+    result.notes.append(
+        "Honest finding: per classification the static divider makes "
+        "the PWM adder cost ~2 orders of magnitude MORE energy than the "
+        "digital MAC at these parameters — its wins are area (54 vs "
+        "thousands of transistors) and elasticity: below "
+        f"{v_min_digital:.2f} V the digital datapath produces garbage "
+        "at any energy, while the PWM design keeps computing. The "
+        "paper's 'reduces power' claim holds for logic power, not for "
+        "energy per operation with a 100 kOhm/10 pF averaging node.")
+    return result

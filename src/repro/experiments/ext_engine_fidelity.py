@@ -1,0 +1,63 @@
+"""Extension — cross-validation of the three adder engines.
+
+DESIGN.md's fidelity ladder is only trustworthy if the engines agree
+where they must.  This experiment runs an operand grid through the
+behavioural, RC switch-level and transistor-level engines, reports the
+pairwise deviations, and fits the calibration polynomial that closes the
+behavioural→transistor gap.
+"""
+
+from __future__ import annotations
+
+from ..analysis.calibrate import calibrate_adder, calibration_grid
+from ..core.weighted_adder import AdderConfig, WeightedAdder
+from ..reporting.tables import Table
+from .base import ExperimentResult, check_fidelity
+
+EXPERIMENT_ID = "ext_engine_fidelity"
+TITLE = "Engine cross-validation: behavioral vs RC vs transistor level"
+
+
+def run(fidelity: str = "fast", seed: int = 0) -> ExperimentResult:
+    check_fidelity(fidelity)
+    adder = WeightedAdder(AdderConfig())
+    n_random = 10 if fidelity == "paper" else 4
+    steps = 120 if fidelity == "paper" else 70
+
+    table = Table(["duties", "weights", "behavioral", "rc", "spice",
+                   "|rc-beh| (mV)", "|spice-beh| (mV)"],
+                  title="Engine agreement on an operand grid")
+    worst_rc = 0.0
+    worst_spice = 0.0
+    for duties, weights in calibration_grid(adder, seed=seed,
+                                            n_random=n_random):
+        beh = adder.evaluate(duties, weights, engine="behavioral").value
+        rc = adder.evaluate(duties, weights, engine="rc").value
+        spice = adder.evaluate(duties, weights, engine="spice",
+                               steps_per_period=steps).value
+        table.add_row(
+            "/".join(f"{d:.2f}" for d in duties),
+            "/".join(str(w) for w in weights),
+            beh, rc, spice, abs(rc - beh) * 1e3, abs(spice - beh) * 1e3)
+        worst_rc = max(worst_rc, abs(rc - beh))
+        worst_spice = max(worst_spice, abs(spice - beh))
+
+    model, residual = calibrate_adder(adder, engine="spice", seed=seed,
+                                      n_random=n_random,
+                                      steps_per_period=steps)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, fidelity=fidelity,
+        table=table,
+        metrics={
+            "worst_rc_vs_behavioral_V": worst_rc,
+            "worst_spice_vs_behavioral_V": worst_spice,
+            "calibration_coefficients": tuple(
+                round(c, 5) for c in model.coefficients),
+            "calibrated_rms_residual_V": residual,
+        })
+    result.notes.append(
+        "RC tracks Eq. 2 to ~10 mV (its deviation is the PMOS/NMOS "
+        "on-resistance asymmetry); the transistor engine adds gate "
+        "timing effects worth up to ~0.1 V, which the fitted "
+        "calibration polynomial absorbs to a few mV RMS.")
+    return result

@@ -1,0 +1,89 @@
+"""Extension — classification accuracy under supply variation.
+
+The paper's introduction argues that digital and amplitude-coded analog
+perceptrons fail under supply variation while the PWM design keeps
+computing.  This experiment trains one weight vector and evaluates it on
+three implementations across a ``Vdd`` sweep:
+
+* PWM differential perceptron, RC switch-level engine (ratiometric);
+* digital fixed-point MAC, clocked at the design frequency (fails to
+  meet timing as the supply droops, collapses near threshold);
+* current-mode amplitude-coded analog (decision boundary drifts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analog_baseline.current_mode import CurrentModePerceptron
+from ..analysis.datasets import make_blobs
+from ..analysis.robustness import accuracy_under_supply
+from ..core.perceptron import DifferentialPwmPerceptron
+from ..core.training import PerceptronTrainer
+from ..digital.digital_perceptron import DigitalPerceptron
+from ..reporting.figures import FigureData
+from .base import ExperimentResult, check_fidelity
+
+EXPERIMENT_ID = "ext_robustness"
+TITLE = "Classification accuracy vs supply voltage (PWM vs baselines)"
+
+PAPER_VDD = tuple(np.arange(0.75, 4.01, 0.25))
+FAST_VDD = (0.8, 1.0, 1.5, 2.5, 3.5)
+
+
+def run(fidelity: str = "fast",
+        vdd_values: Optional[Sequence[float]] = None,
+        seed: int = 7) -> ExperimentResult:
+    check_fidelity(fidelity)
+    if vdd_values is None:
+        vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
+    n = 40 if fidelity == "paper" else 16
+    data = make_blobs(n_per_class=n, n_features=2, separation=0.35,
+                      spread=0.09, seed=seed)
+
+    trainer = PerceptronTrainer(2, seed=seed)
+    trained = trainer.fit(data.X, data.y, epochs=60)
+    pwm = trained.perceptron
+    engine = "rc" if fidelity == "paper" else "behavioral"
+
+    # Digital twin: same decision boundary on the unsigned grid.
+    # w.x + b > 0 with signed w is expressed for the digital baseline as
+    # dot(w_pos, x) > dot(w_neg, x) - b; for the simple blobs problem the
+    # trained weights are positive with a negative bias, so theta maps
+    # directly.
+    w_pos = [max(w, 0) for w in pwm.weights]
+    theta = max(-pwm.bias, 0)
+    digital = DigitalPerceptron(w_pos, theta=float(theta), input_bits=8,
+                                n_bits=3, clock_frequency=500e6)
+    analog = CurrentModePerceptron([float(max(w, 0)) for w in pwm.weights],
+                                   theta=float(theta))
+
+    figure = FigureData(EXPERIMENT_ID, TITLE, "Vdd (V)", "Accuracy")
+    rng = np.random.default_rng(seed)
+    curves = {
+        "PWM (this work)": lambda x, v: pwm.predict(x, engine=engine, vdd=v),
+        "digital MAC @500MHz": lambda x, v: digital.predict(x, vdd=v, rng=rng),
+        "current-mode analog": lambda x, v: analog.predict(x, vdd=v),
+    }
+    metrics = {}
+    for name, predict in curves.items():
+        points = accuracy_under_supply(predict, data.X, data.y, vdd_values)
+        figure.add_series(name, [p.condition for p in points],
+                          [p.accuracy for p in points])
+        metrics[f"min_accuracy[{name}]"] = min(p.accuracy for p in points)
+        metrics[f"accuracy_at_1V[{name}]"] = next(
+            (p.accuracy for p in points if abs(p.condition - 1.0) < 0.13),
+            float("nan"))
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, fidelity=fidelity,
+        figures=[figure], metrics=metrics)
+    result.notes.append(
+        "Expected shape: the PWM curve stays at its nominal accuracy "
+        "across the sweep (ratiometric decision); the digital MAC "
+        "collapses below its timing-closure supply; the amplitude-coded "
+        "analog degrades as its decision boundary drifts away from the "
+        "fixed reference.")
+    return result

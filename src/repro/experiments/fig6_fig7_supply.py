@@ -1,0 +1,103 @@
+"""Figs. 6 & 7 — supply-voltage sweep of the inverter cell.
+
+One sweep feeds both artefacts:
+
+* Fig. 6 plots the absolute output voltage versus ``Vdd`` (0.5–5 V) for
+  duty cycles 25/50/75 % — it grows roughly linearly, so the absolute
+  value carries no reliable information under an unstable supply;
+* Fig. 7 plots ``Vout / Vdd`` — the ratiometric readout, flat above
+  roughly 1–1.5 V.  That flatness *is* the power-elasticity result.
+
+The input amplitude tracks the supply (the PWM driver runs from the same
+rail), as in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.elasticity import ratiometric_report
+from ..reporting.figures import FigureData
+from .base import ExperimentResult, check_fidelity
+from .fig4_dc_transfer import measure_cell
+
+DUTIES = (0.25, 0.50, 0.75)
+
+PAPER_VDD = tuple(np.arange(0.5, 5.01, 0.5))
+FAST_VDD = (1.0, 2.5, 4.0)
+
+FREQUENCY = 500e6
+
+
+def _sweep(fidelity: str,
+           vdd_values: Optional[Sequence[float]]) -> "dict[float, list]":
+    if vdd_values is None:
+        vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
+    steps = 150 if fidelity == "paper" else 80
+    data = {}
+    for duty in DUTIES:
+        data[duty] = [
+            (float(vdd), measure_cell(duty, 100e3, vdd=float(vdd),
+                                      frequency=FREQUENCY,
+                                      steps_per_period=steps))
+            for vdd in vdd_values
+        ]
+    return data
+
+
+def run_fig6(fidelity: str = "fast",
+             vdd_values: Optional[Sequence[float]] = None) -> ExperimentResult:
+    check_fidelity(fidelity)
+    data = _sweep(fidelity, vdd_values)
+    figure = FigureData("fig6", "Vout (absolute) vs supply voltage",
+                        "Vdd (V)", "Vout (V)")
+    metrics = {}
+    for duty, points in data.items():
+        vdd = [p[0] for p in points]
+        vout = [p[1] for p in points]
+        figure.add_series(f"DC={int(duty * 100)}%", vdd, vout)
+        slope = np.polyfit(vdd, vout, 1)[0]
+        metrics[f"slope[DC={int(duty * 100)}%]"] = float(slope)
+    result = ExperimentResult(
+        experiment_id="fig6", title="Output voltage vs power supply",
+        fidelity=fidelity, figures=[figure], metrics=metrics)
+    result.notes.append(
+        "Paper claim: Vout grows almost linearly with Vdd and higher "
+        "duty cycles sit lower — the absolute value is not a reliable "
+        "readout under supply variation.")
+    return result
+
+
+def run_fig7(fidelity: str = "fast",
+             vdd_values: Optional[Sequence[float]] = None) -> ExperimentResult:
+    check_fidelity(fidelity)
+    data = _sweep(fidelity, vdd_values)
+    figure = FigureData("fig7", "Vout/Vdd (ratiometric) vs supply voltage",
+                        "Vdd (V)", "Vout/Vdd")
+    metrics = {}
+    for duty, points in data.items():
+        vdd = [p[0] for p in points]
+        vout = [p[1] for p in points]
+        figure.add_series(f"DC={int(duty * 100)}%", vdd,
+                          [v / s for v, s in zip(vout, vdd)])
+        if len(vdd) >= 2:
+            report = ratiometric_report(vdd, vout, tolerance=0.05)
+            metrics[f"usable_from[DC={int(duty * 100)}%]"] = report.usable_from
+            metrics[f"spread[DC={int(duty * 100)}%]"] = report.spread_in_window
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Output voltage relative to the power supply",
+        fidelity=fidelity, figures=[figure], metrics=metrics)
+    result.notes.append(
+        "Paper claim: starting from 1-1.5V the Vout/Vdd relationship "
+        "stays the same for each duty cycle — the power-elasticity "
+        "signature. 'usable_from' reports where the ratio enters its "
+        "5% tolerance band.")
+    return result
+
+
+def run(fidelity: str = "fast") -> ExperimentResult:
+    """Default entry point: Fig. 7 (the headline result)."""
+    return run_fig7(fidelity)

@@ -1,0 +1,84 @@
+"""Experiment registry: every paper artefact and extension by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..circuit.exceptions import AnalysisError
+from . import (
+    ext_ablation,
+    ext_ac,
+    ext_dynamic_supply,
+    ext_energy,
+    ext_engine_fidelity,
+    ext_full_system,
+    ext_kessels,
+    ext_montecarlo,
+    ext_multifreq,
+    ext_noise,
+    ext_robustness,
+    ext_scaling,
+    ext_sensitivity,
+    ext_transistor_count,
+    ext_yield,
+    fig4_dc_transfer,
+    fig5_frequency,
+    fig6_fig7_supply,
+    fig8_power,
+    table1_parameters,
+    table2_adder,
+)
+from .base import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+#: id -> (title, runner)
+REGISTRY: "Dict[str, tuple[str, Runner]]" = {
+    "table1": (table1_parameters.TITLE, table1_parameters.run),
+    "fig4": (fig4_dc_transfer.TITLE, fig4_dc_transfer.run),
+    "fig5": (fig5_frequency.TITLE, fig5_frequency.run),
+    "fig6": ("Output voltage vs power supply", fig6_fig7_supply.run_fig6),
+    "fig7": ("Output voltage relative to the power supply",
+             fig6_fig7_supply.run_fig7),
+    "table2": (table2_adder.TITLE, table2_adder.run),
+    "fig8": (fig8_power.TITLE, fig8_power.run),
+    "ext_transistor_count": (ext_transistor_count.TITLE,
+                             ext_transistor_count.run),
+    "ext_robustness": (ext_robustness.TITLE, ext_robustness.run),
+    "ext_montecarlo": (ext_montecarlo.TITLE, ext_montecarlo.run),
+    "ext_ablation": (ext_ablation.TITLE, ext_ablation.run),
+    "ext_engine_fidelity": (ext_engine_fidelity.TITLE,
+                            ext_engine_fidelity.run),
+    "ext_kessels": (ext_kessels.TITLE, ext_kessels.run),
+    "ext_noise": (ext_noise.TITLE, ext_noise.run),
+    "ext_energy": (ext_energy.TITLE, ext_energy.run),
+    "ext_sensitivity": (ext_sensitivity.TITLE, ext_sensitivity.run),
+    "ext_full_system": (ext_full_system.TITLE, ext_full_system.run),
+    "ext_multifreq": (ext_multifreq.TITLE, ext_multifreq.run),
+    "ext_dynamic_supply": (ext_dynamic_supply.TITLE,
+                           ext_dynamic_supply.run),
+    "ext_scaling": (ext_scaling.TITLE, ext_scaling.run),
+    "ext_ac": (ext_ac.TITLE, ext_ac.run),
+    "ext_yield": (ext_yield.TITLE, ext_yield.run),
+}
+
+#: Artefacts that appear in the paper itself (vs extensions).
+PAPER_ARTEFACTS = ("table1", "fig4", "fig5", "fig6", "fig7", "table2",
+                   "fig8")
+
+
+def run_experiment(experiment_id: str, fidelity: str = "fast",
+                   **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        _title, runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(REGISTRY)}") from None
+    return runner(fidelity=fidelity, **kwargs)
+
+
+def run_all(fidelity: str = "fast") -> "Dict[str, ExperimentResult]":
+    """Run every registered experiment (used by the reproduction CLI)."""
+    return {eid: run_experiment(eid, fidelity) for eid in REGISTRY}

@@ -1,0 +1,22 @@
+"""Tables, terminal charts and CSV/JSON export."""
+
+from .export import (
+    figure_to_csv,
+    figure_to_json,
+    load_figure_json,
+    table_to_csv,
+)
+from .figures import FigureData, Series
+from .report import (
+    build_markdown_report,
+    experiment_to_markdown,
+    write_markdown_report,
+)
+from .tables import Table
+
+__all__ = [
+    "Table", "FigureData", "Series",
+    "table_to_csv", "figure_to_csv", "figure_to_json", "load_figure_json",
+    "build_markdown_report", "write_markdown_report",
+    "experiment_to_markdown",
+]

@@ -1,0 +1,61 @@
+"""CSV/JSON export of experiment artefacts."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from ..circuit.exceptions import AnalysisError
+from .figures import FigureData
+from .tables import Table
+
+PathLike = Union[str, Path]
+
+
+def table_to_csv(table: Table, path: PathLike) -> Path:
+    """Write a table as CSV; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.headers)
+        writer.writerows(table.rows)
+    return target
+
+
+def figure_to_csv(figure: FigureData, path: PathLike) -> Path:
+    """Write a figure's series as CSV columns (x grids unioned)."""
+    return table_to_csv(figure.as_table(), path)
+
+
+def figure_to_json(figure: FigureData, path: PathLike) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "log_x": figure.log_x,
+        "series": [
+            {"name": s.name, "x": s.x, "y": s.y} for s in figure.series
+        ],
+    }
+    target.write_text(json.dumps(payload, indent=2))
+    return target
+
+
+def load_figure_json(path: PathLike) -> FigureData:
+    data = json.loads(Path(path).read_text())
+    try:
+        figure = FigureData(
+            figure_id=data["figure_id"], title=data["title"],
+            x_label=data["x_label"], y_label=data["y_label"],
+            log_x=data.get("log_x", False))
+        for s in data["series"]:
+            figure.add_series(s["name"], s["x"], s["y"])
+    except KeyError as exc:
+        raise AnalysisError(f"malformed figure JSON: missing {exc}") from None
+    return figure

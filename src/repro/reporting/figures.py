@@ -1,0 +1,112 @@
+"""Series containers and terminal line charts.
+
+A paper *figure* becomes a :class:`FigureData`: named series over a
+shared x axis, renderable as an ASCII chart (for terminals) or as a
+column table (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .tables import Table
+
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass
+class Series:
+    """One named curve."""
+
+    name: str
+    x: "list[float]"
+    y: "list[float]"
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise AnalysisError(
+                f"series {self.name!r}: x and y lengths differ")
+        if not self.x:
+            raise AnalysisError(f"series {self.name!r} is empty")
+
+
+@dataclass
+class FigureData:
+    """A figure: axis labels plus one or more series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    log_x: bool = False
+
+    def add_series(self, name: str, x: Sequence[float],
+                   y: Sequence[float]) -> None:
+        self.series.append(Series(name, [float(v) for v in x],
+                                  [float(v) for v in y]))
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise AnalysisError(f"no series named {name!r} in {self.figure_id}")
+
+    # -- rendering ----------------------------------------------------------
+
+    def as_table(self, float_format: str = ".4f") -> Table:
+        """Column view: x plus one column per series (x grids may differ;
+        missing points are blank)."""
+        xs = sorted({x for s in self.series for x in s.x})
+        table = Table([self.x_label] + [s.name for s in self.series],
+                      title=f"{self.figure_id}: {self.title}",
+                      float_format=float_format)
+        lookup: "list[Dict[float, float]]" = [
+            dict(zip(s.x, s.y)) for s in self.series
+        ]
+        for x in xs:
+            row = [x] + [
+                lk.get(x, "") for lk in lookup
+            ]
+            table.add_row(*row)
+        return table
+
+    def render_ascii(self, width: int = 72, height: int = 20) -> str:
+        """Terminal line chart with one marker per series."""
+        if not self.series:
+            raise AnalysisError("figure has no series")
+        all_x = np.concatenate([np.asarray(s.x, float) for s in self.series])
+        all_y = np.concatenate([np.asarray(s.y, float) for s in self.series])
+        x_plot = np.log10(all_x) if self.log_x else all_x
+        x_min, x_max = float(x_plot.min()), float(x_plot.max())
+        y_min, y_max = float(all_y.min()), float(all_y.max())
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for si, s in enumerate(self.series):
+            marker = _MARKERS[si % len(_MARKERS)]
+            sx = np.asarray(s.x, float)
+            sx = np.log10(sx) if self.log_x else sx
+            sy = np.asarray(s.y, float)
+            cols = np.clip(((sx - x_min) / (x_max - x_min) * (width - 1))
+                           .round().astype(int), 0, width - 1)
+            rows = np.clip(((y_max - sy) / (y_max - y_min) * (height - 1))
+                           .round().astype(int), 0, height - 1)
+            for r, c in zip(rows, cols):
+                grid[r][c] = marker
+        lines = [f"{self.figure_id}: {self.title}"]
+        lines.append(f"{self.y_label}  [{y_min:.3g} .. {y_max:.3g}]")
+        lines.extend("|" + "".join(row) for row in grid)
+        lines.append("+" + "-" * width)
+        x_desc = f"log10({self.x_label})" if self.log_x else self.x_label
+        lines.append(f" {x_desc}  [{all_x.min():.3g} .. {all_x.max():.3g}]")
+        legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={s.name}"
+                           for i, s in enumerate(self.series))
+        lines.append(" " + legend)
+        return "\n".join(lines)

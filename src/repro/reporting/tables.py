@@ -1,0 +1,72 @@
+"""ASCII/markdown table rendering for experiment output.
+
+Every experiment prints the same rows the paper reports; these helpers
+keep that output readable in a terminal and pasteable into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..circuit.exceptions import AnalysisError
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+class Table:
+    """A simple rectangular table with fixed headers."""
+
+    def __init__(self, headers: Sequence[str], *, title: str = "",
+                 float_format: str = ".3f"):
+        if not headers:
+            raise AnalysisError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.float_format = float_format
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise AnalysisError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append([_format_cell(v, self.float_format) for v in values])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(sep)
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def markdown(self) -> str:
+        head = "| " + " | ".join(self.headers) + " |"
+        sep = "|" + "|".join(" --- " for _ in self.headers) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        parts = []
+        if self.title:
+            parts.append(f"**{self.title}**")
+            parts.append("")
+        parts.extend([head, sep, *body])
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

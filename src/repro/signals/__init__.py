@@ -1,0 +1,30 @@
+"""Stimulus generation: PWM specs, supply profiles, generators, noise."""
+
+from .kessels import CounterConfig, KesselsPwmGenerator, elastic_clock
+from .noise import NoiseSpec, PwmNoiseSampler
+from .pwm import (
+    PwmSpec,
+    decode_duty,
+    encode_duty,
+    encode_features,
+    quantize_duty,
+    rail_referenced_pwm,
+)
+from .supply import (
+    HarvesterModel,
+    SupplyProfile,
+    brownout,
+    constant,
+    ramp,
+    sine_ripple,
+    solar_flicker,
+)
+
+__all__ = [
+    "PwmSpec", "encode_duty", "decode_duty", "quantize_duty",
+    "encode_features", "rail_referenced_pwm",
+    "SupplyProfile", "constant", "ramp", "sine_ripple", "brownout",
+    "HarvesterModel", "solar_flicker",
+    "KesselsPwmGenerator", "CounterConfig", "elastic_clock",
+    "NoiseSpec", "PwmNoiseSampler",
+]

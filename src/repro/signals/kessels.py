@@ -1,0 +1,161 @@
+"""Behavioural loadable modulo-N counter PWM generator.
+
+The paper closes by noting its perceptron "would nicely complement a
+power-elastic PWM signal generator based on a self-timed loadable modulo
+N counter" (their reference [8], the loadable Kessels counter).  This
+module provides that companion block at the behavioural level: a
+cycle-accurate modulo-N counter that raises its output while the count
+is below the loaded code, producing ``duty = code / modulus`` — even when
+the clock period wobbles cycle by cycle, as a self-timed implementation
+powered by a harvester would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from ..circuit.waveform import Waveform
+from .pwm import PwmSpec
+
+
+@dataclass(frozen=True)
+class CounterConfig:
+    """Modulo-``modulus`` counter with an n-bit loadable compare code."""
+
+    modulus: int = 16
+    v_high: float = 2.5
+    v_low: float = 0.0
+
+    def __post_init__(self):
+        if self.modulus < 2:
+            raise AnalysisError("counter modulus must be at least 2")
+
+
+class KesselsPwmGenerator:
+    """Cycle-accurate behavioural model of the loadable counter generator.
+
+    Parameters
+    ----------
+    config:
+        Counter modulus and output levels.
+    clock_period:
+        Either a constant period (seconds) or a callable
+        ``period(cycle_index) -> seconds`` modelling a self-timed clock
+        whose speed tracks the supply.
+    """
+
+    def __init__(self, config: CounterConfig = CounterConfig(),
+                 clock_period: "float | Callable[[int], float]" = 1e-9):
+        self.config = config
+        self._period_fn = (
+            clock_period if callable(clock_period)
+            else (lambda _cycle, p=float(clock_period): p)
+        )
+        self._code = 0
+
+    # -- programming ------------------------------------------------------
+
+    def load(self, code: int) -> None:
+        """Load a new compare code (clamped to [0, modulus])."""
+        if not isinstance(code, (int, np.integer)):
+            raise AnalysisError(f"counter code must be an integer, got {code!r}")
+        self._code = int(min(max(code, 0), self.config.modulus))
+
+    def load_duty(self, duty: float) -> int:
+        """Load the code closest to ``duty``; returns the code used."""
+        if not 0.0 <= duty <= 1.0:
+            raise AnalysisError("duty must lie in [0, 1]")
+        code = round(duty * self.config.modulus)
+        self.load(code)
+        return self._code
+
+    @property
+    def code(self) -> int:
+        return self._code
+
+    @property
+    def duty(self) -> float:
+        """Exact duty cycle the counter realises for the loaded code."""
+        return self._code / self.config.modulus
+
+    # -- simulation ---------------------------------------------------------
+
+    def edges(self, n_pwm_periods: int = 1) -> Iterator[Tuple[float, float]]:
+        """Yield ``(time, level)`` points of the generated waveform.
+
+        The output is high while the count is below the loaded code, so
+        one PWM period spans ``modulus`` clock cycles.
+        """
+        m = self.config.modulus
+        t = 0.0
+        cycle = 0
+        yield (0.0, self._level(0))
+        for _ in range(n_pwm_periods):
+            for count in range(m):
+                period = float(self._period_fn(cycle))
+                if period <= 0:
+                    raise AnalysisError(
+                        f"clock period must be positive (cycle {cycle})")
+                t += period
+                cycle += 1
+                next_count = (count + 1) % m
+                yield (t, self._level(next_count))
+
+    def _level(self, count: int) -> float:
+        cfg = self.config
+        return cfg.v_high if count < self._code else cfg.v_low
+
+    def waveform(self, n_pwm_periods: int = 4) -> Waveform:
+        """Sampled output waveform over ``n_pwm_periods``."""
+        points = list(self.edges(n_pwm_periods))
+        t: List[float] = []
+        y: List[float] = []
+        prev_level: Optional[float] = None
+        for time, level in points:
+            if prev_level is not None and level != prev_level:
+                # Step change: duplicate the time point for a clean edge.
+                t.append(time)
+                y.append(prev_level)
+            t.append(time)
+            y.append(level)
+            prev_level = level
+        return Waveform(np.asarray(t), np.asarray(y), "kessels_pwm")
+
+    def measured_duty(self, n_pwm_periods: int = 4) -> float:
+        """Duty cycle measured on the generated waveform."""
+        mid = 0.5 * (self.config.v_high + self.config.v_low)
+        return self.waveform(n_pwm_periods).duty_cycle(mid)
+
+    def to_spec(self, *, nominal_frequency: Optional[float] = None) -> PwmSpec:
+        """Equivalent ideal :class:`PwmSpec` (for behavioural engines)."""
+        if nominal_frequency is None:
+            period0 = float(self._period_fn(0)) * self.config.modulus
+            nominal_frequency = 1.0 / period0
+        return PwmSpec(duty=self.duty, frequency=nominal_frequency,
+                       v_high=self.config.v_high, v_low=self.config.v_low)
+
+
+def elastic_clock(nominal_period: float, supply: Callable[[float], float],
+                  *, v_nominal: float = 2.5,
+                  sensitivity: float = 1.0) -> Callable[[int], float]:
+    """Clock-period model of a self-timed ring under a varying supply.
+
+    A self-timed (bundled-data/Kessels) implementation slows down as the
+    supply droops; to first order the period scales like
+    ``(v_nominal / vdd) ** sensitivity``.  The returned callable maps the
+    cycle index to its period, evaluating the supply at the accumulated
+    time — adequate because supply variation is slow compared to a cycle.
+    """
+    state = {"t": 0.0}
+
+    def period_fn(_cycle: int) -> float:
+        vdd = max(float(supply(state["t"])), 1e-3)
+        period = nominal_period * (v_nominal / vdd) ** sensitivity
+        state["t"] += period
+        return period
+
+    return period_fn

@@ -1,0 +1,144 @@
+"""Supply-voltage profiles for power-elasticity experiments.
+
+The paper's motivation is operation from unregulated energy harvesters.
+These profiles give that scenario an executable form: each profile is a
+callable ``v(t)`` plus optional breakpoints, convertible into a
+:class:`~repro.circuit.elements.sources.VProfile` supply source or
+sampled directly for behavioural-engine experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.elements.sources import VProfile
+from ..circuit.exceptions import AnalysisError
+from ..circuit.waveform import Waveform
+
+
+class SupplyProfile:
+    """A time-varying supply rail ``v(t)``."""
+
+    def __init__(self, fn: Callable[[float], float], *,
+                 breakpoints: Optional[Sequence[float]] = None,
+                 name: str = "supply"):
+        self._fn = fn
+        self._breakpoints = list(breakpoints) if breakpoints else []
+        self.name = name
+
+    def __call__(self, t: float) -> float:
+        return float(self._fn(t))
+
+    @property
+    def breakpoints(self) -> List[float]:
+        return list(self._breakpoints)
+
+    def to_source(self, name: str, node: str, ref: str = "0") -> VProfile:
+        return VProfile(name, node, ref, self._fn,
+                        breakpoints=self._breakpoints)
+
+    def sample(self, t_end: float, n: int = 500) -> Waveform:
+        t = np.linspace(0.0, t_end, n)
+        return Waveform(t, [self(tk) for tk in t], self.name)
+
+    # -- composition ------------------------------------------------------
+
+    def clamped(self, v_min: float = 0.0,
+                v_max: float = float("inf")) -> "SupplyProfile":
+        return SupplyProfile(
+            lambda t: min(max(self._fn(t), v_min), v_max),
+            breakpoints=self._breakpoints, name=f"{self.name}_clamped")
+
+
+def constant(vdd: float) -> SupplyProfile:
+    """Ideal regulated supply."""
+    return SupplyProfile(lambda t: vdd, name=f"const_{vdd:g}V")
+
+
+def ramp(v_start: float, v_end: float, t_ramp: float) -> SupplyProfile:
+    """Linear ramp from ``v_start`` to ``v_end`` over ``t_ramp`` seconds."""
+    if t_ramp <= 0:
+        raise AnalysisError("ramp duration must be positive")
+
+    def fn(t: float) -> float:
+        if t <= 0:
+            return v_start
+        if t >= t_ramp:
+            return v_end
+        return v_start + (v_end - v_start) * t / t_ramp
+
+    return SupplyProfile(fn, breakpoints=[0.0, t_ramp], name="ramp")
+
+
+def sine_ripple(vdd: float, amplitude: float, frequency: float) -> SupplyProfile:
+    """Supply with sinusoidal ripple (harvester + weak regulation)."""
+    if frequency <= 0:
+        raise AnalysisError("ripple frequency must be positive")
+    return SupplyProfile(
+        lambda t: vdd + amplitude * math.sin(2 * math.pi * frequency * t),
+        name="sine_ripple")
+
+
+def brownout(vdd: float, v_drop: float, t_start: float, t_end: float) -> SupplyProfile:
+    """Rectangular dip from ``vdd`` down to ``v_drop`` during
+    ``[t_start, t_end]`` — a harvester shadowing event."""
+    if t_end <= t_start:
+        raise AnalysisError("brownout interval must be non-empty")
+
+    def fn(t: float) -> float:
+        return v_drop if t_start <= t < t_end else vdd
+
+    return SupplyProfile(fn, breakpoints=[t_start, t_end], name="brownout")
+
+
+@dataclass
+class HarvesterModel:
+    """First-order energy-harvester storage model.
+
+    A harvesting current ``i_harvest(t)`` charges a storage capacitor
+    ``c_store`` that the load discharges with average current
+    ``i_load``; the rail voltage is the capacitor voltage, clamped by a
+    shunt regulator at ``v_clamp``.  Integrated with forward Euler at
+    ``dt`` — adequate because harvester time constants (ms) are far
+    slower than circuit time constants (ns).
+    """
+
+    c_store: float = 100e-9
+    v_init: float = 2.5
+    v_clamp: float = 5.0
+    i_load: float = 200e-6
+    dt: float = 1e-6
+
+    def profile(self, i_harvest: Callable[[float], float],
+                t_end: float) -> SupplyProfile:
+        n = max(2, int(math.ceil(t_end / self.dt)) + 1)
+        t = np.linspace(0.0, t_end, n)
+        v = np.empty(n)
+        v[0] = self.v_init
+        step = t[1] - t[0]
+        for k in range(1, n):
+            dv = (i_harvest(t[k - 1]) - self.i_load) / self.c_store * step
+            v[k] = min(max(v[k - 1] + dv, 0.0), self.v_clamp)
+
+        def fn(time: float) -> float:
+            return float(np.interp(time, t, v))
+
+        return SupplyProfile(fn, name="harvester")
+
+
+def solar_flicker(i_peak: float, period: float,
+                  shadow_fraction: float = 0.3) -> Callable[[float], float]:
+    """Harvesting current of a photovoltaic cell under periodic shadowing
+    (e.g. a rotating blade or passing foliage)."""
+    if not 0.0 <= shadow_fraction < 1.0:
+        raise AnalysisError("shadow fraction must lie in [0, 1)")
+
+    def fn(t: float) -> float:
+        phase = (t / period) % 1.0
+        return 0.05 * i_peak if phase < shadow_fraction else i_peak
+
+    return fn

@@ -1,0 +1,37 @@
+"""Device models, synthetic technology parameters and variation."""
+
+from .corners import (
+    AKP,
+    AVT,
+    CORNER_NAMES,
+    MismatchSample,
+    MonteCarloSampler,
+    corner,
+)
+from .mosfet_models import (
+    NMOS,
+    PMOS,
+    THERMAL_VOLTAGE,
+    MosfetParams,
+    gate_capacitances,
+    ids_forward,
+    ids_full,
+    ids_full_vec,
+    on_resistance,
+)
+from .umc65 import (
+    NMOS_UMC65,
+    PMOS_UMC65,
+    TABLE1_SIZING,
+    TechSizing,
+    table1_parameters,
+)
+
+__all__ = [
+    "MosfetParams", "ids_forward", "ids_full", "ids_full_vec",
+    "gate_capacitances", "on_resistance", "NMOS", "PMOS", "THERMAL_VOLTAGE",
+    "NMOS_UMC65", "PMOS_UMC65", "TABLE1_SIZING", "TechSizing",
+    "table1_parameters",
+    "corner", "CORNER_NAMES", "MonteCarloSampler", "MismatchSample",
+    "AVT", "AKP",
+]

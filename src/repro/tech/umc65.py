@@ -1,0 +1,99 @@
+"""Synthetic UMC65-like technology parameters.
+
+The paper uses the proprietary UMC 65 nm PDK.  We substitute a Level-1
+parameter set chosen to land in the same operating regime:
+
+* 2.5 V nominal supply and ``L = 1.2 µm`` drawn length mean the devices
+  are thick-oxide (I/O-class) long-channel transistors, so square-law
+  current with a ~0.45 V threshold is the right physics.
+* The resulting on-resistances (≈10 kΩ NMOS, ≈8.5 kΩ PMOS at the paper's
+  Table I geometry and 2.5 V drive) sit an order of magnitude below the
+  100 kΩ output resistor — exactly the regime that makes the paper's
+  Fig. 4 "large Rout is linear / small Rout is not" argument work.
+
+These numbers are *representative*, not extracted from the PDK; see
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.units import Quantity, parse_quantity
+from .mosfet_models import MosfetParams
+
+#: NMOS parameters (thick-oxide I/O device flavour).
+NMOS_UMC65 = MosfetParams(
+    polarity="nmos",
+    vt0=0.45,
+    kp=180e-6,
+    lam=0.05,
+    n_sub=1.5,
+    cox=6.9e-3,       # F/m^2 (~5 nm effective oxide)
+    cgso=0.30e-9,     # F/m of width
+    cgdo=0.30e-9,
+    cj_per_w=0.50e-9,
+    name="umc65_nmos_io",
+)
+
+#: PMOS parameters.
+PMOS_UMC65 = MosfetParams(
+    polarity="pmos",
+    vt0=-0.45,
+    kp=80e-6,
+    lam=0.06,
+    n_sub=1.6,
+    cox=6.9e-3,
+    cgso=0.30e-9,
+    cgdo=0.30e-9,
+    cj_per_w=0.50e-9,
+    name="umc65_pmos_io",
+)
+
+
+@dataclass(frozen=True)
+class TechSizing:
+    """Paper Table I device geometry and cell passives.
+
+    Attributes mirror Table I of the paper:
+
+    * ``nmos_width`` = 320 nm, ``pmos_width`` = 865 nm
+    * ``length`` = 1.2 µm (both polarities)
+    * ``cout`` = 1 pF for the single-cell experiments
+    * ``rout`` = 100 kΩ — the value the paper settles on for linearity
+    """
+
+    nmos_width: float = 320e-9
+    pmos_width: float = 865e-9
+    length: float = 1.2e-6
+    cout: float = 1e-12
+    rout: float = 100e3
+    vdd: float = 2.5
+
+    @staticmethod
+    def from_values(nmos_width: Quantity = "320n", pmos_width: Quantity = "865n",
+                    length: Quantity = "1.2u", cout: Quantity = "1p",
+                    rout: Quantity = "100k", vdd: Quantity = 2.5) -> "TechSizing":
+        return TechSizing(
+            nmos_width=parse_quantity(nmos_width),
+            pmos_width=parse_quantity(pmos_width),
+            length=parse_quantity(length),
+            cout=parse_quantity(cout),
+            rout=parse_quantity(rout),
+            vdd=parse_quantity(vdd),
+        )
+
+
+#: The paper's Table I configuration.
+TABLE1_SIZING = TechSizing()
+
+
+def table1_parameters() -> "dict[str, str]":
+    """Human-readable echo of the paper's Table I (used by the table1
+    experiment and the README)."""
+    return {
+        "Supply voltage": "Vdd = 2.5V",
+        "Transistors width": "nwidth = 320nm, pwidth = 865nm",
+        "Transistors length": "nlength = plength = 1.2um",
+        "Output capacitor": "Cout = 1pF",
+    }

@@ -1,0 +1,161 @@
+"""Small-signal AC analysis against closed-form transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    AnalysisError,
+    Capacitor,
+    Circuit,
+    Idc,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vdc,
+    ac_analysis,
+)
+from repro.tech import NMOS_UMC65, PMOS_UMC65
+
+
+def rc_lowpass(r=1e3, c=1e-9) -> Circuit:
+    ckt = Circuit("rc_lp")
+    ckt.add(Vdc("VIN", "in", "0", 0.0))
+    ckt.add(Resistor("R1", "in", "out", r))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    return ckt
+
+
+class TestRcLowpass:
+    def test_matches_analytic_magnitude(self):
+        r, c = 1e3, 1e-9
+        freqs = np.logspace(3, 8, 30)
+        result = ac_analysis(rc_lowpass(r, c), freqs, stimulus="VIN",
+                             output="out")
+        for point in result.points:
+            expected = 1.0 / abs(1 + 2j * np.pi * point.frequency * r * c)
+            assert point.magnitude == pytest.approx(expected, rel=1e-6)
+
+    def test_corner_frequency(self):
+        r, c = 1e3, 1e-9
+        freqs = np.logspace(3, 8, 60)
+        result = ac_analysis(rc_lowpass(r, c), freqs, stimulus="VIN",
+                             output="out")
+        f3db = 1 / (2 * np.pi * r * c)
+        assert result.corner_frequency() == pytest.approx(f3db, rel=0.05)
+
+    def test_phase_at_corner_is_minus_45(self):
+        r, c = 1e3, 1e-9
+        f3db = 1 / (2 * np.pi * r * c)
+        result = ac_analysis(rc_lowpass(r, c), [f3db], stimulus="VIN",
+                             output="out")
+        assert result.points[0].phase_deg == pytest.approx(-45.0, abs=0.5)
+
+    def test_flat_response_has_no_corner(self):
+        ckt = Circuit()
+        ckt.add(Vdc("VIN", "in", "0", 0.0))
+        ckt.add(Resistor("R1", "in", "out", "1k"))
+        ckt.add(Resistor("R2", "out", "0", "1k"))
+        result = ac_analysis(ckt, np.logspace(3, 9, 10), stimulus="VIN",
+                             output="out")
+        assert result.corner_frequency() == float("inf")
+        assert result.points[0].magnitude == pytest.approx(0.5, rel=1e-6)
+
+
+class TestRlc:
+    def test_lc_resonance_peak(self):
+        # Q = sqrt(L/C)/R = 31.6/3 ~ 10.5: a clear resonance peak.
+        ckt = Circuit()
+        ckt.add(Vdc("VIN", "in", "0", 0.0))
+        ckt.add(Resistor("R1", "in", "mid", "3"))
+        ckt.add(Inductor("L1", "mid", "out", "1u"))
+        ckt.add(Capacitor("C1", "out", "0", "1n"))
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        freqs = np.logspace(np.log10(f0) - 1, np.log10(f0) + 1, 201)
+        result = ac_analysis(ckt, freqs, stimulus="VIN", output="out")
+        peak_f = result.frequencies[int(np.argmax(result.magnitudes))]
+        assert peak_f == pytest.approx(f0, rel=0.05)
+        q = np.sqrt(1e-6 / 1e-9) / 3.0
+        assert result.magnitudes.max() == pytest.approx(q, rel=0.1)
+
+    def test_series_rlc_magnitude_at_resonance(self):
+        # At resonance ZL + ZC cancel: |H| = 1/(omega0 * R * C) exactly.
+        ckt = Circuit()
+        ckt.add(Vdc("VIN", "in", "0", 0.0))
+        ckt.add(Resistor("R1", "in", "mid", "100"))
+        ckt.add(Inductor("L1", "mid", "out", "1u"))
+        ckt.add(Capacitor("C1", "out", "0", "1n"))
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        result = ac_analysis(ckt, [f0], stimulus="VIN", output="out")
+        expected = 1 / (2 * np.pi * f0 * 100 * 1e-9)
+        assert result.points[0].magnitude == pytest.approx(expected,
+                                                           rel=1e-6)
+
+
+class TestLinearisedMosfet:
+    def make_common_source(self):
+        """Common-source amplifier: gain ~ -gm * (Rload || rds)."""
+        ckt = Circuit("cs_amp")
+        ckt.add(Vdc("VDD", "vdd", "0", 2.5))
+        ckt.add(Vdc("VIN", "in", "0", 1.0))   # bias into saturation
+        ckt.add(Resistor("RL", "vdd", "out", "20k"))
+        ckt.add(Mosfet("M1", "out", "in", "0", model=NMOS_UMC65,
+                       w="3.2u", l="1.2u", include_caps=False))
+        return ckt
+
+    def test_low_frequency_gain_matches_gm(self):
+        from repro.circuit import operating_point
+        from repro.tech import ids_full
+        ckt = self.make_common_source()
+        op = operating_point(ckt)
+        vout = op.voltage("out")
+        _ids, gm, gds = ids_full(vout, 1.0, 0.0, NMOS_UMC65, 3.2e-6, 1.2e-6)
+        expected = gm / (1 / 20e3 + gds)
+        result = ac_analysis(ckt, [1e3], stimulus="VIN", output="out")
+        assert result.points[0].magnitude == pytest.approx(expected,
+                                                           rel=0.01)
+        # Inverting stage: phase ~ 180 degrees.
+        assert abs(result.points[0].phase_deg) == pytest.approx(180.0,
+                                                                abs=1.0)
+
+    def test_gate_caps_roll_off_the_gain(self):
+        ckt = Circuit("cs_amp_c")
+        ckt.add(Vdc("VDD", "vdd", "0", 2.5))
+        ckt.add(Vdc("VIN", "in", "0", 1.0))
+        ckt.add(Resistor("RL", "vdd", "out", "20k"))
+        ckt.add(Mosfet("M1", "out", "in", "0", model=NMOS_UMC65,
+                       w="3.2u", l="1.2u"))
+        ckt.add(Capacitor("CL", "out", "0", "1p"))
+        freqs = np.logspace(4, 10, 40)
+        result = ac_analysis(ckt, freqs, stimulus="VIN", output="out")
+        assert result.magnitudes[-1] < 0.2 * result.magnitudes[0]
+
+
+class TestTranscodingCellAc:
+    def test_averaging_corner_is_1_over_2piRC(self):
+        """The Fig. 2 cell's output pole sits at 1/(2*pi*Rout*Cout) —
+        the quantity that sets how fast the perceptron output settles."""
+        from tests.conftest import make_transcoding_inverter
+        ckt = make_transcoding_inverter(0.5)
+        # Probe from the supply: the output node's dominant pole still
+        # appears in the transfer.
+        freqs = np.logspace(3, 9, 60)
+        result = ac_analysis(ckt, freqs, stimulus="VDD", output="out")
+        f_pole = result.corner_frequency()
+        f_rc = 1 / (2 * np.pi * 100e3 * 1e-12)
+        assert f_pole == pytest.approx(f_rc, rel=0.5)
+
+
+class TestValidation:
+    def test_needs_positive_frequencies(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), [0.0], stimulus="VIN", output="out")
+
+    def test_stimulus_must_be_voltage_source(self):
+        ckt = rc_lowpass()
+        ckt.add(Idc("I1", "0", "out", 0.0))
+        with pytest.raises(AnalysisError):
+            ac_analysis(ckt, [1e3], stimulus="I1", output="out")
+
+    def test_cannot_probe_ground(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), [1e3], stimulus="VIN", output="0")

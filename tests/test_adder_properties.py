@@ -1,0 +1,160 @@
+"""Property-based invariants of the adder and perceptron architecture.
+
+These encode the *structure* of Eq. 2 and the differential design —
+permutation symmetry, monotonicity, ratiometric scaling, negation
+duality — across engines, using hypothesis to search the operand space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdderConfig,
+    DifferentialPwmPerceptron,
+    WeightedAdder,
+    eq2_output,
+    max_weight,
+)
+
+duty_st = st.floats(min_value=0.0, max_value=1.0)
+weight_st = st.integers(min_value=0, max_value=7)
+operands_st = st.tuples(
+    st.tuples(duty_st, duty_st, duty_st),
+    st.tuples(weight_st, weight_st, weight_st))
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return WeightedAdder(AdderConfig())
+
+
+class TestEq2Structure:
+    @settings(max_examples=60)
+    @given(operands_st)
+    def test_permutation_invariance(self, operands):
+        duties, weights = operands
+        base = eq2_output(duties, weights, n_bits=3, vdd=2.5)
+        perm = [2, 0, 1]
+        shuffled = eq2_output([duties[i] for i in perm],
+                              [weights[i] for i in perm],
+                              n_bits=3, vdd=2.5)
+        assert shuffled == pytest.approx(base, rel=1e-12)
+
+    @settings(max_examples=60)
+    @given(operands_st, st.integers(min_value=0, max_value=2),
+           st.floats(min_value=0.01, max_value=0.3))
+    def test_monotone_in_each_duty(self, operands, index, delta):
+        duties, weights = operands
+        assume(duties[index] + delta <= 1.0)
+        lo = eq2_output(duties, weights, n_bits=3, vdd=2.5)
+        bumped = list(duties)
+        bumped[index] += delta
+        hi = eq2_output(bumped, weights, n_bits=3, vdd=2.5)
+        assert hi >= lo - 1e-12
+        # Strictly increasing iff the weight is non-zero.
+        if weights[index] > 0:
+            assert hi > lo
+
+    @settings(max_examples=60)
+    @given(operands_st)
+    def test_superposition(self, operands):
+        """Eq. 2 is linear in the duty vector: the output of a sum of
+        contributions equals the sum of single-input outputs."""
+        duties, weights = operands
+        total = eq2_output(duties, weights, n_bits=3, vdd=2.5)
+        parts = sum(
+            eq2_output([d if i == j else 0.0 for j, d in enumerate(duties)],
+                       weights, n_bits=3, vdd=2.5)
+            for i in range(3))
+        assert parts == pytest.approx(total, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=40)
+    @given(operands_st, st.floats(min_value=0.5, max_value=5.0))
+    def test_ratiometric_scaling(self, operands, vdd):
+        duties, weights = operands
+        ratio_a = eq2_output(duties, weights, n_bits=3, vdd=vdd) / vdd
+        ratio_b = eq2_output(duties, weights, n_bits=3, vdd=2.5) / 2.5
+        assert ratio_a == pytest.approx(ratio_b, rel=1e-12, abs=1e-15)
+
+
+class TestRcEngineStructure:
+    @settings(max_examples=25, deadline=None)
+    @given(operands_st)
+    def test_rc_permutation_invariance(self, operands):
+        adder = WeightedAdder(AdderConfig())
+        duties, weights = operands
+        base = adder.evaluate(duties, weights, engine="rc").value
+        perm = [1, 2, 0]
+        shuffled = adder.evaluate([duties[i] for i in perm],
+                                  [weights[i] for i in perm],
+                                  engine="rc").value
+        assert shuffled == pytest.approx(base, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(operands_st)
+    def test_rc_power_non_negative_and_bounded(self, operands):
+        adder = WeightedAdder(AdderConfig())
+        duties, weights = operands
+        result = adder.evaluate(duties, weights, engine="rc")
+        assert result.power >= -1e-15
+        # Upper bound: every cell shorted across the supply.
+        g_max = sum(1.0 / leg.r_up
+                    for leg in adder.rc_legs(duties, weights))
+        assert result.power <= 2.5**2 * g_max
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.tuples(duty_st, duty_st, duty_st))
+    def test_zero_weights_give_zero_output(self, duties):
+        adder = WeightedAdder(AdderConfig())
+        result = adder.evaluate(list(duties), [0, 0, 0], engine="rc")
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDifferentialDuality:
+    @settings(max_examples=30, deadline=None)
+    @given(st.tuples(duty_st, duty_st),
+           st.tuples(st.integers(-7, 7), st.integers(-7, 7)),
+           st.integers(-7, 7))
+    def test_negation_flips_decision(self, duties, weights, bias):
+        """Negating all weights and the bias flips every (off-boundary)
+        decision — the architecture has no polarity preference."""
+        p = DifferentialPwmPerceptron(list(weights), bias=bias)
+        n = DifferentialPwmPerceptron([-w for w in weights], bias=-bias)
+        ideal = p.ideal_sum(list(duties))
+        assume(abs(ideal) > 0.05)  # stay off the decision boundary
+        assert p.predict(list(duties)) != n.predict(list(duties))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.tuples(duty_st, duty_st),
+           st.tuples(st.integers(-7, 7), st.integers(-7, 7)),
+           st.integers(-7, 7),
+           st.sampled_from([1.0, 1.8, 3.3]))
+    def test_supply_invariance_property(self, duties, weights, bias, vdd):
+        p = DifferentialPwmPerceptron(list(weights), bias=bias)
+        ideal = p.ideal_sum(list(duties))
+        assume(abs(ideal) > 0.05)
+        assert p.predict(list(duties), vdd=vdd) == p.predict(list(duties))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.tuples(duty_st, duty_st),
+           st.tuples(st.integers(-7, 7), st.integers(-7, 7)),
+           st.integers(-7, 7))
+    def test_behavioral_decision_matches_sign_rule(self, duties, weights,
+                                                   bias):
+        p = DifferentialPwmPerceptron(list(weights), bias=bias)
+        ideal = p.ideal_sum(list(duties))
+        assume(abs(ideal) > 0.05)
+        assert p.predict(list(duties)) == int(ideal > 0)
+
+
+class TestConfigArithmetic:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=8))
+    def test_transistor_count_formula(self, k, n):
+        assert AdderConfig(n_inputs=k, n_bits=n).transistor_count == 6 * k * n
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_max_weight_formula(self, n):
+        assert max_weight(n) == 2**n - 1

@@ -1,0 +1,52 @@
+"""Current-mode amplitude-coded baseline: exact at nominal, drifts off it."""
+
+import pytest
+
+from repro.analog_baseline import CurrentModePerceptron, CurrentModeSpec
+from repro.circuit import AnalysisError
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            CurrentModeSpec(v_nominal=0.0)
+        with pytest.raises(AnalysisError):
+            CurrentModeSpec(reference_fraction=1.0)
+
+
+class TestCurrentMode:
+    def test_exact_at_nominal(self):
+        p = CurrentModePerceptron([2.0, 3.0], theta=2.0)
+        assert p.predict([0.9, 0.9]) == 1     # 4.5 > 2
+        assert p.predict([0.1, 0.1]) == 0     # 0.5 < 2
+
+    def test_gain_collapses_below_headroom(self):
+        p = CurrentModePerceptron([1.0], theta=0.1)
+        assert p.gain(0.9) == 0.0
+        assert p.gain(2.5) == 1.0
+        assert 0.0 < p.gain(1.7) < 1.0
+
+    def test_misclassifies_under_droop(self):
+        # A sample comfortably above threshold at nominal flips when the
+        # supply halves - the non-elastic failure.
+        p = CurrentModePerceptron([2.0, 2.0], theta=2.0)
+        x = [0.7, 0.7]  # nominal sum 2.8 > 2
+        assert p.predict(x) == 1
+        assert p.predict(x, vdd=1.4) == 0
+
+    def test_decision_drift_grows_as_supply_drops(self):
+        p = CurrentModePerceptron([1.0], theta=0.5)
+        assert p.decision_drift(2.5) == pytest.approx(1.0)
+        assert p.decision_drift(1.8) > 1.2
+        assert p.decision_drift(0.9) == float("inf")
+
+    def test_input_validation(self):
+        p = CurrentModePerceptron([1.0], theta=0.5)
+        with pytest.raises(AnalysisError):
+            p.predict([1.5])
+        with pytest.raises(AnalysisError):
+            p.analog_sum([0.5, 0.5], 2.5)
+
+    def test_negative_mirror_rejected(self):
+        with pytest.raises(AnalysisError):
+            CurrentModePerceptron([-1.0], theta=0.5)

@@ -1,0 +1,181 @@
+"""Datasets, elasticity metrics, Monte Carlo and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Dataset,
+    adder_corner_errors,
+    adder_monte_carlo,
+    accuracy_under_supply,
+    calibrate_adder,
+    elasticity_score,
+    frequency_flatness,
+    make_blobs,
+    make_edge_patches,
+    make_logic,
+    make_majority,
+    ratiometric_report,
+)
+from repro.circuit import AnalysisError
+from repro.core import AdderConfig, WeightedAdder
+from repro.tech import MonteCarloSampler, corner
+from repro.tech.umc65 import NMOS_UMC65
+
+
+class TestDatasets:
+    def test_blobs_shapes_and_ranges(self):
+        data = make_blobs(n_per_class=20, n_features=3, seed=0)
+        assert data.X.shape == (40, 3)
+        assert set(np.unique(data.y)) == {0, 1}
+        assert data.X.min() >= 0 and data.X.max() <= 1
+
+    def test_split_partitions(self):
+        data = make_blobs(n_per_class=25, seed=1)
+        train, test = data.split(0.8, seed=2)
+        assert len(train) + len(test) == len(data)
+        assert len(train) == 40
+
+    def test_split_validation(self):
+        with pytest.raises(AnalysisError):
+            make_blobs(seed=0).split(1.0)
+
+    def test_edge_patches_have_nine_features(self):
+        data = make_edge_patches(n_samples=30, seed=0)
+        assert data.n_features == 9
+        # Class 1: top row brighter than bottom row.
+        for x, label in zip(data.X, data.y):
+            top, bottom = x[:3].mean(), x[6:].mean()
+            assert (top > bottom) == bool(label)
+
+    def test_majority_labels(self):
+        data = make_majority(n_samples=60, n_features=3, noise=0.0, seed=0)
+        for x, label in zip(data.X, data.y):
+            assert label == int((x > 0.5).sum() > 1.5)
+
+    def test_logic_validation(self):
+        with pytest.raises(AnalysisError):
+            make_logic("xnor3")
+
+    def test_dataset_validation(self):
+        with pytest.raises(AnalysisError):
+            Dataset(np.array([[0.5, 1.5]]), np.array([0]))
+        with pytest.raises(AnalysisError):
+            Dataset(np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+
+class TestElasticity:
+    def test_perfectly_ratiometric_design(self):
+        vdd = np.linspace(0.5, 5.0, 10)
+        vout = 0.4 * vdd
+        report = ratiometric_report(vdd, vout)
+        assert report.usable_from == pytest.approx(0.5)
+        assert report.spread_in_window == pytest.approx(0.0, abs=1e-12)
+        assert report.is_elastic
+
+    def test_collapse_below_knee_detected(self):
+        vdd = np.array([0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0])
+        ratio = np.array([0.1, 0.25, 0.39, 0.40, 0.40, 0.40, 0.40])
+        report = ratiometric_report(vdd, ratio * vdd, tolerance=0.05)
+        assert report.usable_from == pytest.approx(1.5)
+
+    def test_never_elastic(self):
+        vdd = np.array([1.0, 2.0, 3.0])
+        vout = np.array([0.9, 0.5, 2.7])  # wild ratios
+        report = ratiometric_report(vdd, vout, tolerance=0.01)
+        assert not report.is_elastic
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ratiometric_report([1.0], [0.5])
+        with pytest.raises(AnalysisError):
+            ratiometric_report([2.0, 1.0], [1.0, 0.5])
+
+    def test_frequency_flatness(self):
+        assert frequency_flatness([1e6, 1e9], [1.0, 1.0]) == 0.0
+        assert frequency_flatness([1e6, 1e9], [1.0, 1.1]) == \
+            pytest.approx(0.1 / 1.05)
+
+    def test_elasticity_score_range(self):
+        vdd = np.linspace(0.5, 5.0, 10)
+        perfect = elasticity_score(vdd, 0.4 * vdd)
+        assert perfect == pytest.approx(1.0)
+        bad = elasticity_score(vdd, np.random.default_rng(0).uniform(0, 1, 10))
+        assert 0.0 <= bad < 1.0
+
+
+class TestCornersAndSampler:
+    def test_corner_shifts_parameters(self):
+        ff = corner(NMOS_UMC65, "ff")
+        assert ff.vt0 < NMOS_UMC65.vt0
+        assert ff.kp > NMOS_UMC65.kp
+
+    def test_unknown_corner(self):
+        with pytest.raises(ValueError):
+            corner(NMOS_UMC65, "zz")
+
+    def test_sampler_sigma_shrinks_with_area(self):
+        s = MonteCarloSampler(seed=0)
+        assert s.sigma_vt(1e-6, 1e-6) < s.sigma_vt(0.1e-6, 1e-6)
+
+    def test_sampler_reproducible(self):
+        a = MonteCarloSampler(seed=9).sample(320e-9, 1.2e-6)
+        b = MonteCarloSampler(seed=9).sample(320e-9, 1.2e-6)
+        assert a == b
+
+    def test_mismatch_apply_respects_polarity(self):
+        s = MonteCarloSampler(seed=1).sample(320e-9, 1.2e-6)
+        pmos = corner(NMOS_UMC65, "tt")  # placeholder nmos
+        shifted = s.apply(NMOS_UMC65)
+        assert shifted.vt0 == pytest.approx(NMOS_UMC65.vt0 + s.delta_vt)
+
+
+class TestMonteCarloHarness:
+    def test_stats_shape(self):
+        adder = WeightedAdder(AdderConfig())
+        stats = adder_monte_carlo(adder, [0.5] * 3, [7] * 3, n_trials=10,
+                                  seed=0)
+        assert stats.n_trials == 10
+        assert len(stats.errors) == 10
+        assert stats.worst_error >= abs(stats.mean_error)
+        assert stats.percentile(50) <= stats.worst_error
+
+    def test_errors_small_but_nonzero(self):
+        adder = WeightedAdder(AdderConfig())
+        stats = adder_monte_carlo(adder, [0.7, 0.8, 0.9], [7, 7, 7],
+                                  n_trials=15, seed=1)
+        assert 0 < stats.std_error < 0.05
+
+    def test_corner_errors_cover_all_corners(self):
+        adder = WeightedAdder(AdderConfig())
+        errors = adder_corner_errors(adder, [0.5] * 3, [7] * 3)
+        assert set(errors) == {"tt", "ff", "ss", "fs", "sf"}
+        assert errors["tt"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_accuracy_under_supply_harness(self):
+        X = np.array([[0.1], [0.9]])
+        y = np.array([0, 1])
+        points = accuracy_under_supply(
+            lambda x, vdd: int(x[0] > (0.5 if vdd > 1 else 0.0)),
+            X, y, [0.5, 2.0])
+        assert points[0].accuracy == 0.5
+        assert points[1].accuracy == 1.0
+
+
+class TestCalibration:
+    def test_calibrate_against_rc(self):
+        adder = WeightedAdder(AdderConfig())
+        model, residual = calibrate_adder(adder, engine="rc", n_random=4)
+        assert residual < 0.02
+        # Calibrated behavioural engine should land closer to RC.
+        calibrated = adder.with_calibration(model)
+        raw = adder.evaluate([0.6] * 3, [7] * 3, engine="rc").value
+        cal = calibrated.evaluate([0.6] * 3, [7] * 3,
+                                  engine="behavioral").value
+        plain = adder.evaluate([0.6] * 3, [7] * 3, engine="behavioral").value
+        assert abs(cal - raw) <= abs(plain - raw) + 1e-6
+
+    def test_bad_engine(self):
+        adder = WeightedAdder(AdderConfig())
+        with pytest.raises(AnalysisError):
+            calibrate_adder(adder, engine="behavioral")

@@ -1,0 +1,102 @@
+"""Cell netlist builders and binary-weighted sizing."""
+
+import pytest
+
+from repro.circuit import Circuit, NetlistError, Vdc, operating_point
+from repro.core import (
+    CellDesign,
+    and_cell_subckt,
+    build_transcoding_inverter_bench,
+    inverter_subckt,
+    nand2_subckt,
+)
+from repro.tech import TABLE1_SIZING
+
+
+class TestCellDesign:
+    def test_defaults_match_table1(self):
+        d = CellDesign()
+        assert d.nmos_width == TABLE1_SIZING.nmos_width
+        assert d.rout == TABLE1_SIZING.rout
+
+    def test_scaling_rule(self):
+        d = CellDesign()
+        x4 = d.scaled(4.0)
+        assert x4.wn == pytest.approx(4 * d.wn)
+        assert x4.wp == pytest.approx(4 * d.wp)
+        assert x4.rout_eff == pytest.approx(d.rout_eff / 4)
+
+    def test_scaling_composes(self):
+        d = CellDesign().scaled(2.0).scaled(2.0)
+        assert d.scale == 4.0
+
+    def test_bad_scale(self):
+        with pytest.raises(NetlistError):
+            CellDesign(scale=0.0)
+
+    def test_pull_resistances_scale_inverse(self):
+        d = CellDesign()
+        x2 = d.scaled(2.0)
+        assert d.pull_up_resistance(2.5) == pytest.approx(
+            2 * x2.pull_up_resistance(2.5), rel=1e-6)
+
+    def test_pull_up_dominated_by_rout(self):
+        d = CellDesign()
+        assert d.pull_up_resistance(2.5) == pytest.approx(d.rout, rel=0.15)
+
+
+class TestSubcircuits:
+    def test_inverter_logic(self):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VIN", "in", "0", 0.0))
+        c.instantiate(inverter_subckt(CellDesign()), "X1",
+                      {"in": "in", "out": "out", "vdd": "vdd"})
+        assert operating_point(c).voltage("out") == pytest.approx(2.5,
+                                                                  abs=0.01)
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0.0, 0.0, 2.5), (0.0, 2.5, 2.5), (2.5, 0.0, 2.5), (2.5, 2.5, 0.0),
+    ])
+    def test_nand_truth_table(self, a, b, expected):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VA", "a", "0", a))
+        c.add(Vdc("VB", "b", "0", b))
+        c.instantiate(nand2_subckt(CellDesign()), "X1",
+                      {"a": "a", "b": "b", "y": "y", "vdd": "vdd"})
+        assert operating_point(c).voltage("y") == pytest.approx(expected,
+                                                                abs=0.05)
+
+    @pytest.mark.parametrize("pwm,w,expected", [
+        (0.0, 0.0, 0.0), (0.0, 2.5, 0.0), (2.5, 0.0, 0.0), (2.5, 2.5, 2.5),
+    ])
+    def test_and_cell_truth_table(self, pwm, w, expected):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VP", "p", "0", pwm))
+        c.add(Vdc("VW", "w", "0", w))
+        c.instantiate(and_cell_subckt(CellDesign()), "X1",
+                      {"pwm": "p", "w": "w", "out": "out", "vdd": "vdd"})
+        # DC: the output resistor carries no current, so out = AND value.
+        assert operating_point(c).voltage("out") == pytest.approx(expected,
+                                                                  abs=0.05)
+
+    def test_and_cell_has_six_transistors(self):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VP", "p", "0", 0.0))
+        c.add(Vdc("VW", "w", "0", 0.0))
+        c.instantiate(and_cell_subckt(CellDesign()), "X1",
+                      {"pwm": "p", "w": "w", "out": "out", "vdd": "vdd"})
+        assert c.stats()["transistors"] == 6
+
+    def test_bench_builder_rout_override(self):
+        bench = build_transcoding_inverter_bench(0.5, rout=5e3)
+        rout = bench.element("X1.ROUT")
+        assert rout.resistance == pytest.approx(5e3)
+
+    def test_bench_uses_supply_as_default_amplitude(self):
+        bench = build_transcoding_inverter_bench(0.5, vdd=3.0)
+        vin = bench.element("VIN")
+        assert vin.v_high == pytest.approx(3.0)

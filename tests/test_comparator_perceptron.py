@@ -1,0 +1,144 @@
+"""Comparators and the two perceptron architectures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError
+from repro.core import (
+    AbsoluteComparator,
+    AdderConfig,
+    DifferentialComparator,
+    DifferentialPwmPerceptron,
+    PwmPerceptron,
+    RatiometricComparator,
+)
+
+
+class TestComparators:
+    def test_ratiometric_tracks_supply(self):
+        comp = RatiometricComparator(threshold_ratio=0.5)
+        assert comp.compare(1.5, 2.5)        # 1.5 > 1.25
+        assert not comp.compare(1.5, 4.0)    # 1.5 < 2.0
+
+    def test_ratiometric_validation(self):
+        with pytest.raises(AnalysisError):
+            RatiometricComparator(threshold_ratio=1.5)
+        comp = RatiometricComparator(threshold_ratio=0.5)
+        with pytest.raises(AnalysisError):
+            comp.compare(1.0, 0.0)
+
+    def test_absolute_ignores_supply(self):
+        comp = AbsoluteComparator(reference=1.0)
+        assert comp.compare(1.5, 2.5)
+        assert comp.compare(1.5, 5.0)
+
+    def test_absolute_fails_when_reference_above_rail(self):
+        comp = AbsoluteComparator(reference=1.5)
+        assert not comp.compare(1.4, 1.2)   # stuck low
+
+    def test_differential(self):
+        comp = DifferentialComparator()
+        assert comp.compare(1.0, 0.5)
+        assert not comp.compare(0.5, 1.0)
+
+    def test_hysteresis_widens_toggle_points(self):
+        comp = DifferentialComparator(hysteresis=0.2)
+        assert not comp.compare(0.05, 0.0)   # below +0.1 band from low
+        comp2 = DifferentialComparator(hysteresis=0.2)
+        assert comp2.compare(0.15, 0.0)
+        assert comp2.compare(-0.05, 0.0)     # stays high until -0.1
+
+
+class TestPwmPerceptron:
+    def test_fires_above_theta(self):
+        # sum(DC*W): [1,1]x[7,7] at DC=0.9 -> 12.6 > theta=7
+        p = PwmPerceptron([7, 7], theta=7.0)
+        assert p.predict([0.9, 0.9]) == 1
+        assert p.predict([0.1, 0.1]) == 0
+
+    def test_decision_margin_sign(self):
+        p = PwmPerceptron([7, 7], theta=7.0)
+        d_hi = p.decide([0.9, 0.9])
+        d_lo = p.decide([0.1, 0.1])
+        assert d_hi.margin > 0 > d_lo.margin
+
+    def test_bias_channel(self):
+        # With a large bias, even zero inputs fire for small theta.
+        p = PwmPerceptron([1, 1], theta=1.0, bias=7)
+        assert p.predict([0.0, 0.0]) == 1
+
+    def test_ratiometric_invariance_across_vdd(self):
+        p = PwmPerceptron([7, 3], theta=4.0)
+        x = [0.6, 0.4]
+        base = p.predict(x)
+        for vdd in (1.0, 2.0, 4.0):
+            assert p.predict(x, vdd=vdd) == base
+
+    def test_weight_validation(self):
+        with pytest.raises(AnalysisError):
+            PwmPerceptron([8, 0], theta=1.0)
+        with pytest.raises(AnalysisError):
+            PwmPerceptron([], theta=1.0)
+
+    def test_input_length_enforced(self):
+        p = PwmPerceptron([7, 7], theta=7.0)
+        with pytest.raises(AnalysisError):
+            p.predict([0.5])
+
+    def test_ideal_sum(self):
+        p = PwmPerceptron([2, 4], theta=1.0, bias=3)
+        assert p.ideal_sum([0.5, 0.5]) == pytest.approx(0.5 * 2 + 0.5 * 4 + 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=2,
+                    max_size=2))
+    def test_behavioral_decision_equals_ideal_rule(self, duties):
+        p = PwmPerceptron([5, 3], theta=3.0)
+        expected = int(p.ideal_sum(duties) > 3.0)
+        # Behavioral engine is exact Eq.2, so decisions must agree except
+        # exactly on the boundary.
+        if abs(p.ideal_sum(duties) - 3.0) > 1e-6:
+            assert p.predict(duties) == expected
+
+
+class TestDifferentialPerceptron:
+    def test_signed_weights(self):
+        p = DifferentialPwmPerceptron([7, -7], bias=0)
+        assert p.predict([0.9, 0.1]) == 1
+        assert p.predict([0.1, 0.9]) == 0
+
+    def test_bias_shifts_boundary(self):
+        p_neg = DifferentialPwmPerceptron([7, 7], bias=-7)
+        p_pos = DifferentialPwmPerceptron([7, 7], bias=7)
+        x = [0.2, 0.2]
+        assert p_pos.predict(x) == 1
+        assert p_neg.predict(x) == 0
+
+    def test_supply_invariance(self):
+        p = DifferentialPwmPerceptron([5, -3], bias=1)
+        for x in ([0.3, 0.9], [0.8, 0.2], [0.5, 0.5]):
+            base = p.predict(x)
+            for vdd in (1.0, 3.0, 5.0):
+                assert p.predict(x, vdd=vdd) == base
+
+    def test_rc_engine_agrees_with_behavioral_off_boundary(self):
+        p = DifferentialPwmPerceptron([6, -4], bias=1)
+        for x in ([0.9, 0.1], [0.1, 0.9], [0.2, 0.3]):
+            if abs(p.ideal_sum(x)) > 0.5:
+                assert p.predict(x, engine="rc") == p.predict(x)
+
+    def test_set_weights_validates_length(self):
+        p = DifferentialPwmPerceptron([1, 2])
+        with pytest.raises(AnalysisError):
+            p.set_weights([1, 2, 3], 0)
+
+    def test_transistor_count(self):
+        p = DifferentialPwmPerceptron([1, 2], bias=0)
+        # Two banks x (2 features + bias) channels x 3 bits x 6 T.
+        assert p.transistor_count == 2 * 3 * 3 * 6
+
+    def test_ideal_sum_signed(self):
+        p = DifferentialPwmPerceptron([3, -2], bias=-1)
+        assert p.ideal_sum([1.0, 1.0]) == pytest.approx(0.0)

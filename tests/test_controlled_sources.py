@@ -1,0 +1,80 @@
+"""Controlled sources and the voltage-controlled switch."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    NetlistError,
+    Resistor,
+    Vccs,
+    Vcvs,
+    Vdc,
+    VSwitch,
+    operating_point,
+)
+
+
+class TestVcvs:
+    def test_ideal_amplifier(self):
+        c = Circuit()
+        c.add(Vdc("VIN", "in", "0", 0.5))
+        c.add(Vcvs("E1", "out", "0", "in", "0", gain=4.0))
+        c.add(Resistor("RL", "out", "0", "1k"))
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-9)
+
+    def test_differential_control(self):
+        c = Circuit()
+        c.add(Vdc("VA", "a", "0", 1.0))
+        c.add(Vdc("VB", "b", "0", 0.3))
+        c.add(Vcvs("E1", "out", "0", "a", "b", gain=2.0))
+        c.add(Resistor("RL", "out", "0", "1k"))
+        assert operating_point(c).voltage("out") == pytest.approx(1.4,
+                                                                  rel=1e-9)
+
+
+class TestVccs:
+    def test_transconductance(self):
+        c = Circuit()
+        c.add(Vdc("VIN", "in", "0", 1.0))
+        c.add(Resistor("RIN", "in", "0", "1k"))  # load the source
+        c.add(Vccs("G1", "0", "out", "in", "0", gm=1e-3))
+        c.add(Resistor("RL", "out", "0", "2k"))
+        # i = gm*vin = 1 mA from ground into out -> V = 2 V.
+        assert operating_point(c).voltage("out") == pytest.approx(2.0,
+                                                                  rel=1e-6)
+
+
+class TestVSwitch:
+    def make(self, vctrl):
+        c = Circuit()
+        c.add(Vdc("VC", "ctrl", "0", vctrl))
+        c.add(Vdc("VS", "src", "0", 1.0))
+        c.add(VSwitch("S1", "src", "out", "ctrl", "0",
+                      r_on=100.0, r_off=1e9, threshold=0.5, smooth=0.02))
+        c.add(Resistor("RL", "out", "0", "1k"))
+        return c
+
+    def test_switch_off(self):
+        op = operating_point(self.make(0.0))
+        assert op.voltage("out") < 0.01
+
+    def test_switch_on(self):
+        op = operating_point(self.make(1.0))
+        # Divider: 1k/(1k+100) ~ 0.909
+        assert op.voltage("out") == pytest.approx(1.0 * 1000 / 1100,
+                                                  rel=1e-3)
+
+    def test_transition_is_monotone(self):
+        values = []
+        for vctrl in np.linspace(0.3, 0.7, 9):
+            values.append(operating_point(self.make(float(vctrl)))
+                          .voltage("out"))
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            VSwitch("S1", "a", "b", "c", "0", r_on=0.0)
+        with pytest.raises(NetlistError):
+            VSwitch("S1", "a", "b", "c", "0", smooth=0.0)

@@ -1,0 +1,197 @@
+"""DC operating point and transient analysis against closed-form circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    AnalysisError,
+    Capacitor,
+    Circuit,
+    Idc,
+    Inductor,
+    Mosfet,
+    PwmVoltage,
+    Resistor,
+    Vdc,
+    Vpulse,
+    Vpwl,
+    Vsin,
+    dc_sweep,
+    operating_point,
+    transient,
+)
+from repro.tech import NMOS_UMC65, PMOS_UMC65
+
+
+class TestOperatingPoint:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add(Vdc("V1", "in", "0", 10.0))
+        c.add(Resistor("R1", "in", "mid", "1k"))
+        c.add(Resistor("R2", "mid", "0", "3k"))
+        op = operating_point(c)
+        assert op.voltage("mid") == pytest.approx(7.5, rel=1e-9)
+        # rel=1e-6 leaves room for the solver's gmin leakage (1e-12 S).
+        assert op.branch_current("V1") == pytest.approx(-10.0 / 4e3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add(Idc("I1", "0", "out", 1e-3))
+        c.add(Resistor("R1", "out", "0", "2k"))
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.add(Vdc("V1", "in", "0", 5.0))
+        c.add(Resistor("R1", "in", "mid", "1k"))
+        c.add(Inductor("L1", "mid", "out", "1m"))
+        c.add(Resistor("R2", "out", "0", "1k"))
+        op = operating_point(c)
+        assert op.voltage("mid") == pytest.approx(op.voltage("out"), abs=1e-9)
+        assert op.voltage("out") == pytest.approx(2.5, rel=1e-6)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit()
+        c.add(Vdc("V1", "in", "0", 5.0))
+        c.add(Resistor("R1", "in", "out", "1k"))
+        c.add(Capacitor("C1", "out", "0", "1n"))
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(5.0, rel=1e-6)
+
+    def test_cmos_inverter_rails(self):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VIN", "in", "0", 0.0))
+        c.add(Mosfet("MP", "out", "in", "vdd", model=PMOS_UMC65,
+                     w="865n", l="1.2u"))
+        c.add(Mosfet("MN", "out", "in", "0", model=NMOS_UMC65,
+                     w="320n", l="1.2u"))
+        vin = c.element("VIN")
+        op_low = operating_point(c)
+        assert op_low.voltage("out") == pytest.approx(2.5, abs=0.01)
+        vin.voltage = 2.5
+        op_high = operating_point(c)
+        assert op_high.voltage("out") == pytest.approx(0.0, abs=0.01)
+
+    def test_inverter_dc_sweep_monotone_falling(self):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.5))
+        c.add(Vdc("VIN", "in", "0", 0.0))
+        c.add(Mosfet("MP", "out", "in", "vdd", model=PMOS_UMC65,
+                     w="865n", l="1.2u"))
+        c.add(Mosfet("MN", "out", "in", "0", model=NMOS_UMC65,
+                     w="320n", l="1.2u"))
+        vin = c.element("VIN")
+        ops = dc_sweep(c, lambda v: setattr(vin, "voltage", v),
+                       np.linspace(0, 2.5, 11))
+        vout = [op.voltage("out") for op in ops]
+        assert all(b <= a + 1e-6 for a, b in zip(vout, vout[1:]))
+        assert vout[0] > 2.4 and vout[-1] < 0.1
+
+    def test_voltages_mapping(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "b", 1.0))
+        c.add(Resistor("R2", "b", "0", 1.0))
+        v = operating_point(c).voltages()
+        assert set(v) == {"a", "b"}
+
+
+class TestTransient:
+    def test_rc_step_matches_analytic(self, rc_circuit):
+        res = transient(rc_circuit, tstop=5e-3, dt=1e-5,
+                        ic={"out": 0.0}, uic=True)
+        out = res.node("out")
+        for t_probe in (0.5e-3, 1e-3, 3e-3):
+            expected = 1.0 - np.exp(-t_probe / 1e-3)
+            assert out.value_at(t_probe) == pytest.approx(expected, abs=2e-4)
+
+    def test_rc_with_dc_op_start_stays_settled(self, rc_circuit):
+        res = transient(rc_circuit, tstop=1e-3, dt=1e-5)
+        out = res.node("out")
+        assert out.minimum() == pytest.approx(1.0, abs=1e-6)
+        assert out.maximum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_rl_current_rise(self):
+        c = Circuit()
+        c.add(Vdc("V1", "in", "0", 1.0))
+        c.add(Resistor("R1", "in", "out", "1k"))
+        c.add(Inductor("L1", "out", "0", "1m", ic=0.0))
+        res = transient(c, tstop=5e-6, dt=1e-8, uic=True)
+        i = res.branch_current("L1")
+        tau = 1e-3 / 1e3
+        expected = (1.0 / 1e3) * (1 - np.exp(-3e-6 / tau))
+        assert i.value_at(3e-6) == pytest.approx(expected, rel=5e-3)
+
+    def test_lc_oscillation_frequency(self):
+        c = Circuit()
+        c.add(Capacitor("C1", "n", "0", "1n", ic=1.0))
+        c.add(Inductor("L1", "n", "0", "1m", ic=0.0))
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-3 * 1e-9))
+        res = transient(c, tstop=3 / f0, dt=1 / (400 * f0), uic=True,
+                        ic={"n": 1.0})
+        crossings = res.node("n").crossings(0.0, "rise")
+        assert len(crossings) >= 2
+        measured = 1 / np.diff(crossings).mean()
+        assert measured == pytest.approx(f0, rel=0.01)
+
+    def test_sin_source_amplitude(self):
+        c = Circuit()
+        c.add(Vsin("V1", "a", "0", offset=1.0, amplitude=0.5, frequency=1e3))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        res = transient(c, tstop=2e-3, dt=1e-6)
+        wave = res.node("a")
+        assert wave.maximum() == pytest.approx(1.5, abs=1e-3)
+        assert wave.minimum() == pytest.approx(0.5, abs=1e-3)
+        assert wave.average() == pytest.approx(1.0, abs=2e-3)
+
+    def test_pwl_source(self):
+        c = Circuit()
+        c.add(Vpwl("V1", "a", "0", [(0, 0), (1e-3, 1.0), (2e-3, 1.0)]))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        res = transient(c, tstop=2e-3, dt=5e-5)
+        assert res.node("a").value_at(0.5e-3) == pytest.approx(0.5, abs=1e-6)
+        assert res.node("a").value_at(1.5e-3) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pwm_duty_measured_on_node(self):
+        c = Circuit()
+        c.add(PwmVoltage("V1", "a", "0", v_high=1.0, frequency=1e6, duty=0.3))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        res = transient(c, tstop=4e-6, dt=1e-7)
+        assert res.node("a").duty_cycle(0.5) == pytest.approx(0.3, abs=0.01)
+
+    def test_breakpoints_land_exactly(self):
+        c = Circuit()
+        c.add(Vpulse("V1", "a", "0", v1=0.0, v2=1.0, delay=0.0,
+                     rise=1e-9, fall=1e-9, width=499e-9, period=1e-6))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        res = transient(c, tstop=2e-6, dt=0.3e-6)
+        # The rise corner at t=1e-9 must be a sample point even though
+        # dt is 300x larger.
+        assert np.any(np.isclose(res.t, 1e-9, rtol=0, atol=1e-15))
+        assert res.node("a").maximum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_supply_power_of_resistive_load(self):
+        c = Circuit()
+        c.add(Vdc("VDD", "vdd", "0", 2.0))
+        c.add(Resistor("R1", "vdd", "0", "1k"))
+        res = transient(c, tstop=1e-3, dt=1e-5)
+        assert res.average_power("VDD") == pytest.approx(4e-3, rel=1e-6)
+
+    def test_bad_arguments(self, rc_circuit):
+        with pytest.raises(AnalysisError):
+            transient(rc_circuit, tstop=0.0, dt=1e-6)
+        with pytest.raises(AnalysisError):
+            transient(rc_circuit, tstop=1e-3, dt=-1.0)
+        with pytest.raises(AnalysisError):
+            transient(rc_circuit, tstop=1e-3, dt=1e-5, method="rk4")
+
+    def test_be_and_trap_agree_on_smooth_circuit(self, rc_circuit):
+        res_be = transient(rc_circuit, tstop=3e-3, dt=5e-6,
+                           ic={"out": 0.0}, uic=True, method="be")
+        res_tr = transient(rc_circuit, tstop=3e-3, dt=5e-6,
+                           ic={"out": 0.0}, uic=True, method="trap")
+        v_be = res_be.node("out").value_at(1e-3)
+        v_tr = res_tr.node("out").value_at(1e-3)
+        assert v_be == pytest.approx(v_tr, abs=5e-3)

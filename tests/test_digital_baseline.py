@@ -1,0 +1,130 @@
+"""Digital baseline: fixed point, gate library, cost and failure models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError
+from repro.digital import (
+    DigitalPerceptron,
+    V_LOGIC_FAIL,
+    from_twos_complement,
+    gate,
+    gate_delay,
+    quantize_unsigned,
+    saturating_add,
+    to_twos_complement,
+)
+
+
+class TestFixedPoint:
+    def test_quantize_endpoints(self):
+        assert quantize_unsigned(0.0, 8) == 0
+        assert quantize_unsigned(1.0, 8) == 255
+
+    def test_quantize_validation(self):
+        with pytest.raises(AnalysisError):
+            quantize_unsigned(1.5, 8)
+        with pytest.raises(AnalysisError):
+            quantize_unsigned(0.5, 0)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_twos_complement_roundtrip(self, v):
+        assert from_twos_complement(to_twos_complement(v, 8), 8) == v
+
+    def test_twos_complement_range_check(self):
+        with pytest.raises(AnalysisError):
+            to_twos_complement(128, 8)
+
+    def test_saturating_add(self):
+        assert saturating_add(120, 50, 8) == 127
+        assert saturating_add(-120, -50, 8) == -128
+        assert saturating_add(1, 2, 8) == 3
+
+
+class TestGateLibrary:
+    def test_known_counts(self):
+        assert gate("INV").transistors == 2
+        assert gate("NAND2").transistors == 4
+        assert gate("FULL_ADDER").transistors == 28
+
+    def test_unknown_gate(self):
+        with pytest.raises(AnalysisError):
+            gate("NAND9")
+
+    def test_switching_energy_scales_with_vdd_squared(self):
+        g = gate("NAND2")
+        assert g.switching_energy(2.0) == pytest.approx(
+            4 * g.switching_energy(1.0))
+
+    def test_delay_increases_as_supply_drops(self):
+        assert gate_delay(1.0) > gate_delay(2.5)
+
+    def test_delay_infinite_at_threshold(self):
+        assert math.isinf(gate_delay(0.45))
+        assert math.isinf(gate_delay(0.3))
+
+    def test_delay_normalised_at_nominal(self):
+        assert gate_delay(2.5) == pytest.approx(40e-12, rel=1e-9)
+
+
+class TestDigitalPerceptron:
+    def test_functional_classification(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0, input_bits=8)
+        assert d.predict([0.9, 0.9, 0.9]) == 1
+        assert d.predict([0.1, 0.1, 0.1]) == 0
+
+    def test_weighted_sum_exact(self):
+        d = DigitalPerceptron([1, 2], theta=0.0, input_bits=4)
+        # codes: 0.5 -> round(0.5*15)=8; 1.0 -> 15
+        assert d.weighted_sum([0.5, 1.0]) == 8 * 1 + 15 * 2
+
+    def test_weight_validation(self):
+        with pytest.raises(AnalysisError):
+            DigitalPerceptron([9], theta=0.0, n_bits=3)
+        with pytest.raises(AnalysisError):
+            DigitalPerceptron([], theta=0.0)
+
+    def test_cost_has_expected_blocks(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0, input_bits=8, n_bits=3)
+        cost = d.cost()
+        assert cost.gates["AND2"] == 3 * 8 * 3
+        assert cost.transistors > 1000
+        assert cost.critical_path_units > 5
+
+    def test_pwm_advantage_is_order_of_magnitude(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0, input_bits=8, n_bits=3)
+        assert d.transistor_count > 20 * 54
+
+    def test_fails_below_logic_collapse(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0)
+        assert d.predict([0.9, 0.9, 0.9], vdd=0.5) == 0
+
+    def test_metastable_below_timing_closure(self):
+        d = DigitalPerceptron([7] * 6, theta=10.0, input_bits=10,
+                              clock_frequency=1.5e9)
+        v_min = d.min_reliable_vdd()
+        assert v_min > V_LOGIC_FAIL
+        rng = np.random.default_rng(1)
+        outs = {d.predict([0.9] * 6, vdd=v_min * 0.9, rng=rng)
+                for _ in range(40)}
+        assert outs == {0, 1}  # garbage, not a constant
+
+    def test_reliable_above_timing_closure(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0, clock_frequency=100e6)
+        v_min = d.min_reliable_vdd()
+        assert d.predict([0.9] * 3, vdd=v_min * 1.1) == 1
+
+    def test_max_frequency_monotone_in_vdd(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0)
+        cost = d.cost()
+        freqs = [cost.max_frequency(v) for v in (0.8, 1.5, 2.5, 4.0)]
+        assert all(b >= a for a, b in zip(freqs, freqs[1:]))
+
+    def test_energy_per_op_scales(self):
+        d = DigitalPerceptron([7, 7, 7], theta=10.0)
+        cost = d.cost()
+        assert cost.energy_per_op(2.5) > cost.energy_per_op(1.0)

@@ -1,0 +1,64 @@
+"""Doctests of API-bearing modules + the experiment result container."""
+
+import doctest
+
+import pytest
+
+import repro.circuit.units
+import repro.core.encoding
+import repro.signals.pwm
+import repro.tech.corners
+from repro.circuit import AnalysisError
+from repro.experiments import check_fidelity
+from repro.experiments.base import ExperimentResult
+from repro.reporting import FigureData, Table
+
+
+@pytest.mark.parametrize("module", [
+    repro.circuit.units,
+    repro.core.encoding,
+    repro.tech.corners,
+])
+def test_module_doctests(module):
+    """The usage examples in docstrings must actually work."""
+    failures, tried = doctest.testmod(module, raise_on_error=False).failed, \
+        doctest.testmod(module).attempted
+    assert failures == 0
+    assert tried > 0, f"{module.__name__} has no doctests to run"
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        table = Table(["a"])
+        table.add_row(1.0)
+        fig = FigureData("figX", "t", "x", "y")
+        fig.add_series("s", [0, 1], [0, 1])
+        return ExperimentResult(
+            experiment_id="demo", title="Demo", fidelity="fast",
+            table=table, figures=[fig], metrics={"m": 1.5},
+            notes=["a note"])
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text and "Demo" in text
+        assert "1.000" in text
+        assert "m = 1.5" in text
+        assert "a note" in text
+        assert "figX" in text
+
+    def test_render_without_charts(self):
+        text = self.make().render(charts=False)
+        assert "figX" in text          # the series table remains
+        assert "|" in text
+
+    def test_figure_lookup(self):
+        result = self.make()
+        assert result.figure("figX").title == "t"
+        with pytest.raises(AnalysisError):
+            result.figure("nope")
+
+    def test_check_fidelity(self):
+        assert check_fidelity("fast") == "fast"
+        assert check_fidelity("paper") == "paper"
+        with pytest.raises(AnalysisError):
+            check_fidelity("ludicrous")

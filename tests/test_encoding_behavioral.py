@@ -1,0 +1,164 @@
+"""Weight encoding and the Eq. 2 behavioural model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError
+from repro.core import (
+    BehavioralAdder,
+    CalibrationModel,
+    bits_to_weight,
+    eq2_output,
+    fit_calibration,
+    max_weight,
+    quantize_signed_weight,
+    quantize_weight,
+    split_signed_weight,
+    weight_to_bits,
+)
+
+
+class TestBits:
+    def test_known_decomposition(self):
+        assert weight_to_bits(5, 3) == [1, 0, 1]
+        assert weight_to_bits(0, 3) == [0, 0, 0]
+        assert weight_to_bits(7, 3) == [1, 1, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            weight_to_bits(8, 3)
+        with pytest.raises(AnalysisError):
+            weight_to_bits(-1, 3)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(AnalysisError):
+            weight_to_bits(1.5, 3)
+        with pytest.raises(AnalysisError):
+            weight_to_bits(True, 3)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip(self, w):
+        assert bits_to_weight(weight_to_bits(w, 8)) == w
+
+    def test_bits_validated(self):
+        with pytest.raises(AnalysisError):
+            bits_to_weight([0, 2, 1])
+
+    def test_max_weight(self):
+        assert max_weight(3) == 7
+        assert max_weight(1) == 1
+        with pytest.raises(AnalysisError):
+            max_weight(0)
+
+
+class TestSignedSplit:
+    @given(st.integers(min_value=-7, max_value=7))
+    def test_split_reconstructs(self, w):
+        p, n = split_signed_weight(w, 3)
+        assert p - n == w
+        assert p >= 0 and n >= 0
+        assert p == 0 or n == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            split_signed_weight(8, 3)
+
+    def test_quantizers_clip(self):
+        assert quantize_weight(9.7, 3) == 7
+        assert quantize_weight(-2.0, 3) == 0
+        assert quantize_signed_weight(-9.1, 3) == -7
+        assert quantize_signed_weight(3.4, 3) == 3
+
+
+class TestEq2:
+    def test_paper_table2_theory_column(self):
+        rows = [
+            ((0.70, 0.80, 0.90), (7, 7, 7), 2.00),
+            ((0.50, 0.50, 0.50), (1, 2, 4), 0.42),
+            ((0.20, 0.60, 0.80), (5, 6, 7), 1.21),
+            ((0.95, 0.90, 0.80), (7, 6, 6), 2.00),
+            ((0.30, 0.40, 0.50), (1, 4, 2), 0.34),
+        ]
+        for duties, weights, expected in rows:
+            v = eq2_output(duties, weights, n_bits=3, vdd=2.5)
+            # abs=0.01: the paper prints two decimals (row 4's exact
+            # value is 2.006).
+            assert v == pytest.approx(expected, abs=0.01)
+
+    def test_full_scale(self):
+        v = eq2_output([1.0, 1.0, 1.0], [7, 7, 7], n_bits=3, vdd=2.5)
+        assert v == pytest.approx(2.5)
+
+    def test_zero_inputs(self):
+        v = eq2_output([0.0, 0.0, 0.0], [7, 7, 7], n_bits=3, vdd=2.5)
+        assert v == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            eq2_output([0.5], [1, 2], n_bits=3, vdd=2.5)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1),
+                              st.integers(min_value=0, max_value=7)),
+                    min_size=1, max_size=6))
+    def test_output_bounded_by_vdd(self, pairs):
+        duties = [p[0] for p in pairs]
+        weights = [p[1] for p in pairs]
+        v = eq2_output(duties, weights, n_bits=3, vdd=2.5)
+        assert 0.0 <= v <= 2.5 + 1e-12
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0.5, max_value=5.0))
+    def test_scales_linearly_with_vdd(self, duty, vdd):
+        base = eq2_output([duty] * 3, [7, 7, 7], n_bits=3, vdd=1.0)
+        assert eq2_output([duty] * 3, [7, 7, 7], n_bits=3, vdd=vdd) == \
+            pytest.approx(base * vdd, rel=1e-9)
+
+
+class TestBehavioralAdder:
+    def test_output_and_ratio(self):
+        adder = BehavioralAdder(3, 3, vdd=2.5)
+        v = adder.output([0.5, 0.5, 0.5], [7, 7, 7])
+        assert v == pytest.approx(1.25)
+        assert adder.output_ratio([0.5, 0.5, 0.5], [7, 7, 7]) == \
+            pytest.approx(0.5)
+
+    def test_input_count_enforced(self):
+        adder = BehavioralAdder(3, 3)
+        with pytest.raises(AnalysisError):
+            adder.output([0.5, 0.5], [7, 7])
+
+    def test_dot_product(self):
+        adder = BehavioralAdder(2, 3)
+        assert adder.dot_product([0.5, 1.0], [2, 3]) == pytest.approx(4.0)
+
+
+class TestCalibration:
+    def test_identity_calibration(self):
+        model = CalibrationModel()
+        assert model.apply(1.3, 2.5) == pytest.approx(1.3)
+
+    def test_fit_recovers_linear_distortion(self):
+        ideal = np.linspace(0.1, 2.4, 12)
+        measured = 0.95 * ideal - 0.02
+        model = fit_calibration(ideal, measured, 2.5, degree=1)
+        for v in (0.5, 1.0, 2.0):
+            assert model.apply(v, 2.5) == pytest.approx(0.95 * v - 0.02,
+                                                        abs=1e-6)
+
+    def test_fit_needs_enough_points(self):
+        with pytest.raises(AnalysisError):
+            fit_calibration([1.0], [1.0], 2.5, degree=2)
+
+    def test_apply_clips_to_rails(self):
+        model = CalibrationModel([0.0, 2.0])  # doubles the ratio
+        assert model.apply(2.0, 2.5) == pytest.approx(2.5)
+
+    def test_calibrated_adder_changes_output(self):
+        plain = BehavioralAdder(3, 3)
+        calibrated = BehavioralAdder(3, 3,
+                                     calibration=CalibrationModel([0.0, 0.9]))
+        duties, weights = [0.5] * 3, [7] * 3
+        assert calibrated.output(duties, weights) == pytest.approx(
+            0.9 * plain.output(duties, weights))

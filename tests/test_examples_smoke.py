@@ -1,0 +1,50 @@
+"""Smoke-run the example scripts (the fast ones) as subprocesses.
+
+Examples are user-facing documentation; they must not rot.  The slower
+harvester/design-space scripts are exercised indirectly through the
+modules they call, and `reproduce_paper.py` through the registry tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Transcoding inverter" in out
+    assert "54" in out
+    assert "class 1" in out
+
+
+def test_image_edge_filter():
+    out = run_example("image_edge_filter.py")
+    assert "Decision agreement" in out
+    assert "100.0%" in out
+
+
+def test_mlp_xor_pipeline():
+    out = run_example("mlp_xor_pipeline.py")
+    assert "solved with hidden-layer seed" in out
+    assert out.count("OK") >= 4
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python3\n"""',
+                                         '"""')), script.name

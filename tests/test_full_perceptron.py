@@ -1,0 +1,90 @@
+"""Transistor-level comparator and the complete Fig. 1 netlist."""
+
+import pytest
+
+from repro.circuit import AnalysisError, operating_point
+from repro.core import (
+    ComparatorDesign,
+    build_comparator_bench,
+    build_full_perceptron_circuit,
+    evaluate_full_perceptron,
+    reference_divider_subckt,
+)
+from repro.circuit import Circuit, Vdc
+
+
+class TestComparatorCircuit:
+    @pytest.mark.parametrize("vp,vn,expected", [
+        (1.5, 1.0, 2.5), (1.0, 1.5, 0.0),
+        (1.30, 1.25, 2.5), (1.25, 1.30, 0.0),
+    ])
+    def test_decision_polarity(self, vp, vn, expected):
+        op = operating_point(build_comparator_bench(vp, vn))
+        assert op.voltage("out") == pytest.approx(expected, abs=0.05)
+
+    def test_works_across_common_mode(self):
+        for vcm in (0.6, 1.25, 2.0):
+            op = operating_point(build_comparator_bench(vcm + 0.05,
+                                                        vcm - 0.05))
+            assert op.voltage("out") > 2.4
+
+    def test_works_at_low_supply(self):
+        op = operating_point(build_comparator_bench(0.8, 0.6, vdd=1.2))
+        assert op.voltage("out") > 1.1
+
+    def test_geometry_validation(self):
+        from repro.circuit import NetlistError
+        with pytest.raises(NetlistError):
+            ComparatorDesign(input_width=0.0)
+        with pytest.raises(NetlistError):
+            ComparatorDesign(r_tail=-1.0)
+
+
+class TestReferenceDivider:
+    def test_ratio_tracks_supply(self):
+        for vdd in (1.0, 2.5, 5.0):
+            c = Circuit()
+            c.add(Vdc("VDD", "vdd", "0", vdd))
+            c.instantiate(reference_divider_subckt(0.4), "X1",
+                          {"ref": "ref", "vdd": "vdd"})
+            assert operating_point(c).voltage("ref") == pytest.approx(
+                0.4 * vdd, rel=1e-6)
+
+    def test_ratio_validation(self):
+        with pytest.raises(AnalysisError):
+            reference_divider_subckt(0.0)
+        with pytest.raises(AnalysisError):
+            reference_divider_subckt(1.0)
+
+
+class TestFullPerceptron:
+    def test_netlist_transistor_count(self):
+        circuit = build_full_perceptron_circuit(
+            [0.5] * 3, [7] * 3, theta=9.0)
+        # 54 (adder) + 8 (comparator).
+        assert circuit.stats()["transistors"] == 62
+
+    def test_theta_range_checked(self):
+        with pytest.raises(AnalysisError):
+            build_full_perceptron_circuit([0.5] * 3, [7] * 3, theta=25.0)
+
+    def test_decision_above_and_below(self):
+        high = evaluate_full_perceptron([0.7, 0.8, 0.9], [7, 7, 7],
+                                        theta=9.0, steps_per_period=70)
+        low = evaluate_full_perceptron([0.3, 0.4, 0.5], [1, 4, 2],
+                                       theta=9.0, steps_per_period=70)
+        assert high.decision == 1
+        assert low.decision == 0
+        assert high.margin > 0 > low.margin
+        assert high.v_ref == pytest.approx(2.5 * 9 / 21, abs=0.02)
+
+    def test_decision_survives_supply_change(self):
+        decisions = []
+        for vdd in (1.5, 3.5):
+            result = evaluate_full_perceptron([0.7, 0.8, 0.9], [7, 7, 7],
+                                              theta=9.0, vdd=vdd,
+                                              steps_per_period=70)
+            decisions.append(result.decision)
+            # Reference scales with the rail.
+            assert result.v_ref == pytest.approx(vdd * 9 / 21, abs=0.05)
+        assert decisions == [1, 1]

@@ -1,0 +1,137 @@
+"""Kessels counter PWM generator and noise injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError
+from repro.signals import (
+    CounterConfig,
+    KesselsPwmGenerator,
+    NoiseSpec,
+    PwmNoiseSampler,
+    PwmSpec,
+    elastic_clock,
+    ramp,
+)
+
+
+class TestCounter:
+    def test_duty_is_code_over_modulus(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=16))
+        gen.load(4)
+        assert gen.duty == pytest.approx(0.25)
+        assert gen.measured_duty(4) == pytest.approx(0.25, abs=1e-6)
+
+    def test_load_duty_picks_nearest_code(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=8))
+        code = gen.load_duty(0.3)
+        assert code == 2  # 0.25 is nearest to 0.3 on the /8 grid
+        assert gen.duty == pytest.approx(0.25)
+
+    def test_code_clamped(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=8))
+        gen.load(99)
+        assert gen.code == 8
+        gen.load(-3)
+        assert gen.code == 0
+
+    def test_extreme_codes(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=8))
+        gen.load(0)
+        assert gen.measured_duty(2) == 0.0
+        gen.load(8)
+        assert gen.measured_duty(2) == 1.0
+
+    def test_non_integer_code_rejected(self):
+        gen = KesselsPwmGenerator()
+        with pytest.raises(AnalysisError):
+            gen.load(0.5)
+
+    def test_bad_modulus(self):
+        with pytest.raises(AnalysisError):
+            CounterConfig(modulus=1)
+
+    def test_waveform_levels(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=4, v_high=2.0))
+        gen.load(2)
+        wave = gen.waveform(2)
+        assert wave.maximum() == 2.0
+        assert wave.minimum() == 0.0
+
+    @given(st.integers(min_value=0, max_value=16))
+    def test_duty_exact_for_every_code(self, code):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=16))
+        gen.load(code)
+        assert gen.measured_duty(3) == pytest.approx(code / 16, abs=1e-9)
+
+    def test_elastic_clock_preserves_duty(self):
+        # Supply droops 2.5 -> 1.2 V: the clock slows ~2x but the duty
+        # (the information) must not move.
+        supply = ramp(2.5, 1.2, 2e-6).clamped(v_min=1.0)
+        gen = KesselsPwmGenerator(
+            CounterConfig(modulus=16),
+            clock_period=elastic_clock(1e-9, supply, sensitivity=1.2))
+        gen.load(12)
+        assert gen.measured_duty(8) == pytest.approx(0.75, abs=0.02)
+
+    def test_elastic_clock_actually_slows(self):
+        supply = ramp(2.5, 1.2, 2e-6).clamped(v_min=1.0)
+        period_fn = elastic_clock(1e-9, supply, sensitivity=1.2)
+        first = period_fn(0)
+        for i in range(1, 5000):
+            last = period_fn(i)
+        assert last > 1.5 * first
+
+    def test_to_spec(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=10),
+                                  clock_period=1e-9)
+        gen.load(3)
+        spec = gen.to_spec()
+        assert isinstance(spec, PwmSpec)
+        assert spec.duty == pytest.approx(0.3)
+        assert spec.frequency == pytest.approx(1e8)  # 10 cycles of 1 ns
+
+    def test_bad_clock_period_caught(self):
+        gen = KesselsPwmGenerator(CounterConfig(modulus=4),
+                                  clock_period=lambda i: -1.0)
+        gen.load(2)
+        with pytest.raises(AnalysisError):
+            gen.waveform(1)
+
+
+class TestNoise:
+    def test_zero_noise_is_identity(self):
+        spec = PwmSpec(duty=0.4)
+        sampler = PwmNoiseSampler(NoiseSpec(), seed=0)
+        assert sampler.perturb(spec) == spec
+
+    def test_jitter_spread_scales(self):
+        spec = PwmSpec(duty=0.5)
+        sampler = PwmNoiseSampler(NoiseSpec(jitter_rms=0.01), seed=1)
+        duties = [sampler.perturb(spec).duty for _ in range(400)]
+        assert np.std(duties) == pytest.approx(np.sqrt(2) * 0.01, rel=0.2)
+
+    def test_duty_stays_in_range(self):
+        spec = PwmSpec(duty=0.98)
+        sampler = PwmNoiseSampler(NoiseSpec(jitter_rms=0.05), seed=2)
+        for s in sampler.perturb_many(spec, 200):
+            assert 0.0 <= s.duty <= 1.0
+
+    def test_amplitude_noise_changes_vhigh_only(self):
+        spec = PwmSpec(duty=0.5)
+        sampler = PwmNoiseSampler(NoiseSpec(amplitude_sigma=0.1), seed=3)
+        out = sampler.perturb(spec)
+        assert out.duty == spec.duty
+        assert out.v_high != spec.v_high
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(AnalysisError):
+            NoiseSpec(jitter_rms=-0.1)
+
+    def test_seeded_reproducibility(self):
+        spec = PwmSpec(duty=0.5)
+        a = PwmNoiseSampler(NoiseSpec(jitter_rms=0.02), seed=42).perturb(spec)
+        b = PwmNoiseSampler(NoiseSpec(jitter_rms=0.02), seed=42).perturb(spec)
+        assert a == b

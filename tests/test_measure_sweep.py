@@ -1,0 +1,113 @@
+"""Measurement helpers and the sweep harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    AnalysisError,
+    SweepResult,
+    flatness,
+    linear_fit,
+    max_linearity_error,
+    r_squared,
+    relative_error,
+    sweep,
+    sweep1d,
+)
+
+
+class TestLinearity:
+    def test_perfect_line(self):
+        x = np.linspace(0, 1, 11)
+        y = 2 * x + 1
+        slope, intercept = linear_fit(x, y)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r_squared(x, y) == pytest.approx(1.0)
+        assert max_linearity_error(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_curved_data_scores_lower(self):
+        x = np.linspace(0, 1, 21)
+        assert r_squared(x, x**3) < r_squared(x, x)
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([1.0], [2.0])
+
+    @given(st.floats(min_value=1e-3, max_value=10),
+           st.floats(min_value=-10, max_value=10))
+    def test_r_squared_of_any_line_is_one(self, slope, intercept):
+        # Slopes below ~1e-3 degenerate into constant series where r^2
+        # is dominated by floating-point noise, hence the lower bound.
+        x = np.linspace(0, 1, 7)
+        y = slope * x + intercept
+        assert r_squared(x, y) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFlatness:
+    def test_constant_series_is_flat(self):
+        assert flatness([3.0, 3.0, 3.0]) == 0.0
+
+    def test_spread_measured_relative(self):
+        assert flatness([1.0, 1.1]) == pytest.approx(0.1 / 1.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            flatness([])
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(0.2, 0.0) == pytest.approx(0.2)
+
+
+class TestSweep:
+    def test_product_grid(self):
+        result = sweep(lambda a, b: {"sum": a + b},
+                       {"a": [1, 2], "b": [10, 20]})
+        assert len(result) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_where_filter(self):
+        result = sweep(lambda a, b: {"sum": a + b},
+                       {"a": [1, 2], "b": [10, 20]})
+        only_a1 = result.where(a=1)
+        assert len(only_a1) == 2
+        assert only_a1.column("b") == [10, 20]
+
+    def test_missing_column_raises(self):
+        result = sweep1d(lambda v: {"y": v}, "v", [1, 2])
+        with pytest.raises(AnalysisError):
+            result.column("nope")
+
+    def test_error_recorded_when_requested(self):
+        def sometimes_fails(v):
+            if v == 2:
+                raise ValueError("boom")
+            return {"y": v * v}
+
+        result = sweep1d(sometimes_fails, "v", [1, 2, 3], on_error="record")
+        assert len(result) == 3
+        assert "error" in result.records[1]
+        assert result.records[0]["y"] == 1
+
+    def test_error_raises_by_default(self):
+        def fails(v):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            sweep1d(fails, "v", [1])
+
+    def test_bad_on_error_mode(self):
+        with pytest.raises(AnalysisError):
+            sweep(lambda v: {}, {"v": [1]}, on_error="ignore")
+
+    def test_sweep1d_equivalent_to_sweep(self):
+        a = sweep1d(lambda v: {"y": 2 * v}, "v", [1, 2, 3])
+        b = sweep(lambda v: {"y": 2 * v}, {"v": [1, 2, 3]})
+        assert a.column("y") == b.column("y")

@@ -1,0 +1,184 @@
+"""Level-1 MOSFET model: regions, symmetry, derivatives, vectorisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech import (
+    NMOS_UMC65,
+    PMOS_UMC65,
+    MosfetParams,
+    gate_capacitances,
+    ids_full,
+    ids_full_vec,
+    on_resistance,
+)
+
+W, L = 320e-9, 1.2e-6
+
+
+class TestRegions:
+    def test_cutoff_current_negligible(self):
+        ids, _, _ = ids_full(2.5, 0.0, 0.0, NMOS_UMC65, W, L)
+        assert abs(ids) < 1e-9
+
+    def test_saturation_square_law(self):
+        vgs, vds = 1.45, 2.5  # vov = 1.0, deep saturation
+        ids, _, _ = ids_full(vds, vgs, 0.0, NMOS_UMC65, W, L)
+        beta = NMOS_UMC65.kp * W / L
+        expected = 0.5 * beta * 1.0**2 * (1 + NMOS_UMC65.lam * vds)
+        assert ids == pytest.approx(expected, rel=0.02)
+
+    def test_triode_small_vds_acts_resistive(self):
+        vgs = 2.5
+        ids1, _, _ = ids_full(0.01, vgs, 0.0, NMOS_UMC65, W, L)
+        ids2, _, _ = ids_full(0.02, vgs, 0.0, NMOS_UMC65, W, L)
+        assert ids2 == pytest.approx(2 * ids1, rel=0.02)
+
+    def test_monotone_in_vgs(self):
+        currents = [ids_full(1.0, vgs, 0.0, NMOS_UMC65, W, L)[0]
+                    for vgs in np.linspace(0, 2.5, 26)]
+        assert all(b >= a - 1e-15 for a, b in zip(currents, currents[1:]))
+
+    def test_subthreshold_tail_is_exponential_ish(self):
+        i1 = ids_full(1.0, 0.30, 0.0, NMOS_UMC65, W, L)[0]
+        i2 = ids_full(1.0, 0.20, 0.0, NMOS_UMC65, W, L)[0]
+        assert i1 > i2 > 0
+        # Roughly a decade per ~90 mV at n=1.5.
+        assert 5 < i1 / i2 < 100
+
+    def test_pmos_mirror_symmetry(self):
+        # PMOS with |vgs|, |vds| mirrors NMOS apart from kp ratio.
+        ids_n, _, _ = ids_full(1.0, 2.0, 0.0, NMOS_UMC65, W, L)
+        ids_p, _, _ = ids_full(-1.0, -2.0, 0.0, PMOS_UMC65, W, L)
+        ratio = abs(ids_p / ids_n)
+        assert ratio == pytest.approx(PMOS_UMC65.kp / NMOS_UMC65.kp, rel=0.05)
+        assert ids_p < 0  # current flows out of the drain
+
+    def test_drain_source_swap_antisymmetric(self):
+        # The device is symmetric: exchanging the drain and source node
+        # voltages (same gate) negates the drain-terminal current.
+        fwd, _, _ = ids_full(0.8, 2.0, 0.0, NMOS_UMC65, W, L)
+        rev, _, _ = ids_full(0.0, 2.0, 0.8, NMOS_UMC65, W, L)
+        assert rev == pytest.approx(-fwd, rel=1e-9)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("vgs,vds", [
+        (2.5, 0.05),   # deep triode
+        (2.0, 1.0),    # triode
+        (1.0, 2.0),    # saturation
+        (0.4, 1.0),    # subthreshold
+        (1.5, -0.5),   # reverse mode
+        (2.5, -2.0),   # deep reverse
+    ])
+    def test_gm_gds_match_finite_differences(self, vgs, vds):
+        h = 1e-6
+        ids0, gm, gds = ids_full(vds, vgs, 0.0, NMOS_UMC65, W, L)
+        ids_gp = ids_full(vds, vgs + h, 0.0, NMOS_UMC65, W, L)[0]
+        ids_gm_ = ids_full(vds, vgs - h, 0.0, NMOS_UMC65, W, L)[0]
+        ids_dp = ids_full(vds + h, vgs, 0.0, NMOS_UMC65, W, L)[0]
+        ids_dm = ids_full(vds - h, vgs, 0.0, NMOS_UMC65, W, L)[0]
+        assert gm == pytest.approx((ids_gp - ids_gm_) / (2 * h),
+                                   rel=1e-3, abs=1e-12)
+        assert gds == pytest.approx((ids_dp - ids_dm) / (2 * h),
+                                    rel=1e-3, abs=1e-12)
+
+    @pytest.mark.parametrize("vgs,vds", [(2.0, -1.0), (-0.5, 0.7), (1.2, 0.3)])
+    def test_pmos_derivatives_match_finite_differences(self, vgs, vds):
+        h = 1e-6
+        _, gm, gds = ids_full(vds, vgs, 0.0, PMOS_UMC65, W, L)
+        ids_gp = ids_full(vds, vgs + h, 0.0, PMOS_UMC65, W, L)[0]
+        ids_gm_ = ids_full(vds, vgs - h, 0.0, PMOS_UMC65, W, L)[0]
+        ids_dp = ids_full(vds + h, vgs, 0.0, PMOS_UMC65, W, L)[0]
+        ids_dm = ids_full(vds - h, vgs, 0.0, PMOS_UMC65, W, L)[0]
+        assert gm == pytest.approx((ids_gp - ids_gm_) / (2 * h),
+                                   rel=1e-3, abs=1e-12)
+        assert gds == pytest.approx((ids_dp - ids_dm) / (2 * h),
+                                    rel=1e-3, abs=1e-12)
+
+    @settings(max_examples=60)
+    @given(st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=-1, max_value=1))
+    def test_current_continuity(self, vd, vg, vs):
+        """No jumps: nearby operating points give nearby currents."""
+        eps = 1e-9
+        i0 = ids_full(vd, vg, vs, NMOS_UMC65, W, L)[0]
+        i1 = ids_full(vd + eps, vg, vs, NMOS_UMC65, W, L)[0]
+        assert abs(i1 - i0) < 1e-6
+
+
+class TestVectorised:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=-3, max_value=3),
+        st.sampled_from([1.0, -1.0])), min_size=1, max_size=8))
+    def test_vector_matches_scalar(self, points):
+        vd = np.array([p[0] for p in points])
+        vg = np.array([p[1] for p in points])
+        vs = np.array([p[2] for p in points])
+        sign = np.array([p[3] for p in points])
+        n = len(points)
+        params_n = NMOS_UMC65
+        params_p = PMOS_UMC65
+        beta = np.where(sign > 0, params_n.kp, params_p.kp) * W / L
+        vt = np.where(sign > 0, abs(params_n.vt0), abs(params_p.vt0))
+        lam = np.where(sign > 0, params_n.lam, params_p.lam)
+        n_sub = np.where(sign > 0, params_n.n_sub, params_p.n_sub)
+        ids_v, gm_v, gds_v = ids_full_vec(vd, vg, vs, sign, beta, vt, lam,
+                                          n_sub)
+        for k in range(n):
+            params = params_n if sign[k] > 0 else params_p
+            ids_s, gm_s, gds_s = ids_full(vd[k], vg[k], vs[k], params, W, L)
+            assert ids_v[k] == pytest.approx(ids_s, rel=1e-9, abs=1e-18)
+            assert gm_v[k] == pytest.approx(gm_s, rel=1e-9, abs=1e-18)
+            assert gds_v[k] == pytest.approx(gds_s, rel=1e-9, abs=1e-18)
+
+
+class TestParamsValidation:
+    def test_bad_polarity(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="cmos", vt0=0.4, kp=1e-4)
+
+    def test_nmos_negative_vt_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="nmos", vt0=-0.4, kp=1e-4)
+
+    def test_pmos_positive_vt_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="pmos", vt0=0.4, kp=1e-4)
+
+    def test_kp_positive(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="nmos", vt0=0.4, kp=0.0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ids_full(1, 1, 0, NMOS_UMC65, 0.0, L)
+
+
+class TestDerivedQuantities:
+    def test_on_resistance_magnitude(self):
+        # Table I NMOS at full drive: about 10 kOhm (see umc65.py).
+        r = on_resistance(NMOS_UMC65, W, L, 2.5)
+        assert 5e3 < r < 20e3
+
+    def test_on_resistance_scales_inverse_width(self):
+        r1 = on_resistance(NMOS_UMC65, W, L, 2.5)
+        r2 = on_resistance(NMOS_UMC65, 2 * W, L, 2.5)
+        assert r1 / r2 == pytest.approx(2.0, rel=1e-6)
+
+    def test_off_resistance_enormous(self):
+        r = on_resistance(NMOS_UMC65, W, L, 0.0)
+        assert r > 1e8
+
+    def test_gate_capacitances_positive_and_scale(self):
+        cgs1, cgd1, cj1 = gate_capacitances(NMOS_UMC65, W, L)
+        cgs2, cgd2, cj2 = gate_capacitances(NMOS_UMC65, 2 * W, L)
+        assert cgs1 > 0 and cgd1 > 0 and cj1 > 0
+        assert cgs2 == pytest.approx(2 * cgs1)
+        assert cj2 == pytest.approx(2 * cj1)

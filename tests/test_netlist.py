@@ -1,0 +1,148 @@
+"""Circuit container, compilation and subcircuits."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Mosfet,
+    NetlistError,
+    Resistor,
+    SubCircuit,
+    Vdc,
+)
+from repro.tech import NMOS_UMC65
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "b", 1.0))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("R1", "b", "c", 1.0))
+
+    def test_node_indexing_skips_ground(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1.0))
+        c.add(Resistor("R2", "a", "gnd", 1.0))
+        assert c.n_nodes == 1
+        assert c.node_index("0") == -1
+        assert c.node_index("gnd") == -1
+        assert c.node_index("a") == 0
+
+    def test_unknown_node_raises(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1.0))
+        with pytest.raises(NetlistError):
+            c.node_index("zz")
+
+    def test_remove(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1.0))
+        c.remove("R1")
+        assert "R1" not in c
+        with pytest.raises(NetlistError):
+            c.remove("R1")
+
+    def test_branch_allocation(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Vdc("V2", "b", "0", 2.0))
+        c.add(Resistor("R1", "a", "b", 1.0))
+        assert c.n_nodes == 2
+        assert c.n_branches == 2
+        assert c.size == 4
+
+    def test_mosfet_expansion_adds_caps(self):
+        c = Circuit()
+        c.add(Vdc("V1", "d", "0", 1.0))
+        c.add(Mosfet("M1", "d", "g", "0", model=NMOS_UMC65,
+                     w="320n", l="1.2u"))
+        names = [el.name for el in c.flat_elements]
+        assert "M1.cgs" in names and "M1.cgd" in names and "M1.cj" in names
+
+    def test_stats_counts_transistors(self):
+        c = Circuit()
+        c.add(Mosfet("M1", "d", "g", "0", model=NMOS_UMC65, w="1u", l="1u"))
+        c.add(Mosfet("M2", "d", "g", "0", model=NMOS_UMC65, w="1u", l="1u"))
+        c.add(Resistor("R1", "d", "0", 1.0))
+        assert c.stats()["transistors"] == 2
+
+    def test_recompile_after_mutation(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1.0))
+        assert c.n_nodes == 1
+        c.add(Resistor("R2", "b", "0", 1.0))
+        assert c.n_nodes == 2
+
+    def test_element_lookup(self):
+        c = Circuit()
+        r = c.add(Resistor("R1", "a", "0", 1.0))
+        assert c.element("R1") is r
+        with pytest.raises(NetlistError):
+            c.element("R9")
+
+
+class TestResistorValidation:
+    def test_zero_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -5.0)
+
+
+class TestSubCircuit:
+    def make_divider(self) -> SubCircuit:
+        sub = SubCircuit("divider", ports=("top", "mid"))
+        sub.add(Resistor("RA", "top", "mid", "1k"))
+        sub.add(Resistor("RB", "mid", "internal", "1k"))
+        sub.add(Resistor("RC", "internal", "0", "1k"))
+        return sub
+
+    def test_instantiation_prefixes_names(self):
+        c = Circuit()
+        c.add(Vdc("V1", "vin", "0", 3.0))
+        c.instantiate(self.make_divider(), "X1",
+                      {"top": "vin", "mid": "vout"})
+        assert "X1.RA" in c
+        assert c.has_node("X1.internal")
+        assert c.has_node("vout")
+
+    def test_multiple_instances_are_independent(self):
+        c = Circuit()
+        c.add(Vdc("V1", "vin", "0", 3.0))
+        sub = self.make_divider()
+        c.instantiate(sub, "X1", {"top": "vin", "mid": "m1"})
+        c.instantiate(sub, "X2", {"top": "vin", "mid": "m2"})
+        assert c.has_node("X1.internal") and c.has_node("X2.internal")
+        assert c.node_index("X1.internal") != c.node_index("X2.internal")
+
+    def test_missing_port_rejected(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.instantiate(self.make_divider(), "X1", {"top": "vin"})
+
+    def test_unknown_port_rejected(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.instantiate(self.make_divider(), "X1",
+                          {"top": "a", "mid": "b", "oops": "c"})
+
+    def test_ground_cannot_be_port(self):
+        with pytest.raises(NetlistError):
+            SubCircuit("bad", ports=("0",))
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            SubCircuit("bad", ports=("a", "a"))
+
+    def test_ground_passes_through(self):
+        sub = SubCircuit("leak", ports=("a",))
+        sub.add(Resistor("R", "a", "0", "1k"))
+        c = Circuit()
+        c.add(Vdc("V1", "x", "0", 1.0))
+        c.instantiate(sub, "X1", {"a": "x"})
+        # The resistor must connect to global ground, not "X1.0".
+        assert c.n_nodes == 1

@@ -1,0 +1,110 @@
+"""Periodic steady-state (shooting) against analytic and brute-force results."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    AnalysisError,
+    Capacitor,
+    Circuit,
+    PwmVoltage,
+    Resistor,
+    Vdc,
+    settle_average,
+    shooting,
+)
+from tests.conftest import make_transcoding_inverter
+
+
+def rc_pwm_circuit(duty: float, *, r=10e3, c=1e-9, f=1e6, vhigh=1.0) -> Circuit:
+    """Linear RC driven by PWM: steady-state average is duty*vhigh."""
+    ckt = Circuit("rc_pwm")
+    ckt.add(PwmVoltage("VIN", "in", "0", v_high=vhigh, frequency=f, duty=duty))
+    ckt.add(Resistor("R1", "in", "out", r))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    return ckt
+
+
+class TestShootingLinear:
+    @pytest.mark.parametrize("duty", [0.2, 0.5, 0.8])
+    def test_rc_average_equals_duty(self, duty):
+        ckt = rc_pwm_circuit(duty)
+        pss = shooting(ckt, period=1e-6, steps_per_period=200)
+        # Average of the RC output equals the average of the input.
+        assert pss.average("out") == pytest.approx(duty, abs=0.01)
+
+    def test_converges_in_few_iterations(self):
+        # tau = 10us >> T = 1us: brute force would need ~50 periods,
+        # shooting needs a handful of Newton steps.
+        ckt = rc_pwm_circuit(0.5)
+        pss = shooting(ckt, period=1e-6, steps_per_period=100)
+        assert pss.iterations <= 4
+
+    def test_periodicity_of_result(self):
+        ckt = rc_pwm_circuit(0.3)
+        pss = shooting(ckt, period=1e-6, steps_per_period=200)
+        wave = pss.node("out")
+        assert wave.y[0] == pytest.approx(wave.y[-1], abs=1e-3)
+
+    def test_ripple_scales_with_period(self):
+        slow = shooting(rc_pwm_circuit(0.5, f=1e6), period=1e-6,
+                        steps_per_period=100)
+        fast = shooting(rc_pwm_circuit(0.5, f=10e6), period=1e-7,
+                        steps_per_period=100)
+        assert fast.ripple("out") < slow.ripple("out") / 5
+
+
+class TestShootingVsSettle:
+    def test_agreement_on_transcoding_inverter(self):
+        ckt = make_transcoding_inverter(0.6)
+        pss = shooting(ckt, period=2e-9, steps_per_period=100)
+        avg_settle, _ = settle_average(
+            make_transcoding_inverter(0.6), 2e-9, "out",
+            steps_per_period=60, chunk_periods=30, tol=5e-4)
+        assert pss.average("out") == pytest.approx(avg_settle, abs=0.02)
+
+
+class TestShootingValidation:
+    def test_bad_period(self):
+        with pytest.raises(AnalysisError):
+            shooting(rc_pwm_circuit(0.5), period=0.0)
+
+    def test_no_observable_nodes(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        with pytest.raises(AnalysisError):
+            shooting(c, period=1e-6)
+
+    def test_cannot_observe_ground(self):
+        with pytest.raises(AnalysisError):
+            shooting(rc_pwm_circuit(0.5), period=1e-6, observe=["0"])
+
+    def test_explicit_observe_works(self):
+        pss = shooting(rc_pwm_circuit(0.5), period=1e-6, observe=["out"],
+                       steps_per_period=100)
+        assert pss.average("out") == pytest.approx(0.5, abs=0.01)
+
+
+class TestTranscodingInverterPss:
+    """The paper's Fig. 2 cell behaves as designed under PSS."""
+
+    def test_output_inverse_of_duty(self):
+        v40 = shooting(make_transcoding_inverter(0.4), 2e-9,
+                       steps_per_period=80).average("out")
+        v70 = shooting(make_transcoding_inverter(0.7), 2e-9,
+                       steps_per_period=80).average("out")
+        assert v40 > v70
+
+    def test_output_close_to_ideal_with_large_rout(self):
+        for duty in (0.25, 0.75):
+            pss = shooting(make_transcoding_inverter(duty), 2e-9,
+                           steps_per_period=80)
+            ideal = 2.5 * (1 - duty)
+            assert pss.average("out") == pytest.approx(ideal, abs=0.15)
+
+    def test_supply_power_positive_and_small(self):
+        pss = shooting(make_transcoding_inverter(0.5), 2e-9,
+                       steps_per_period=80)
+        power = pss.supply_power("VDD")
+        assert 0 < power < 1e-3  # sub-milliwatt cell

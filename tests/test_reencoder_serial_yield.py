@@ -1,0 +1,136 @@
+"""Ramp re-encoder, bit-serial MAC baseline and parametric yield."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import make_blobs, perceptron_yield
+from repro.circuit import AnalysisError
+from repro.core import (
+    DifferentialPwmPerceptron,
+    PerceptronTrainer,
+    RampReencoder,
+    ReencoderDesign,
+    reencode_ratiometric,
+)
+from repro.digital import DigitalPerceptron, SerialMacPerceptron
+
+
+class TestRampReencoder:
+    def test_ideal_encoding_is_ratiometric(self):
+        enc = RampReencoder()
+        for vdd in (1.5, 2.5, 4.0):
+            assert enc.encode(0.5 * vdd, vdd) == pytest.approx(0.5,
+                                                               abs=0.002)
+            assert enc.encode(0.25 * vdd, vdd) == pytest.approx(0.25,
+                                                                abs=0.002)
+
+    def test_clipping_at_rails(self):
+        enc = RampReencoder()
+        assert enc.encode(-0.5, 2.5) == 0.0
+        assert enc.encode(3.5, 2.5) == 1.0
+
+    def test_offset_shifts_duty(self):
+        enc = RampReencoder(ReencoderDesign(comparator_offset=0.25))
+        assert enc.encode(1.0, 2.5) == pytest.approx(0.5, abs=0.002)
+
+    def test_nonlinear_ramp_bends_transfer(self):
+        lin = RampReencoder()
+        bent = RampReencoder(ReencoderDesign(ramp_nonlinearity=0.5))
+        # A nonlinear (concave) ramp crosses the input earlier/later.
+        assert bent.encode(1.25, 2.5) != pytest.approx(
+            lin.encode(1.25, 2.5), abs=0.01)
+
+    def test_output_waveform_duty(self):
+        enc = RampReencoder()
+        wave = enc.output_waveform(1.0, 2.5, n_periods=4)
+        assert wave.duty_cycle(1.25) == pytest.approx(0.4, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ReencoderDesign(frequency=0.0)
+        with pytest.raises(AnalysisError):
+            RampReencoder().encode(1.0, 0.0)
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=0, max_value=2.5),
+           st.floats(min_value=0.5, max_value=5.0))
+    def test_matches_ideal_ratiometric(self, v, vdd):
+        enc = RampReencoder()
+        assert enc.encode(v, vdd) == pytest.approx(
+            reencode_ratiometric(v, vdd), abs=0.002)
+
+
+class TestSerialMac:
+    def test_functionally_identical_to_parallel(self):
+        weights = [7, 3, 5]
+        serial = SerialMacPerceptron(weights, theta=8.0)
+        parallel = DigitalPerceptron(weights, theta=8.0)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            x = rng.uniform(0, 1, 3)
+            assert serial.weighted_sum(x) == parallel.weighted_sum(x)
+            assert serial.predict(x) == parallel.predict(x)
+
+    def test_smaller_than_parallel(self):
+        weights = [7, 7, 7]
+        serial = SerialMacPerceptron(weights, theta=10.0, input_bits=8)
+        parallel = DigitalPerceptron(weights, theta=10.0, input_bits=8)
+        assert serial.transistor_count < parallel.transistor_count / 2
+
+    def test_still_larger_than_pwm_adder(self):
+        serial = SerialMacPerceptron([7, 7, 7], theta=10.0, input_bits=8)
+        assert serial.transistor_count > 5 * 54
+
+    def test_latency_scales_with_bits(self):
+        s8 = SerialMacPerceptron([7] * 3, theta=10.0, input_bits=8)
+        s4 = SerialMacPerceptron([7] * 3, theta=10.0, input_bits=4)
+        assert s8.cycles_per_classification() == 24
+        assert s4.cycles_per_classification() == 12
+        assert s8.latency(2.5) > s4.latency(2.5)
+
+    def test_energy_accumulates_over_cycles(self):
+        serial = SerialMacPerceptron([7] * 3, theta=10.0)
+        assert serial.energy_per_classification(2.5) == pytest.approx(
+            serial.cost().energy_per_op(2.5) *
+            serial.cycles_per_classification())
+
+    def test_fails_below_logic_voltage(self):
+        serial = SerialMacPerceptron([7] * 3, theta=1.0)
+        assert serial.predict([0.9] * 3, vdd=0.5) == 0
+
+    def test_weight_validation(self):
+        with pytest.raises(AnalysisError):
+            SerialMacPerceptron([8], theta=0.0, n_bits=3)
+
+
+class TestYield:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        data = make_blobs(n_per_class=12, separation=0.4, spread=0.07,
+                          seed=4)
+        trainer = PerceptronTrainer(2, seed=4)
+        return trainer.fit(data.X, data.y, epochs=50).perceptron, data
+
+    def test_nominal_supply_yield_is_high(self, trained):
+        perceptron, data = trained
+        result = perceptron_yield(perceptron, data, n_parts=6, seed=1)
+        assert result.yield_fraction >= 0.8
+        assert result.mean_accuracy >= 0.9
+        assert len(result.accuracies) == 6
+
+    def test_varying_supply_keeps_yield(self, trained):
+        perceptron, data = trained
+        rng = np.random.default_rng(2)
+        result = perceptron_yield(
+            perceptron, data, n_parts=5,
+            vdd_sampler=lambda: float(rng.uniform(1.5, 3.5)), seed=2)
+        assert result.yield_fraction >= 0.8
+
+    def test_validation(self, trained):
+        perceptron, data = trained
+        with pytest.raises(AnalysisError):
+            perceptron_yield(perceptron, data, n_parts=0)
+        with pytest.raises(AnalysisError):
+            perceptron_yield(perceptron, data, accuracy_threshold=0.0)

@@ -1,0 +1,116 @@
+"""Tables, figures, ASCII charts and export."""
+
+import json
+
+import pytest
+
+from repro.circuit import AnalysisError
+from repro.reporting import (
+    FigureData,
+    Table,
+    figure_to_csv,
+    figure_to_json,
+    load_figure_json,
+    table_to_csv,
+)
+
+
+def sample_figure() -> FigureData:
+    fig = FigureData("figX", "test figure", "x", "y")
+    fig.add_series("a", [0, 1, 2], [0.0, 1.0, 4.0])
+    fig.add_series("b", [0, 1, 2], [4.0, 1.0, 0.0])
+    return fig
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="T")
+        t.add_row("alpha", 1.5)
+        t.add_row("b", 20.25)
+        text = t.render()
+        assert "T" in text
+        assert "alpha" in text
+        assert "20.250" in text  # default .3f
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(AnalysisError):
+            t.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(AnalysisError):
+            Table([])
+
+    def test_markdown(self):
+        t = Table(["a"], title="M")
+        t.add_row(True)
+        md = t.markdown()
+        assert "| a |" in md
+        assert "| yes |" in md
+
+    def test_float_format_respected(self):
+        t = Table(["v"], float_format=".1f")
+        t.add_row(3.14159)
+        assert "3.1" in t.render()
+
+
+class TestFigure:
+    def test_series_validation(self):
+        fig = FigureData("f", "t", "x", "y")
+        with pytest.raises(AnalysisError):
+            fig.add_series("bad", [1, 2], [1])
+
+    def test_get_series(self):
+        fig = sample_figure()
+        assert fig.get("a").y[-1] == 4.0
+        with pytest.raises(AnalysisError):
+            fig.get("zzz")
+
+    def test_as_table_unions_grids(self):
+        fig = FigureData("f", "t", "x", "y")
+        fig.add_series("a", [0, 2], [1.0, 2.0])
+        fig.add_series("b", [1], [5.0])
+        table = fig.as_table()
+        assert len(table.rows) == 3
+
+    def test_ascii_chart_contains_markers_and_legend(self):
+        text = sample_figure().render_ascii(width=40, height=10)
+        assert "*" in text and "o" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_ascii_chart_log_x(self):
+        fig = FigureData("f", "t", "freq", "v", log_x=True)
+        fig.add_series("s", [1e6, 1e9], [1.0, 1.0])
+        assert "log10" in fig.render_ascii(width=30, height=5)
+
+    def test_empty_figure_cannot_render(self):
+        with pytest.raises(AnalysisError):
+            FigureData("f", "t", "x", "y").render_ascii()
+
+
+class TestExport:
+    def test_table_csv_roundtrip(self, tmp_path):
+        t = Table(["x", "y"])
+        t.add_row(1.0, 2.0)
+        path = table_to_csv(t, tmp_path / "t.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1.000,2.000"
+
+    def test_figure_csv(self, tmp_path):
+        path = figure_to_csv(sample_figure(), tmp_path / "f.csv")
+        assert path.exists()
+        assert "a" in path.read_text()
+
+    def test_figure_json_roundtrip(self, tmp_path):
+        fig = sample_figure()
+        path = figure_to_json(fig, tmp_path / "f.json")
+        loaded = load_figure_json(path)
+        assert loaded.figure_id == fig.figure_id
+        assert loaded.get("a").y == fig.get("a").y
+
+    def test_malformed_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"title": "no id"}))
+        with pytest.raises(AnalysisError):
+            load_figure_json(bad)

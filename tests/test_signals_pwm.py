@@ -1,0 +1,109 @@
+"""PWM specs, encoding and quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError, Circuit, Resistor, transient
+from repro.signals import (
+    PwmSpec,
+    decode_duty,
+    encode_duty,
+    encode_features,
+    quantize_duty,
+)
+
+
+class TestPwmSpec:
+    def test_defaults_and_average(self):
+        spec = PwmSpec(duty=0.4)
+        assert spec.period == pytest.approx(2e-9)
+        assert spec.average == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            PwmSpec(duty=1.2)
+        with pytest.raises(AnalysisError):
+            PwmSpec(duty=0.5, frequency=0.0)
+        with pytest.raises(AnalysisError):
+            PwmSpec(duty=0.5, phase=1.5)
+        with pytest.raises(AnalysisError):
+            PwmSpec(duty=0.5, v_high=0.0, v_low=1.0)
+
+    def test_with_methods_are_pure(self):
+        spec = PwmSpec(duty=0.25)
+        other = spec.with_duty(0.75).with_frequency("1GHz")
+        assert spec.duty == 0.25
+        assert other.duty == 0.75
+        assert other.frequency == 1e9
+
+    def test_sampled_duty_matches(self):
+        spec = PwmSpec(duty=0.3, frequency=1e6, v_high=1.0)
+        wave = spec.sample(4e-6, points_per_period=256)
+        assert wave.duty_cycle(0.5) == pytest.approx(0.3, abs=0.01)
+        assert wave.average() == pytest.approx(0.3, abs=0.01)
+
+    def test_to_source_duty_in_circuit(self):
+        spec = PwmSpec(duty=0.6, frequency=1e6, v_high=2.0)
+        c = Circuit()
+        c.add(spec.to_source("V1", "a"))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        res = transient(c, tstop=3e-6, dt=2e-8)
+        assert res.node("a").duty_cycle(1.0) == pytest.approx(0.6, abs=0.01)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_any_duty_constructs(self, duty):
+        spec = PwmSpec(duty=duty)
+        assert 0.0 <= spec.average <= spec.v_high
+
+
+class TestEncoding:
+    def test_encode_identity_on_unit_range(self):
+        assert encode_duty(0.3) == pytest.approx(0.3)
+
+    def test_encode_custom_range(self):
+        assert encode_duty(5.0, 0.0, 10.0) == pytest.approx(0.5)
+
+    def test_encode_clamps(self):
+        assert encode_duty(-1.0) == 0.0
+        assert encode_duty(2.0) == 1.0
+
+    def test_decode_inverts(self):
+        assert decode_duty(encode_duty(7.0, 2.0, 12.0), 2.0, 12.0) == \
+            pytest.approx(7.0)
+
+    def test_bad_range(self):
+        with pytest.raises(AnalysisError):
+            encode_duty(0.5, 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            decode_duty(0.5, 2.0, 1.0)
+
+    @given(st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=0.1, max_value=4))
+    def test_roundtrip_within_range(self, value, lo, width):
+        hi = lo + width
+        clipped = min(max(value, lo), hi)
+        assert decode_duty(encode_duty(value, lo, hi), lo, hi) == \
+            pytest.approx(clipped, abs=1e-9)
+
+
+class TestQuantize:
+    def test_grid(self):
+        assert quantize_duty(0.33, 4) == pytest.approx(0.25)
+        assert quantize_duty(0.40, 4) == pytest.approx(0.5)
+
+    def test_bad_steps(self):
+        with pytest.raises(AnalysisError):
+            quantize_duty(0.5, 0)
+
+    @given(st.floats(min_value=0, max_value=1), st.integers(1, 64))
+    def test_quantisation_error_bounded(self, duty, steps):
+        q = quantize_duty(duty, steps)
+        assert abs(q - duty) <= 0.5 / steps + 1e-12
+        assert 0.0 <= q <= 1.0
+
+    def test_encode_features_with_steps(self):
+        duties = encode_features([0.1, 0.52, 0.9], steps=10)
+        assert duties == [0.1, 0.5, 0.9]

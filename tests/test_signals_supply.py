@@ -1,0 +1,97 @@
+"""Supply profiles and the harvester model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import AnalysisError, Circuit, Resistor, transient
+from repro.signals import (
+    HarvesterModel,
+    brownout,
+    constant,
+    ramp,
+    sine_ripple,
+    solar_flicker,
+)
+
+
+class TestProfiles:
+    def test_constant(self):
+        p = constant(2.5)
+        assert p(0.0) == 2.5
+        assert p(1e3) == 2.5
+
+    def test_ramp_endpoints_and_midpoint(self):
+        p = ramp(1.0, 3.0, 2e-3)
+        assert p(0.0) == 1.0
+        assert p(1e-3) == pytest.approx(2.0)
+        assert p(5e-3) == 3.0
+
+    def test_ramp_validation(self):
+        with pytest.raises(AnalysisError):
+            ramp(1.0, 2.0, 0.0)
+
+    def test_sine_ripple_bounds(self):
+        p = sine_ripple(2.5, 0.3, 1e3)
+        samples = [p(t) for t in np.linspace(0, 2e-3, 500)]
+        assert max(samples) == pytest.approx(2.8, abs=0.01)
+        assert min(samples) == pytest.approx(2.2, abs=0.01)
+
+    def test_brownout_window(self):
+        p = brownout(2.5, 1.0, 1e-3, 2e-3)
+        assert p(0.5e-3) == 2.5
+        assert p(1.5e-3) == 1.0
+        assert p(2.5e-3) == 2.5
+
+    def test_brownout_validation(self):
+        with pytest.raises(AnalysisError):
+            brownout(2.5, 1.0, 2e-3, 1e-3)
+
+    def test_clamped(self):
+        p = ramp(0.0, 5.0, 1e-3).clamped(v_min=1.0, v_max=3.0)
+        assert p(0.0) == 1.0
+        assert p(1e-3) == 3.0
+
+    def test_sample_waveform(self):
+        wave = constant(1.5).sample(1e-3, n=50)
+        assert wave.average() == pytest.approx(1.5)
+
+    def test_to_source_drives_circuit(self):
+        c = Circuit()
+        c.add(ramp(1.0, 2.0, 1e-3).to_source("VDD", "vdd"))
+        c.add(Resistor("R1", "vdd", "0", "1k"))
+        res = transient(c, tstop=1e-3, dt=2e-5)
+        assert res.node("vdd").value_at(0.5e-3) == pytest.approx(1.5, abs=0.01)
+
+
+class TestHarvester:
+    def test_balanced_harvest_holds_voltage(self):
+        model = HarvesterModel(c_store=100e-9, v_init=2.5, i_load=200e-6,
+                               dt=1e-6)
+        profile = model.profile(lambda t: 200e-6, 1e-3)
+        assert profile(1e-3) == pytest.approx(2.5, abs=0.01)
+
+    def test_deficit_discharges(self):
+        model = HarvesterModel(c_store=100e-9, v_init=2.5, i_load=300e-6,
+                               dt=1e-6)
+        profile = model.profile(lambda t: 100e-6, 1e-3)
+        # dV = (100u-300u)/100n * 1ms = -2.0V
+        assert profile(1e-3) == pytest.approx(0.5, abs=0.05)
+
+    def test_clamp_limits_charge(self):
+        model = HarvesterModel(c_store=10e-9, v_init=2.5, v_clamp=3.0,
+                               i_load=0.0, dt=1e-6)
+        profile = model.profile(lambda t: 1e-3, 1e-3)
+        assert profile(1e-3) == pytest.approx(3.0)
+
+    def test_never_negative(self):
+        model = HarvesterModel(c_store=10e-9, v_init=0.5, i_load=1e-3,
+                               dt=1e-6)
+        profile = model.profile(lambda t: 0.0, 1e-3)
+        assert profile(1e-3) == 0.0
+
+    def test_solar_flicker_shape(self):
+        fn = solar_flicker(1e-3, period=1e-3, shadow_fraction=0.3)
+        assert fn(0.1e-3) == pytest.approx(0.05e-3)   # in shadow
+        assert fn(0.5e-3) == pytest.approx(1e-3)      # lit
+        with pytest.raises(AnalysisError):
+            solar_flicker(1e-3, 1e-3, shadow_fraction=1.0)

@@ -1,0 +1,96 @@
+"""Remaining coverage: supply-profile composition, waveform edge cases,
+and the op-point accessors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    AnalysisError,
+    Circuit,
+    ConvergenceError,
+    Resistor,
+    Vdc,
+    Waveform,
+    operating_point,
+)
+from repro.signals import SupplyProfile, brownout, constant, sine_ripple
+
+
+class TestSupplyComposition:
+    def test_custom_profile_callable(self):
+        p = SupplyProfile(lambda t: 2.0 + t * 1e3, name="linear")
+        assert p(1e-3) == pytest.approx(3.0)
+        assert p.name == "linear"
+
+    def test_clamp_composes_with_any_profile(self):
+        p = sine_ripple(2.5, 1.0, 1e3).clamped(v_min=2.0, v_max=3.0)
+        samples = [p(t) for t in np.linspace(0, 2e-3, 400)]
+        assert min(samples) >= 2.0 - 1e-12
+        assert max(samples) <= 3.0 + 1e-12
+
+    def test_breakpoints_exposed(self):
+        p = brownout(2.5, 1.0, 1e-3, 2e-3)
+        assert p.breakpoints == [1e-3, 2e-3]
+        assert constant(2.5).breakpoints == []
+
+    @given(st.floats(min_value=0.1, max_value=5.0),
+           st.floats(min_value=0.0, max_value=1e-2))
+    def test_constant_profile_is_constant(self, vdd, t):
+        assert constant(vdd)(t) == vdd
+
+
+class TestWaveformEdgeCases:
+    def test_crossings_none_when_level_outside(self):
+        w = Waveform([0, 1, 2], [0.0, 0.5, 0.0])
+        assert len(w.crossings(2.0)) == 0
+
+    def test_duty_cycle_degenerate_single_point(self):
+        assert Waveform([1.0], [2.0]).duty_cycle(1.0) == 1.0
+        assert Waveform([1.0], [0.5]).duty_cycle(1.0) == 0.0
+
+    def test_slice_zero_width(self):
+        w = Waveform([0, 1], [0, 1])
+        s = w.slice(0.5, 0.5)
+        assert s.average() == pytest.approx(0.5)
+
+    def test_resample_outside_clamps(self):
+        w = Waveform([0, 1], [0.0, 1.0])
+        r = w.resample([-1.0, 2.0])
+        assert list(r.y) == [0.0, 1.0]
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2,
+                    max_size=30))
+    def test_fold_preserves_mean(self, values):
+        t = np.linspace(0.0, 1.0, len(values))
+        w = Waveform(t, values)
+        folded = w.fold(1.0, n_bins=10)
+        # Folding over the full span with one period keeps the data's
+        # general level (bin means average the same samples).
+        assert min(values) - 1e-9 <= folded.average() <= max(values) + 1e-9
+
+
+class TestOpPointAccessors:
+    def test_branch_current_requires_branch(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        op = operating_point(c)
+        with pytest.raises(ConvergenceError):
+            op.branch_current("R1")
+        assert op.branch_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_ground_voltage_is_zero(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        op = operating_point(c)
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_repr_contains_context(self):
+        c = Circuit()
+        c.add(Vdc("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", "1k"))
+        assert "OpPoint" in repr(operating_point(c))

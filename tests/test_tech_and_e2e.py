@@ -1,0 +1,68 @@
+"""Technology helpers and true end-to-end spice-engine perceptron runs."""
+
+import pytest
+
+from repro.core import DifferentialPwmPerceptron, PwmPerceptron
+from repro.tech import (
+    NMOS_UMC65,
+    PMOS_UMC65,
+    TABLE1_SIZING,
+    TechSizing,
+    table1_parameters,
+)
+
+
+class TestTechSizing:
+    def test_defaults_match_paper_table1(self):
+        s = TABLE1_SIZING
+        assert s.nmos_width == pytest.approx(320e-9)
+        assert s.pmos_width == pytest.approx(865e-9)
+        assert s.length == pytest.approx(1.2e-6)
+        assert s.cout == pytest.approx(1e-12)
+        assert s.rout == pytest.approx(100e3)
+        assert s.vdd == 2.5
+
+    def test_from_values_parses_quantities(self):
+        s = TechSizing.from_values(nmos_width="640n", rout="50k",
+                                   cout="2p", vdd="3.3")
+        assert s.nmos_width == pytest.approx(640e-9)
+        assert s.rout == pytest.approx(50e3)
+        assert s.cout == pytest.approx(2e-12)
+        assert s.vdd == pytest.approx(3.3)
+
+    def test_table1_echo_strings(self):
+        echo = table1_parameters()
+        assert "320nm" in echo["Transistors width"]
+        assert "1pF" in echo["Output capacitor"]
+
+    def test_device_polarity_pairing(self):
+        assert NMOS_UMC65.polarity == "nmos"
+        assert PMOS_UMC65.polarity == "pmos"
+        assert NMOS_UMC65.vt0 > 0 > PMOS_UMC65.vt0
+
+
+class TestSpiceEndToEnd:
+    """The perceptron APIs driven through the transistor engine —
+    the slowest but most faithful path, exercised end to end."""
+
+    def test_unsigned_perceptron_decision(self):
+        p = PwmPerceptron([7, 3], theta=4.0)
+        high = p.decide([0.9, 0.9], engine="spice", steps_per_period=60)
+        low = p.decide([0.1, 0.1], engine="spice", steps_per_period=60)
+        assert high.fired and not low.fired
+        assert high.v_out > high.v_threshold > 0
+        assert high.adder.power > 0
+
+    def test_differential_perceptron_decision(self):
+        p = DifferentialPwmPerceptron([6, -5], bias=0)
+        assert p.predict([0.9, 0.1], engine="spice",
+                         steps_per_period=60) == 1
+        assert p.predict([0.1, 0.9], engine="spice",
+                         steps_per_period=60) == 0
+
+    def test_engines_agree_on_decisions(self):
+        p = DifferentialPwmPerceptron([5, -3], bias=1)
+        for x in ([0.8, 0.2], [0.15, 0.95]):
+            behavioral = p.predict(x)
+            spice = p.predict(x, engine="spice", steps_per_period=60)
+            assert behavioral == spice

@@ -1,0 +1,122 @@
+"""Training loop, Fig. 1 feedback step and the MLP extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import make_blobs, make_logic
+from repro.circuit import AnalysisError
+from repro.core import (
+    AdderConfig,
+    DifferentialPwmPerceptron,
+    PerceptronTrainer,
+    PwmMlp,
+    reference_feedback_step,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs(n_per_class=40, separation=0.4, spread=0.07, seed=11)
+
+
+class TestTrainer:
+    def test_converges_on_separable_data(self, blobs):
+        trainer = PerceptronTrainer(2, seed=5)
+        result = trainer.fit(blobs.X, blobs.y, epochs=50)
+        assert result.converged
+        assert result.final_accuracy == 1.0
+
+    def test_history_records_progress(self, blobs):
+        trainer = PerceptronTrainer(2, seed=5)
+        result = trainer.fit(blobs.X, blobs.y, epochs=50)
+        assert result.history[0].epoch == 0
+        assert result.history[-1].errors == 0
+        assert all(isinstance(r.weights, list) for r in result.history)
+
+    def test_weights_on_hardware_grid(self, blobs):
+        trainer = PerceptronTrainer(2, seed=5)
+        result = trainer.fit(blobs.X, blobs.y, epochs=50)
+        limit = 7
+        for w in result.perceptron.weights:
+            assert -limit <= w <= limit
+        assert -limit <= result.perceptron.bias <= limit
+
+    def test_validates_inputs(self):
+        trainer = PerceptronTrainer(2)
+        with pytest.raises(AnalysisError):
+            trainer.fit([[0.5]], [0], epochs=1)
+        with pytest.raises(AnalysisError):
+            trainer.fit([[0.5, 1.5]], [0], epochs=1)
+        with pytest.raises(AnalysisError):
+            trainer.fit([[0.5, 0.5]], [2], epochs=1)
+
+    def test_trained_model_robust_across_vdd(self, blobs):
+        trainer = PerceptronTrainer(2, seed=5)
+        p = trainer.fit(blobs.X, blobs.y, epochs=50).perceptron
+        for vdd in (1.0, 2.0, 4.0):
+            assert trainer.evaluate(p, blobs.X, blobs.y, vdd=vdd) == 1.0
+
+    def test_training_under_varying_supply(self, blobs):
+        trainer = PerceptronTrainer(2, seed=6)
+        rng = np.random.default_rng(0)
+        result = trainer.fit(blobs.X, blobs.y, epochs=60,
+                             vdd_sampler=lambda: float(rng.uniform(1.5, 3.5)))
+        assert result.final_accuracy >= 0.95
+
+    def test_logic_and_is_learnable(self):
+        data = make_logic("and", n_samples=60, seed=3)
+        trainer = PerceptronTrainer(2, seed=3)
+        result = trainer.fit(data.X, data.y, epochs=80)
+        assert result.final_accuracy >= 0.95
+
+
+class TestReferenceFeedback:
+    def test_matching_output_is_stable(self):
+        p = DifferentialPwmPerceptron([7, 7], bias=-7)
+        x = [0.9, 0.9]
+        assert p.predict(x) == 1
+        assert reference_feedback_step(p, x, reference=1)
+
+    def test_mismatch_moves_weights_toward_reference(self):
+        p = DifferentialPwmPerceptron([0, 0], bias=-2)
+        x = [0.9, 0.9]
+        assert p.predict(x) == 0
+        for _ in range(12):
+            if reference_feedback_step(p, x, reference=1):
+                break
+        assert p.predict(x) == 1
+
+    def test_clipping_at_grid_limits(self):
+        p = DifferentialPwmPerceptron([7, 7], bias=7)
+        reference_feedback_step(p, [0.9, 0.9], reference=1)
+        assert max(p.weights) <= 7
+
+
+class TestMlp:
+    def test_xor_solvable_with_hidden_layer(self):
+        data = make_logic("xor", n_samples=40, noise=0.03, seed=2)
+        solved = False
+        for seed in range(6):
+            mlp = PwmMlp(2, 6, seed=seed)
+            mlp.fit(data.X, data.y, epochs=80)
+            if mlp.accuracy(data.X, data.y) >= 0.95:
+                solved = True
+                break
+        assert solved, "no seed solved XOR"
+
+    def test_predict_before_fit_raises(self):
+        mlp = PwmMlp(2, 3, seed=0)
+        with pytest.raises(AnalysisError):
+            mlp.predict([0.5, 0.5])
+
+    def test_hidden_features_are_duties(self, blobs):
+        mlp = PwmMlp(2, 4, seed=0)
+        H = mlp.hidden_features(blobs.X[:10])
+        assert H.shape == (10, 4)
+        assert H.min() >= 0.0 and H.max() <= 1.0
+
+    def test_transistor_count_grows_with_layers(self, blobs):
+        mlp = PwmMlp(2, 4, seed=0)
+        before = mlp.transistor_count
+        mlp.fit(blobs.X, blobs.y, epochs=10)
+        assert mlp.transistor_count > before

@@ -1,0 +1,86 @@
+"""Unit parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import UnitError, format_quantity, parse_quantity
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize("text,expected", [
+        ("100k", 100e3),
+        ("1p", 1e-12),
+        ("320n", 320e-9),
+        ("1.2u", 1.2e-6),
+        ("2.5", 2.5),
+        ("5KOhm", 5e3),
+        ("100kOhm", 100e3),
+        ("1pF", 1e-12),
+        ("500MHz", 500e6),
+        ("1GHz", 1e9),
+        ("2meg", 2e6),
+        ("-3m", -3e-3),
+        ("1e-9", 1e-9),
+        ("1.5e3", 1500.0),
+        ("10f", 10e-15),
+        ("0", 0.0),
+        ("3V", 3.0),
+        ("+2k", 2000.0),
+    ])
+    def test_strings(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_numbers_pass_through(self):
+        assert parse_quantity(42) == 42.0
+        assert parse_quantity(1.5e-9) == 1.5e-9
+
+    @pytest.mark.parametrize("bad", ["", "k", "1x2", "abc", "1..2", "--3", "1 2"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    def test_bool_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity(None)
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity("3parsec")
+
+    @given(st.floats(min_value=-1e15, max_value=1e15,
+                     allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip(self, value):
+        assert parse_quantity(value) == value
+
+
+class TestFormatQuantity:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (100e3, "Ohm", "100kOhm"),
+        (1e-12, "F", "1pF"),
+        (2.5, "V", "2.5V"),
+        (0, "A", "0A"),
+        (320e-9, "m", "320nm"),
+    ])
+    def test_known_values(self, value, unit, expected):
+        assert format_quantity(value, unit) == expected
+
+    @given(st.floats(min_value=1e-15, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_within_format_precision(self, value):
+        text = format_quantity(value)
+        parsed = parse_quantity(text)
+        assert parsed == pytest.approx(value, rel=5e-3)
+
+    def test_negative(self):
+        text = format_quantity(-4.7e3, "Ohm")
+        assert parse_quantity(text) == pytest.approx(-4.7e3, rel=1e-6)
+
+    def test_non_finite(self):
+        assert "inf" in format_quantity(math.inf)

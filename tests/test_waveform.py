@@ -1,0 +1,185 @@
+"""Waveform container and measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError, Waveform, concatenate
+
+
+def ramp(n=11, t1=1.0):
+    t = np.linspace(0.0, t1, n)
+    return Waveform(t, t.copy(), "ramp")
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = Waveform([0, 1, 2], [1, 2, 3])
+        assert len(w) == 3
+        assert w.duration == 2.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0, 1], [1])
+
+    def test_rejects_decreasing_time(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0, 2, 1], [0, 0, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            Waveform([], [])
+
+    def test_rejects_2d(self):
+        with pytest.raises(AnalysisError):
+            Waveform([[0, 1]], [[1, 2]])
+
+    def test_views_are_readonly(self):
+        w = ramp()
+        with pytest.raises(ValueError):
+            w.t[0] = 5.0
+        with pytest.raises(ValueError):
+            w.y[0] = 5.0
+
+
+class TestReductions:
+    def test_average_of_ramp(self):
+        assert ramp().average() == pytest.approx(0.5)
+
+    def test_rms_of_constant(self):
+        w = Waveform([0, 1], [2.0, 2.0])
+        assert w.rms() == pytest.approx(2.0)
+
+    def test_rms_of_ramp(self):
+        # integral of t^2 over [0,1] = 1/3
+        assert ramp(1001).rms() == pytest.approx(np.sqrt(1 / 3), rel=1e-4)
+
+    def test_peak_to_peak(self):
+        w = Waveform([0, 1, 2], [1.0, -1.0, 0.5])
+        assert w.peak_to_peak() == pytest.approx(2.0)
+
+    def test_single_sample_average(self):
+        w = Waveform([1.0], [3.0])
+        assert w.average() == 3.0
+        assert w.rms() == 3.0
+
+    def test_average_respects_nonuniform_sampling(self):
+        # y=0 for a long time, y=1 briefly: mean must be time-weighted.
+        w = Waveform([0.0, 9.0, 10.0], [0.0, 0.0, 1.0])
+        assert w.average() == pytest.approx(0.05)
+
+    def test_integral(self):
+        assert ramp().integral() == pytest.approx(0.5)
+
+
+class TestSampling:
+    def test_value_at_interpolates(self):
+        assert ramp().value_at(0.35) == pytest.approx(0.35)
+
+    def test_value_at_clamps(self):
+        assert ramp().value_at(99.0) == pytest.approx(1.0)
+
+    def test_slice_endpoints_interpolated(self):
+        s = ramp().slice(0.25, 0.75)
+        assert s.t[0] == pytest.approx(0.25)
+        assert s.t[-1] == pytest.approx(0.75)
+        assert s.average() == pytest.approx(0.5)
+
+    def test_slice_rejects_reversed(self):
+        with pytest.raises(AnalysisError):
+            ramp().slice(0.9, 0.1)
+
+    def test_resample(self):
+        r = ramp().resample([0.0, 0.5, 1.0])
+        assert list(r.y) == pytest.approx([0.0, 0.5, 1.0])
+
+
+class TestEvents:
+    def square(self):
+        # 0 for [0,1), 1 for [1,2), 0 for [2,3)
+        t = [0, 1, 1, 2, 2, 3]
+        y = [0, 0, 1, 1, 0, 0]
+        return Waveform(t, y)
+
+    def test_crossings_rise_fall(self):
+        w = Waveform([0, 1, 2, 3], [0, 1, 0, 1])
+        rises = w.crossings(0.5, "rise")
+        falls = w.crossings(0.5, "fall")
+        assert list(rises) == pytest.approx([0.5, 2.5])
+        assert list(falls) == pytest.approx([1.5])
+
+    def test_duty_cycle_square(self):
+        assert self.square().duty_cycle(0.5) == pytest.approx(1 / 3)
+
+    def test_duty_cycle_triangle(self):
+        w = Waveform([0, 1, 2], [0, 1, 0])
+        assert w.duty_cycle(0.5) == pytest.approx(0.5)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 5, 501)
+        y = 1 - np.exp(-t)
+        w = Waveform(t, y)
+        ts = w.settling_time(1.0, 0.05)
+        assert ts == pytest.approx(-np.log(0.05), abs=0.02)
+
+    def test_settling_never(self):
+        w = Waveform([0, 1], [0, 0])
+        assert w.settling_time(1.0, 0.1) == np.inf
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (ramp() + 1.0).average() == pytest.approx(1.5)
+
+    def test_sub_waveforms_different_grids(self):
+        a = Waveform([0, 1], [0, 1])
+        b = Waveform([0, 0.5, 1], [0, 0.25, 1])
+        d = a - b
+        assert d.value_at(0.5) == pytest.approx(0.25)
+
+    def test_mul_and_neg(self):
+        w = ramp() * 2.0
+        assert w.maximum() == pytest.approx(2.0)
+        assert (-w).minimum() == pytest.approx(-2.0)
+
+    def test_abs(self):
+        w = Waveform([0, 1], [-2.0, 2.0]).abs()
+        assert w.minimum() == pytest.approx(2.0)
+
+
+class TestConcatenate:
+    def test_merges_duplicate_boundary(self):
+        a = Waveform([0, 1], [0, 1])
+        b = Waveform([1, 2], [1, 0])
+        c = concatenate([a, b])
+        assert len(c) == 3
+        assert c.duration == 2.0
+
+    def test_rejects_overlap(self):
+        a = Waveform([0, 1], [0, 1])
+        b = Waveform([0.5, 2], [0, 0])
+        with pytest.raises(AnalysisError):
+            concatenate([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(AnalysisError):
+            concatenate([])
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                max_size=50))
+def test_average_bounded_by_extremes(values):
+    t = np.arange(len(values), dtype=float)
+    w = Waveform(t, values)
+    assert min(values) - 1e-9 <= w.average() <= max(values) + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=40),
+       st.floats(min_value=0.1, max_value=10))
+def test_rms_at_least_abs_average(n, span):
+    t = np.linspace(0, span, n)
+    rng = np.random.default_rng(n)
+    y = rng.normal(size=n)
+    w = Waveform(t, y)
+    assert w.rms() >= abs(w.average()) - 1e-12

@@ -1,0 +1,141 @@
+"""The weighted adder across all three engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import AnalysisError
+from repro.core import AdderConfig, CalibrationModel, WeightedAdder
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return WeightedAdder(AdderConfig())
+
+
+class TestConfig:
+    def test_defaults_are_paper_3x3(self):
+        cfg = AdderConfig()
+        assert cfg.n_inputs == 3 and cfg.n_bits == 3
+        assert cfg.cout == pytest.approx(10e-12)
+        assert cfg.transistor_count == 54
+        assert cfg.weight_limit == 7
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            AdderConfig(n_inputs=0)
+        with pytest.raises(AnalysisError):
+            AdderConfig(cout=0.0)
+
+    def test_transistor_count_scales(self):
+        assert AdderConfig(n_inputs=5, n_bits=4).transistor_count == 120
+
+
+class TestOperandValidation:
+    def test_wrong_lengths(self, adder):
+        with pytest.raises(AnalysisError):
+            adder.evaluate([0.5, 0.5], [7, 7, 7])
+
+    def test_weight_range(self, adder):
+        with pytest.raises(AnalysisError):
+            adder.evaluate([0.5] * 3, [8, 0, 0])
+
+    def test_duty_range(self, adder):
+        with pytest.raises(AnalysisError):
+            adder.evaluate([1.5, 0.5, 0.5], [7, 7, 7])
+
+    def test_unknown_engine(self, adder):
+        with pytest.raises(AnalysisError):
+            adder.evaluate([0.5] * 3, [7] * 3, engine="hspice")
+
+
+class TestBehavioralEngine:
+    def test_matches_eq2(self, adder):
+        r = adder.evaluate([0.7, 0.8, 0.9], [7, 7, 7], engine="behavioral")
+        assert r.value == pytest.approx(r.theoretical)
+        assert r.error == pytest.approx(0.0)
+
+    def test_calibration_applied(self):
+        cal = CalibrationModel([0.0, 0.9])
+        adder = WeightedAdder(AdderConfig(), calibration=cal)
+        r = adder.evaluate([0.5] * 3, [7] * 3, engine="behavioral")
+        assert r.value == pytest.approx(0.9 * r.theoretical)
+
+
+class TestRcEngine:
+    def test_close_to_eq2(self, adder):
+        for duties, weights in [
+            ([0.7, 0.8, 0.9], [7, 7, 7]),
+            ([0.5, 0.5, 0.5], [1, 2, 4]),
+            ([0.2, 0.6, 0.8], [5, 6, 7]),
+        ]:
+            r = adder.evaluate(duties, weights, engine="rc")
+            assert r.error < 0.03, (duties, weights)
+
+    def test_zero_weights_pull_down(self, adder):
+        r = adder.evaluate([0.9, 0.9, 0.9], [0, 0, 0], engine="rc")
+        assert r.value == pytest.approx(0.0, abs=1e-6)
+
+    def test_ripple_small_with_10pF(self, adder):
+        r = adder.evaluate([0.5] * 3, [7] * 3, engine="rc")
+        assert 0 < r.ripple < 0.03
+
+    def test_power_positive_for_mixed_workload(self, adder):
+        r = adder.evaluate([0.5] * 3, [7, 3, 1], engine="rc")
+        assert r.power > 0
+
+    def test_vdd_override_scales_output(self, adder):
+        lo = adder.evaluate([0.6] * 3, [7] * 3, engine="rc", vdd=2.0)
+        hi = adder.evaluate([0.6] * 3, [7] * 3, engine="rc", vdd=4.0)
+        assert hi.value / lo.value == pytest.approx(2.0, rel=0.03)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=3,
+                    max_size=3),
+           st.lists(st.integers(min_value=0, max_value=7), min_size=3,
+                    max_size=3))
+    def test_tracks_eq2_property(self, duties, weights):
+        adder = WeightedAdder(AdderConfig())
+        r = adder.evaluate(duties, weights, engine="rc")
+        # The RC engine deviates from Eq. 2 only through the ~15%
+        # Ron asymmetry on a 100k resistor: bounded by ~40 mV.
+        assert r.error < 0.04
+
+    def test_monte_carlo_override_hook(self, adder):
+        from dataclasses import replace
+        cfg = adder.config
+        slow = replace(cfg.cell, rout=cfg.cell.rout * 2)
+        r_nom = adder.evaluate([0.5] * 3, [7] * 3, engine="rc")
+        r_mod = adder.evaluate([0.5] * 3, [7] * 3, engine="rc",
+                               cell_overrides={0: slow})
+        assert r_mod.value != pytest.approx(r_nom.value, abs=1e-6)
+
+
+class TestSpiceEngine:
+    """Transistor-level: slow, so only the load-bearing checks."""
+
+    def test_netlist_shape(self, adder):
+        circuit = adder.build_circuit([0.5] * 3, [7] * 3)
+        stats = circuit.stats()
+        assert stats["transistors"] == 54
+        assert circuit.has_node("out")
+
+    def test_zero_weight_bits_tie_gates_low(self, adder):
+        circuit = adder.build_circuit([0.5] * 3, [5] * 3)
+        # Weight 5 = bits 101: the middle cell's w port ties to ground.
+        el = circuit.element("X0_1.MPB")
+        assert el.node_names[1] == "0"
+
+    def test_matches_paper_row1(self, adder):
+        r = adder.evaluate([0.7, 0.8, 0.9], [7, 7, 7], engine="spice",
+                           steps_per_period=80)
+        assert r.value == pytest.approx(2.00, abs=0.08)
+        assert 100e-6 < r.power < 2e-3
+
+    def test_low_output_undershoots_like_paper(self, adder):
+        r = adder.evaluate([0.5, 0.5, 0.5], [1, 2, 4], engine="spice",
+                           steps_per_period=80)
+        # Paper: theory 0.42, simulated 0.39 — an undershoot.
+        assert r.value < r.theoretical
+        assert r.value == pytest.approx(0.39, abs=0.06)
