@@ -1,0 +1,100 @@
+"""Benchmark the execution engine: scalar loop vs vectorised ensemble path.
+
+Times ``ext_montecarlo`` and ``ext_yield`` at ``fidelity="paper"`` with
+the reference per-trial loop (``method="loop"``) and with the vectorised
+batch engine (the default), verifies the two agree, and writes
+``benchmarks/BENCH_exec_engine.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_exec_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import adder_monte_carlo, make_blobs, perceptron_yield
+from repro.core.training import PerceptronTrainer
+from repro.core.weighted_adder import AdderConfig, WeightedAdder
+from repro.experiments.table2_adder import PAPER_ROWS
+
+OUT = Path(__file__).parent / "BENCH_exec_engine.json"
+
+
+def _time(fn) -> "tuple[float, object]":
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def bench_montecarlo(n_trials: int = 200) -> dict:
+    """The ext_montecarlo hot loop: every Table II row, paper trial count."""
+    adder = WeightedAdder(AdderConfig())
+
+    def run(method: str):
+        stats = []
+        for i, row in enumerate(PAPER_ROWS):
+            stats.append(adder_monte_carlo(
+                adder, row.duties, row.weights, n_trials=n_trials,
+                seed=3 + i, method=method))
+        return stats
+
+    t_loop, loop = _time(lambda: run("loop"))
+    t_vec, vec = _time(lambda: run("vectorized"))
+    agree = all(
+        np.allclose(l.errors, v.errors, rtol=1e-9, atol=1e-15)
+        for l, v in zip(loop, vec))
+    return {"experiment": "ext_montecarlo", "fidelity": "paper",
+            "n_trials": n_trials, "rows": len(PAPER_ROWS),
+            "loop_seconds": round(t_loop, 4),
+            "vectorized_seconds": round(t_vec, 4),
+            "speedup": round(t_loop / t_vec, 2),
+            "paths_agree_rtol_1e9": bool(agree)}
+
+
+def bench_yield(n_parts: int = 60, n_per_class: int = 30) -> dict:
+    """The ext_yield hot loop: paper part/dataset sizes."""
+    data = make_blobs(n_per_class=n_per_class, n_features=2,
+                      separation=0.35, spread=0.09, seed=13)
+    trained = PerceptronTrainer(2, seed=13).fit(data.X, data.y, epochs=60)
+    pwm = trained.perceptron
+
+    def sampler(seed=13):
+        rng = np.random.default_rng(seed)
+        return lambda: float(rng.uniform(1.2, 3.5))
+
+    t_loop, loop = _time(lambda: perceptron_yield(
+        pwm, data, n_parts=n_parts, vdd_sampler=sampler(), seed=13,
+        method="loop"))
+    t_vec, vec = _time(lambda: perceptron_yield(
+        pwm, data, n_parts=n_parts, vdd_sampler=sampler(), seed=13,
+        method="vectorized"))
+    return {"experiment": "ext_yield", "fidelity": "paper",
+            "n_parts": n_parts, "n_samples": 2 * n_per_class,
+            "loop_seconds": round(t_loop, 4),
+            "vectorized_seconds": round(t_vec, 4),
+            "speedup": round(t_loop / t_vec, 2),
+            "paths_agree_exactly": loop.accuracies == vec.accuracies}
+
+
+def main() -> None:
+    payload = {
+        "description": "scalar per-trial loop vs vectorised batch engine "
+                       "(repro.exec.batch) on the paper-fidelity "
+                       "Monte-Carlo and yield campaigns",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": [bench_montecarlo(), bench_yield()],
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

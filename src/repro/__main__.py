@@ -8,6 +8,20 @@ Commands
     Run one experiment and print its tables/figures.
 ``all [--fidelity fast|paper] [--csv DIR]``
     Run every registered experiment.
+
+Execution flags (``run`` and ``all``)
+-------------------------------------
+``--jobs N``
+    Evaluate sweep/Monte-Carlo points on an ``N``-worker process pool
+    (``-1`` = one per CPU).  Installed as the session default executor,
+    so every experiment inherits it; results are identical to serial
+    runs, just faster.
+``--no-cache`` / ``--cache-dir DIR``
+    Paper-fidelity runs are cached on disk keyed by
+    ``(experiment_id, fidelity, params-hash)`` (default directory:
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``) and replayed
+    byte-identically on a hit.  ``--cache-dir`` also enables caching for
+    fast runs; ``--no-cache`` disables it entirely.
 """
 
 from __future__ import annotations
@@ -16,6 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .exec.cache import ResultCache, default_cache_dir
 from .experiments import PAPER_ARTEFACTS, REGISTRY, run_experiment
 from .reporting import figure_to_csv, table_to_csv, write_markdown_report
 
@@ -28,6 +43,47 @@ def _export(result, csv_dir: "Path | None") -> None:
         table_to_csv(result.table, csv_dir / f"{result.experiment_id}.csv")
     for figure in result.figures:
         figure_to_csv(figure, csv_dir / f"{figure.figure_id}.csv")
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool workers for sweep/Monte-Carlo "
+                             "points (-1 = one per CPU; default serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result-cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-pwm); "
+                             "also enables caching at fast fidelity")
+
+
+def _resolve_cache(args) -> "ResultCache | None":
+    """Cache policy: paper runs cache by default, fast runs opt in."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return ResultCache(args.cache_dir)
+    if args.fidelity == "paper":
+        return ResultCache(default_cache_dir())
+    return None
+
+
+def _run_cached(experiment_id: str, fidelity: str, jobs, cache):
+    """Run one experiment, announcing cache hits on stderr.
+
+    The notice keeps stale replays distinguishable from fresh runs
+    (the cache key covers parameters, not code — after changing
+    experiment code, recompute with ``--no-cache``).
+    """
+    if cache is not None:
+        hit = cache.get(experiment_id, fidelity, {})
+        if hit is not None:
+            print(f"[cache] {experiment_id}: replayed from "
+                  f"{cache.path_for(experiment_id, fidelity, {})} "
+                  "(use --no-cache to recompute)", file=sys.stderr)
+            return hit
+    return run_experiment(experiment_id, fidelity=fidelity, jobs=jobs,
+                          cache=cache)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -45,6 +101,7 @@ def main(argv: "list[str] | None" = None) -> int:
     run_p.add_argument("--no-charts", action="store_true")
     run_p.add_argument("--csv", type=Path, default=None,
                        help="export tables/series as CSV into this directory")
+    _add_exec_flags(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fidelity", choices=("fast", "paper"),
@@ -52,6 +109,7 @@ def main(argv: "list[str] | None" = None) -> int:
     all_p.add_argument("--csv", type=Path, default=None)
     all_p.add_argument("--report", type=Path, default=None,
                        help="write a combined markdown report here")
+    _add_exec_flags(all_p)
 
     args = parser.parse_args(argv)
 
@@ -61,15 +119,18 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{eid:22s} [{tag:5s}] {title}")
         return 0
 
+    cache = _resolve_cache(args)
+
     if args.command == "run":
-        result = run_experiment(args.experiment_id, fidelity=args.fidelity)
+        result = _run_cached(args.experiment_id, args.fidelity,
+                             args.jobs, cache)
         print(result.render(charts=not args.no_charts))
         _export(result, args.csv)
         return 0
 
     results = {}
     for eid in REGISTRY:
-        result = run_experiment(eid, fidelity=args.fidelity)
+        result = _run_cached(eid, args.fidelity, args.jobs, cache)
         results[eid] = result
         print(result.render(charts=False))
         print()

@@ -4,6 +4,17 @@ Per-cell Pelgrom mismatch (threshold voltage and transconductance) is
 drawn per trial and applied to the switch-level engine through its
 ``cell_overrides`` hook; the resulting adder-output error distribution
 quantifies the paper's remark that its errors remain "affordable".
+
+Three execution paths produce the same campaign (equivalence is pinned
+by ``tests/test_exec_engine.py``):
+
+* ``method="loop"`` with the default executor — the reference
+  one-solve-per-trial path;
+* ``method="loop"`` with a process pool — identical records (sampling
+  happens up front in the parent process, solves are pure);
+* ``method="vectorized"`` (the ``"auto"`` default) — one batched numpy
+  solve for all trials via :mod:`repro.exec.batch`, drawing the same
+  random numbers and agreeing to float-reassociation tolerance.
 """
 
 from __future__ import annotations
@@ -15,8 +26,17 @@ import numpy as np
 
 from ..circuit.exceptions import AnalysisError
 from ..core.cells import CellDesign
+from ..core.rc_model import RcSwitchSolver
 from ..core.weighted_adder import WeightedAdder
+from ..exec.batch import (
+    batch_adder_values,
+    leg_resistance_arrays,
+    sample_adder_mismatch,
+)
+from ..exec.executor import get_default_executor
 from ..tech.corners import CORNER_NAMES, MonteCarloSampler, corner
+
+MC_METHODS = ("auto", "loop", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -33,43 +53,77 @@ class MonteCarloStats:
         return float(np.percentile(np.abs(self.errors), q))
 
 
+def _solve_legs(payload) -> float:
+    """Solve one trial's leg set (top-level, hence process-pool safe)."""
+    legs, cout, period, vdd = payload
+    solver = RcSwitchSolver(legs, cout=cout, period=period, vdd=vdd)
+    return solver.solve().average_voltage()
+
+
+def _mismatch_overrides(cfg, sampler: MonteCarloSampler) -> Dict[int, CellDesign]:
+    """Draw one trial's per-cell overrides (the scalar reference path)."""
+    overrides: Dict[int, CellDesign] = {}
+    for i in range(cfg.n_inputs):
+        for b in range(cfg.n_bits):
+            design = cfg.cell.scaled(float(1 << b))
+            nm = sampler.sample(design.wn, design.length)
+            pm = sampler.sample(design.wp, design.length)
+            overrides[i * cfg.n_bits + b] = replace(
+                design,
+                nmos=nm.apply(design.nmos),
+                pmos=pm.apply(design.pmos))
+    return overrides
+
+
 def adder_monte_carlo(adder: WeightedAdder, duties: Sequence[float],
                       weights: Sequence[int], *, n_trials: int = 100,
                       seed: Optional[int] = None,
                       sampler: Optional[MonteCarloSampler] = None,
-                      vdd: Optional[float] = None) -> MonteCarloStats:
+                      vdd: Optional[float] = None,
+                      method: str = "auto",
+                      executor=None) -> MonteCarloStats:
     """Distribution of the adder error under per-cell device mismatch.
 
     The error is measured against the *nominal RC-engine* output (not
     Eq. 2), isolating mismatch from the systematic engine deviation.
+
+    ``method`` selects the execution path: ``"vectorized"`` (one batched
+    numpy solve, the ``"auto"`` default) or ``"loop"`` (one solve per
+    trial, distributed over ``executor`` — serial by default, a process
+    pool under the CLI's ``--jobs N``).  Both consume the sampler's RNG
+    identically, so campaigns agree across paths for a fixed seed.
     """
     if n_trials < 1:
         raise AnalysisError("need at least one trial")
+    if method not in MC_METHODS:
+        raise AnalysisError(f"unknown method {method!r}; use {MC_METHODS}")
     cfg = adder.config
     sampler = sampler or MonteCarloSampler(seed=seed)
+    supply = cfg.vdd if vdd is None else vdd
     nominal = adder.evaluate(duties, weights, engine="rc", vdd=vdd).value
-    errors: List[float] = []
-    for _ in range(n_trials):
-        overrides: Dict[int, CellDesign] = {}
-        for i in range(cfg.n_inputs):
-            for b in range(cfg.n_bits):
-                design = cfg.cell.scaled(float(1 << b))
-                nm = sampler.sample(design.wn, design.length)
-                pm = sampler.sample(design.wp, design.length)
-                overrides[i * cfg.n_bits + b] = replace(
-                    design,
-                    nmos=nm.apply(design.nmos),
-                    pmos=pm.apply(design.pmos))
-        value = adder.evaluate(duties, weights, engine="rc", vdd=vdd,
-                               cell_overrides=overrides).value
-        errors.append(value - nominal)
-    arr = np.asarray(errors)
+
+    if method in ("auto", "vectorized"):
+        mismatch, = sample_adder_mismatch(sampler, cfg, n_trials)
+        r_up, r_down = leg_resistance_arrays(cfg, mismatch, supply)
+        values = batch_adder_values(cfg, duties, weights, r_up, r_down,
+                                    supply).value
+        arr = values - nominal
+    else:
+        executor = executor or get_default_executor()
+        payloads = []
+        for _ in range(n_trials):
+            overrides = _mismatch_overrides(cfg, sampler)
+            legs = adder.rc_legs(duties, weights, vdd=supply,
+                                 cell_overrides=overrides)
+            payloads.append((tuple(legs), cfg.cout, cfg.period, supply))
+        values = executor.map(_solve_legs, payloads)
+        arr = np.asarray([v - nominal for v in values])
     return MonteCarloStats(
         n_trials=n_trials,
         mean_error=float(arr.mean()),
         std_error=float(arr.std(ddof=1)) if n_trials > 1 else 0.0,
         worst_error=float(np.abs(arr).max()),
-        errors=tuple(arr))
+        errors=tuple(float(e) for e in arr))
 
 
 def adder_corner_errors(adder: WeightedAdder, duties: Sequence[float],

@@ -59,7 +59,7 @@ from .mna import MnaContext
 from .netlist import Circuit, SubCircuit
 from .pss import PssResult, settle_average, shooting
 from .spice_export import to_spice, write_spice
-from .sweep import SweepResult, sweep, sweep1d
+from .sweep import SweepResult, run_sweep, sweep, sweep1d
 from .transient import TransientResult, transient
 from .units import format_quantity, parse_quantity
 from .waveform import Waveform, concatenate
@@ -77,7 +77,7 @@ __all__ = [
     "ac_analysis", "AcResult", "AcPoint",
     "transient", "TransientResult",
     "shooting", "settle_average", "PssResult",
-    "sweep", "sweep1d", "SweepResult",
+    "sweep", "sweep1d", "run_sweep", "SweepResult",
     "to_spice", "write_spice",
     # measurements
     "Waveform", "concatenate", "flatness", "linear_fit",

@@ -4,14 +4,44 @@ A sweep evaluates a function over the Cartesian product of parameter
 grids and collects per-point records (dicts).  Failures can either
 propagate or be recorded, which keeps long benchmark sweeps robust to a
 single hard point.
+
+Execution is pluggable: :func:`run_sweep` accepts an ``executor`` from
+:mod:`repro.exec.executor` (serial or process pool) and falls back to
+the session default installed by the CLI's ``--jobs N`` flag.  Points
+are always returned in grid order, so serial and parallel runs produce
+identical :class:`SweepResult` records.  Pass ``seed`` to inject a
+deterministic per-point seed (derived with
+:func:`repro.exec.executor.derive_seed`, independent of worker count)
+into each call under ``seed_param``.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
+import math
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
+from ..exec.executor import derive_seed, get_default_executor
 from .exceptions import AnalysisError
+
+
+def _match(actual: Any, expected: Any) -> bool:
+    """Equality with float-safe comparison.
+
+    Floats (and int-vs-float comparisons) use :func:`math.isclose`, so
+    records keyed by computed grid values (``0.1 * 3`` vs ``0.3``) are
+    still found; everything else is exact equality.
+    """
+    both_numeric = (isinstance(actual, (int, float))
+                    and not isinstance(actual, bool)
+                    and isinstance(expected, (int, float))
+                    and not isinstance(expected, bool))
+    if both_numeric and (isinstance(actual, float)
+                        or isinstance(expected, float)):
+        return math.isclose(actual, expected,
+                            rel_tol=1e-9, abs_tol=1e-12)
+    return actual == expected
 
 
 class SweepResult:
@@ -29,12 +59,26 @@ class SweepResult:
         return [r[name] for r in self.records]
 
     def where(self, **conditions: Any) -> "SweepResult":
-        """Filter records by exact-match conditions."""
+        """Filter records by matching conditions.
+
+        Float conditions match with :func:`math.isclose` (computed grid
+        values rarely round-trip exactly); other types match exactly.
+        """
         kept = [
             r for r in self.records
-            if all(r.get(k) == v for k, v in conditions.items())
+            if all(k in r and _match(r[k], v) for k, v in conditions.items())
         ]
         return SweepResult(kept)
+
+    @property
+    def failures(self) -> "SweepResult":
+        """Records whose evaluation failed (``on_error="record"``)."""
+        return SweepResult([r for r in self.records if "error" in r])
+
+    @property
+    def ok(self) -> "SweepResult":
+        """Records whose evaluation succeeded."""
+        return SweepResult([r for r in self.records if "error" not in r])
 
     def __len__(self) -> int:
         return len(self.records)
@@ -46,35 +90,64 @@ class SweepResult:
         return f"<SweepResult points={len(self.records)}>"
 
 
-def sweep(fn: Callable[..., Mapping[str, Any]],
-          grid: Mapping[str, Sequence[Any]], *,
-          on_error: str = "raise") -> SweepResult:
+def _evaluate_point(fn, on_error: str, point) -> Dict[str, Any]:
+    """Evaluate one sweep point (top-level, hence process-pool safe)."""
+    record = dict(point)
+    try:
+        measured = fn(**point)
+        record.update(measured)
+    except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
+        if on_error == "raise":
+            raise
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+def run_sweep(fn: Callable[..., Mapping[str, Any]],
+              grid: Mapping[str, Sequence[Any]], *,
+              on_error: str = "raise",
+              executor=None,
+              seed: Optional[int] = None,
+              seed_param: str = "seed") -> SweepResult:
     """Evaluate ``fn(**point)`` over the product of ``grid`` values.
 
     ``fn`` returns a mapping of measured values; each record merges the
     sweep point with the measurement.  ``on_error`` is ``"raise"`` or
     ``"record"`` (store the exception message under ``"error"``).
+
+    ``executor`` selects the map backend (default: the session default,
+    normally serial; the CLI's ``--jobs N`` installs a process pool).
+    ``seed`` derives a deterministic per-point seed passed to ``fn`` as
+    ``seed_param`` — stable across backends and worker counts.
     """
     if on_error not in ("raise", "record"):
         raise AnalysisError(f"bad on_error mode: {on_error!r}")
+    executor = executor or get_default_executor()
     names = list(grid.keys())
-    records: List[Dict[str, Any]] = []
-    for combo in itertools.product(*(grid[n] for n in names)):
+    points: List[Dict[str, Any]] = []
+    for index, combo in enumerate(
+            itertools.product(*(grid[n] for n in names))):
         point = dict(zip(names, combo))
-        record = dict(point)
-        try:
-            measured = fn(**point)
-            record.update(measured)
-        except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
-            if on_error == "raise":
-                raise
-            record["error"] = f"{type(exc).__name__}: {exc}"
-        records.append(record)
-    return SweepResult(records)
+        if seed is not None:
+            point[seed_param] = derive_seed(seed, index)
+        points.append(point)
+    # fn rides in a partial, not in every payload, so the process pool
+    # pickles it once per chunk rather than once per point.
+    records = executor.map(functools.partial(_evaluate_point, fn, on_error),
+                           points)
+    return SweepResult(list(records))
+
+
+def sweep(fn: Callable[..., Mapping[str, Any]],
+          grid: Mapping[str, Sequence[Any]], *,
+          on_error: str = "raise", executor=None) -> SweepResult:
+    """Backwards-compatible alias of :func:`run_sweep` (no seeding)."""
+    return run_sweep(fn, grid, on_error=on_error, executor=executor)
 
 
 def sweep1d(fn: Callable[[Any], Mapping[str, Any]], name: str,
-            values: Iterable[Any], *, on_error: str = "raise") -> SweepResult:
-    """One-dimensional convenience wrapper around :func:`sweep`."""
-    return sweep(lambda **kw: fn(kw[name]), {name: list(values)},
-                 on_error=on_error)
+            values: Iterable[Any], *, on_error: str = "raise",
+            executor=None) -> SweepResult:
+    """One-dimensional convenience wrapper around :func:`run_sweep`."""
+    return run_sweep(lambda **kw: fn(kw[name]), {name: list(values)},
+                     on_error=on_error, executor=executor)

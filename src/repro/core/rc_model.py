@@ -154,6 +154,163 @@ class RcSolution:
         return max(self.cout / iv.g_total for iv in self._intervals)
 
 
+class RcBatchSolution:
+    """Periodic steady state of a whole batch of leg sets at once.
+
+    The counterpart of :class:`RcSolution` for the vectorised engine:
+    every reduction returns one value per batch element (numpy arrays of
+    shape ``(B,)``).  Interval quantities are stored as ``(K, B)`` arrays
+    where ``K`` is the number of constant-topology intervals shared by
+    the batch.
+    """
+
+    def __init__(self, dts: np.ndarray, g_total: np.ndarray,
+                 v_inf: np.ndarray, g_up: np.ndarray, alpha: np.ndarray,
+                 v0: np.ndarray, period: float, cout: float,
+                 vdd: np.ndarray):
+        self._dts = dts          # (K,)
+        self._g_total = g_total  # (K, B)
+        self._v_inf = v_inf      # (K, B)
+        self._g_up = g_up        # (K, B)
+        self._alpha = alpha      # (K, B)
+        self.v0 = v0             # (B,)
+        self.period = period
+        self.cout = cout
+        self.vdd = vdd           # (B,)
+
+    def average_voltage(self) -> np.ndarray:
+        """Exact period-average of the node voltage, per batch element."""
+        total = np.zeros_like(self.v0)
+        v = self.v0
+        for k in range(len(self._dts)):
+            total += self._v_inf[k] * self._dts[k] + (v - self._v_inf[k]) * (
+                self.cout / self._g_total[k]) * (1.0 - self._alpha[k])
+            v = self._v_inf[k] + (v - self._v_inf[k]) * self._alpha[k]
+        return total / self.period
+
+    def ripple(self) -> np.ndarray:
+        """Peak-to-peak node voltage over the period, per batch element."""
+        v = self.v0
+        lo = np.array(v, copy=True)
+        hi = np.array(v, copy=True)
+        for k in range(len(self._dts)):
+            v = self._v_inf[k] + (v - self._v_inf[k]) * self._alpha[k]
+            np.minimum(lo, v, out=lo)
+            np.maximum(hi, v, out=hi)
+        return hi - lo
+
+    def supply_power(self) -> np.ndarray:
+        """Exact average supply power through the up legs, per element."""
+        energy = np.zeros_like(self.v0)
+        v = self.v0
+        for k in range(len(self._dts)):
+            int_v = self._v_inf[k] * self._dts[k] + (v - self._v_inf[k]) * (
+                self.cout / self._g_total[k]) * (1.0 - self._alpha[k])
+            energy += self.vdd * self._g_up[k] * (
+                self.vdd * self._dts[k] - int_v)
+            v = self._v_inf[k] + (v - self._v_inf[k]) * self._alpha[k]
+        return energy / self.period
+
+
+class RcBatchSolver:
+    """Vectorised :class:`RcSwitchSolver` over a batch of conductance sets.
+
+    All batch elements share the *switching pattern* — per-leg duty and
+    phase, hence the constant-topology intervals — while resistances and
+    rail voltages vary per element: exactly the structure of a
+    Monte-Carlo mismatch campaign, where every trial perturbs device
+    geometry but none touches the PWM stimulus.  One solve replaces
+    ``B`` scalar solves, turning the per-trial Python loop into ``K``
+    (≈ two edges per leg) numpy passes over ``(B, L)`` arrays.
+
+    Parameters
+    ----------
+    duty, phase:
+        Per-leg switching pattern, shape ``(L,)``.
+    r_up, r_down:
+        Per-element leg resistances, shape ``(B, L)``.
+    v_up:
+        Rail behind the up resistance: scalar or ``(B,)`` (a drooping
+        supply varies per trial, e.g. in yield campaigns).
+    """
+
+    def __init__(self, duty, phase, r_up, r_down, *, v_up, v_down=0.0,
+                 cout: float, period: float):
+        self.duty = np.atleast_1d(np.asarray(duty, float))
+        self.phase = np.atleast_1d(np.asarray(phase, float))
+        self.r_up = np.atleast_2d(np.asarray(r_up, float))
+        self.r_down = np.atleast_2d(np.asarray(r_down, float))
+        n_legs = self.duty.shape[0]
+        if self.phase.shape[0] != n_legs:
+            raise AnalysisError("duty and phase must have one entry per leg")
+        if self.r_up.shape[1] != n_legs or self.r_down.shape[1] != n_legs:
+            raise AnalysisError(
+                f"resistance arrays must be (batch, {n_legs})")
+        if np.any(self.r_up <= 0) or np.any(self.r_down <= 0):
+            raise AnalysisError("leg resistances must be positive")
+        if np.any(self.duty < 0) or np.any(self.duty > 1):
+            raise AnalysisError("leg duties must lie in [0, 1]")
+        if cout <= 0 or period <= 0:
+            raise AnalysisError("cout and period must be positive")
+        batch = self.r_up.shape[0]
+        self.v_up = np.broadcast_to(
+            np.asarray(v_up, float), (batch,)).astype(float)
+        self.v_down = np.broadcast_to(
+            np.asarray(v_down, float), (batch,)).astype(float)
+        self.cout = cout
+        self.period = period
+
+    def _interval_fractions(self) -> "list[float]":
+        edges = {0.0, 1.0}
+        for duty, phase in zip(self.duty, self.phase):
+            if 0.0 < duty < 1.0:
+                edges.add(float(phase) % 1.0)
+                edges.add(float(phase + duty) % 1.0)
+        ordered = sorted(edges)
+        if ordered[-1] != 1.0:
+            ordered.append(1.0)
+        return ordered
+
+    def solve(self) -> RcBatchSolution:
+        fractions = self._interval_fractions()
+        g_up_legs = 1.0 / self.r_up      # (B, L)
+        g_down_legs = 1.0 / self.r_down  # (B, L)
+        dts, g_tots, v_infs, g_ups, alphas = [], [], [], [], []
+        for f0, f1 in zip(fractions[:-1], fractions[1:]):
+            if f1 - f0 <= 1e-15:
+                continue
+            mid = 0.5 * (f0 + f1)
+            rel = (mid - self.phase) % 1.0
+            up = np.where(self.duty >= 1.0, True,
+                          np.where(self.duty <= 0.0, False, rel < self.duty))
+            g = np.where(up, g_up_legs, g_down_legs)          # (B, L)
+            g_total = g.sum(axis=1)                           # (B,)
+            g_up = np.where(up, g_up_legs, 0.0).sum(axis=1)   # (B,)
+            b = np.where(up, g * self.v_up[:, None],
+                         g * self.v_down[:, None]).sum(axis=1)
+            dt = (f1 - f0) * self.period
+            dts.append(dt)
+            g_tots.append(g_total)
+            v_infs.append(b / g_total)
+            g_ups.append(g_up)
+            alphas.append(np.exp(-g_total * dt / self.cout))
+        g_total = np.stack(g_tots)
+        v_inf = np.stack(v_infs)
+        g_up = np.stack(g_ups)
+        alpha = np.stack(alphas)
+        # Compose the affine interval maps v -> a*v + b over the period.
+        a_total = np.ones_like(g_total[0])
+        b_total = np.zeros_like(g_total[0])
+        for k in range(len(dts)):
+            a_total = alpha[k] * a_total
+            b_total = alpha[k] * b_total + v_inf[k] * (1.0 - alpha[k])
+        if np.any(a_total >= 1.0):
+            raise AnalysisError("period map is not contracting; check legs")
+        v0 = b_total / (1.0 - a_total)
+        return RcBatchSolution(np.asarray(dts), g_total, v_inf, g_up, alpha,
+                               v0, self.period, self.cout, self.v_up)
+
+
 class RcSwitchSolver:
     """Exact periodic solver for a set of same-period legs.
 

@@ -1,0 +1,122 @@
+"""On-disk result cache for experiment runs.
+
+Paper-fidelity experiments are minutes-scale simulations whose outputs
+are fully determined by ``(experiment_id, fidelity, run kwargs)`` — the
+textbook shape for a content-addressed cache.  :class:`ResultCache`
+stores each :class:`~repro.experiments.base.ExperimentResult` as JSON
+under::
+
+    <root>/<experiment_id>/<fidelity>-<params-hash>.json
+
+where the params hash is a SHA-256 over the canonical JSON encoding of
+the run kwargs.  Hits deserialise to a result whose ``render()`` output
+is byte-identical to the original (floats survive the JSON round trip
+exactly via ``repr`` shortest-round-trip encoding) — pinned by the
+equivalence tests.
+
+The cache is wired into :func:`repro.experiments.registry.run_experiment`
+and the ``python -m repro`` CLI (``--cache-dir``, ``--no-cache``).  A
+schema version is embedded in every entry; bumping
+:data:`CACHE_SCHEMA_VERSION` invalidates stale entries wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Bump when the serialised layout of ExperimentResult changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+PathLike = Union[str, Path]
+
+
+def params_hash(params: Dict[str, Any]) -> str:
+    """Stable short hash of a kwargs dict (canonical-JSON SHA-256)."""
+    canonical = json.dumps(params, sort_keys=True, default=repr,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pwm"
+
+
+class ResultCache:
+    """Content-addressed experiment-result store.
+
+    >>> cache = ResultCache("/tmp/repro-cache-doctest")
+    >>> cache.get("table1", "fast", {}) is None
+    True
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    def path_for(self, experiment_id: str, fidelity: str,
+                 params: Optional[Dict[str, Any]] = None) -> Path:
+        # The package version is folded into the key so released numeric
+        # changes invalidate old entries; within one version, stale
+        # replays after local code edits are handled by the CLI's
+        # cache-hit notice and --no-cache.
+        from .. import __version__
+
+        keyed = dict(params or {})
+        keyed["__repro_version__"] = __version__
+        key = params_hash(keyed)
+        return self.root / experiment_id / f"{fidelity}-{key}.json"
+
+    def get(self, experiment_id: str, fidelity: str,
+            params: Optional[Dict[str, Any]] = None):
+        """Cached :class:`ExperimentResult`, or ``None`` on miss."""
+        from ..experiments.base import ExperimentResult
+
+        path = self.path_for(experiment_id, fidelity, params)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return ExperimentResult.from_dict(payload["result"])
+
+    def put(self, result, params: Optional[Dict[str, Any]] = None) -> Path:
+        """Store a result; returns the entry path."""
+        path = self.path_for(result.experiment_id, result.fidelity, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "params": {k: repr(v) for k, v in sorted((params or {}).items())},
+            "result": result.to_dict(),
+        }
+        # Unique tmp name per writer: concurrent runs may race on the
+        # same entry, and os.replace makes the last full write win.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<ResultCache root={str(self.root)!r}>"

@@ -1,0 +1,146 @@
+"""Pluggable execution backends for sweep/ensemble campaigns.
+
+Every ensemble-shaped computation in this library (parameter sweeps,
+Monte-Carlo trials, yield parts) reduces to *map a pure function over a
+list of points*.  This module supplies the two backends for that map —
+
+* :class:`SerialExecutor` — plain in-process iteration.  Always works,
+  including for closures and lambdas that cannot cross a process
+  boundary.
+* :class:`ProcessExecutor` — a :class:`concurrent.futures`
+  process pool.  Falls back to serial execution automatically when the
+  work is not picklable or when pools cannot be spawned (e.g. restricted
+  sandboxes), so callers never have to special-case it.
+
+Because every point is evaluated independently and results are returned
+in submission order, **serial and parallel execution produce identical
+records** — the equivalence the test suite pins down.
+
+Deterministic seeding
+---------------------
+:func:`derive_seed` hashes ``(base_seed, *indices)`` into a stable
+31-bit seed, so per-point RNG streams do not depend on execution order
+or the number of workers.
+
+The session-wide default backend is controlled by
+:func:`set_default_executor` / :func:`use_executor`; the CLI's
+``--jobs N`` flag installs a pool there, and every experiment inherits
+it through :func:`repro.circuit.sweep.run_sweep` and the Monte-Carlo
+entry points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+
+def derive_seed(base: Optional[int], *indices: int) -> Optional[int]:
+    """Stable per-point seed derived from a base seed and point indices.
+
+    Returns ``None`` when ``base`` is ``None`` (unseeded stays
+    unseeded).  The derivation is a SHA-256 hash, so seeds are
+    decorrelated across points and independent of worker count or
+    execution order.
+    """
+    if base is None:
+        return None
+    payload = ",".join(str(int(v)) for v in (base, *indices))
+    digest = hashlib.sha256(payload.encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+class SerialExecutor:
+    """In-process, in-order map — the universal fallback."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "<SerialExecutor>"
+
+
+class ProcessExecutor:
+    """Process-pool map with an automatic serial fallback.
+
+    ``jobs=None`` (or ``-1``) uses one worker per CPU.  The pool is
+    created lazily per :meth:`map` call and torn down afterwards, so the
+    executor itself stays picklable and fork-safe.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs in (None, -1):
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+        except Exception:
+            # Closures / local lambdas cannot cross the process
+            # boundary; degrade to the serial path (identical results).
+            return [fn(item) for item in items]
+        from concurrent.futures import ProcessPoolExecutor
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (OSError, RuntimeError):
+            # Pool creation can fail in restricted environments.  Only
+            # creation is guarded: exceptions raised by ``fn`` itself
+            # must propagate (``on_error="raise"`` semantics), not
+            # trigger a full serial re-run.
+            return [fn(item) for item in items]
+        with pool:
+            chunksize = max(1, len(items) // (self.jobs * 4))
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"<ProcessExecutor jobs={self.jobs}>"
+
+
+def get_executor(jobs: Optional[int]) -> "SerialExecutor | ProcessExecutor":
+    """Executor for a ``--jobs``-style count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``-1`` means one worker per
+    CPU; anything else is a pool of that size.
+    """
+    if jobs in (None, 0, 1):
+        return SerialExecutor()
+    return ProcessExecutor(jobs)
+
+
+_default_executor: "SerialExecutor | ProcessExecutor" = SerialExecutor()
+
+
+def get_default_executor() -> "SerialExecutor | ProcessExecutor":
+    """The session-wide backend used when no explicit executor is passed."""
+    return _default_executor
+
+
+def set_default_executor(executor) -> None:
+    """Install the session-wide default backend (e.g. from ``--jobs``)."""
+    global _default_executor
+    _default_executor = executor
+
+
+@contextmanager
+def use_executor(executor) -> Iterator[None]:
+    """Temporarily install a default backend (restores the old one)."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    try:
+        yield
+    finally:
+        _default_executor = previous

@@ -64,3 +64,49 @@ class ExperimentResult:
             if f.figure_id == figure_id:
                 return f
         raise AnalysisError(f"no figure {figure_id!r} in {self.experiment_id}")
+
+    # -- serialisation ------------------------------------------------------
+    #
+    # The JSON round trip below backs both the on-disk result cache
+    # (:mod:`repro.exec.cache`) and the golden-artifact fixtures; it is
+    # loss-free for everything ``render()`` consumes, so a deserialised
+    # result renders byte-identically to the original.
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "fidelity": self.fidelity,
+            "table": self.table.to_dict() if self.table is not None else None,
+            "extra_tables": [t.to_dict() for t in self.extra_tables],
+            "figures": [f.to_dict() for f in self.figures],
+            "metrics": {k: _json_scalar(v) for k, v in self.metrics.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        from ..reporting.tables import Table as _Table
+
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            fidelity=data["fidelity"],
+            table=(_Table.from_dict(data["table"])
+                   if data.get("table") is not None else None),
+            extra_tables=[_Table.from_dict(t)
+                          for t in data.get("extra_tables", [])],
+            figures=[FigureData.from_dict(f)
+                     for f in data.get("figures", [])],
+            metrics=dict(data.get("metrics", {})),
+            notes=list(data.get("notes", [])),
+        )
+
+
+def _json_scalar(value: Any) -> Any:
+    """Coerce a metric value to a JSON-representable scalar."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)

@@ -4,6 +4,12 @@ The paper calls its adder errors "affordable" for an inherently
 approximate perceptron.  This experiment quantifies the additional error
 from device mismatch: Pelgrom-scaled per-cell threshold/transconductance
 variation through the switch-level engine, plus global process corners.
+
+The campaign runs on the vectorised ensemble engine
+(:mod:`repro.exec.batch`) — one batched RC solve per workload row
+instead of one per trial; ``benchmarks/BENCH_exec_engine.json`` records
+the speedup and the golden-artifact suite pins agreement with the
+scalar path.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ EXPERIMENT_ID = "ext_montecarlo"
 TITLE = "Adder output error under mismatch (Monte Carlo) and corners"
 
 
-def run(fidelity: str = "fast", seed: int = 3) -> ExperimentResult:
+def run(fidelity: str = "fast", seed: int = 3,
+        method: str = "auto") -> ExperimentResult:
     check_fidelity(fidelity)
     n_trials = 200 if fidelity == "paper" else 25
     adder = WeightedAdder(AdderConfig())
@@ -30,7 +37,8 @@ def run(fidelity: str = "fast", seed: int = 3) -> ExperimentResult:
     rows = PAPER_ROWS if fidelity == "paper" else PAPER_ROWS[:3]
     for i, row in enumerate(rows):
         stats = adder_monte_carlo(adder, row.duties, row.weights,
-                                  n_trials=n_trials, seed=seed + i)
+                                  n_trials=n_trials, seed=seed + i,
+                                  method=method)
         nominal = adder.evaluate(row.duties, row.weights, engine="rc").value
         table.add_row(
             f"DC={tuple(int(d * 100) for d in row.duties)} W={row.weights}",

@@ -6,6 +6,11 @@ unregulated supply.  Mismatch is drawn per part (Pelgrom), the supply
 per classification (uniform over the harvester's range), and the PWM
 perceptron's yield is contrasted with the amplitude-coded analog
 baseline under the *same* supply distribution.
+
+The PWM campaign runs on the vectorised ensemble engine
+(:mod:`repro.exec.batch`): all parts are solved in one batch per
+dataset sample, drawing the same random numbers as the per-part loop
+(``benchmarks/BENCH_exec_engine.json`` records the speedup).
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ TITLE = "Parametric yield: mismatch + unregulated supply"
 VDD_RANGE = (1.2, 3.5)
 
 
-def run(fidelity: str = "fast", seed: int = 13) -> ExperimentResult:
+def run(fidelity: str = "fast", seed: int = 13,
+        method: str = "auto") -> ExperimentResult:
     check_fidelity(fidelity)
     n_parts = 60 if fidelity == "paper" else 12
     n_per_class = 30 if fidelity == "paper" else 12
@@ -43,7 +49,8 @@ def run(fidelity: str = "fast", seed: int = 13) -> ExperimentResult:
 
     result_pwm = perceptron_yield(pwm, data, n_parts=n_parts,
                                   vdd_sampler=vdd_sampler,
-                                  accuracy_threshold=0.95, seed=seed)
+                                  accuracy_threshold=0.95, seed=seed,
+                                  method=method)
 
     # Amplitude-coded baseline: same boundary, same supply statistics.
     # (Mismatch is not even needed to sink it — the supply alone does.)

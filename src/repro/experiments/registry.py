@@ -1,10 +1,23 @@
-"""Experiment registry: every paper artefact and extension by id."""
+"""Experiment registry: every paper artefact and extension by id.
+
+:func:`run_experiment` is the one choke point every runner passes
+through, so execution concerns are wired here once for all experiments:
+
+* ``jobs`` installs a process-pool default executor for the duration of
+  the run (inherited by :func:`repro.circuit.sweep.run_sweep` and the
+  Monte-Carlo/yield entry points);
+* ``cache`` consults an on-disk :class:`repro.exec.cache.ResultCache`
+  keyed by ``(experiment_id, fidelity, params-hash)`` before running and
+  stores the result after.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..circuit.exceptions import AnalysisError
+from ..exec.cache import ResultCache
+from ..exec.executor import get_executor, use_executor
 from . import (
     ext_ablation,
     ext_ac,
@@ -67,18 +80,40 @@ PAPER_ARTEFACTS = ("table1", "fig4", "fig5", "fig6", "fig7", "table2",
                    "fig8")
 
 
-def run_experiment(experiment_id: str, fidelity: str = "fast",
+def run_experiment(experiment_id: str, fidelity: str = "fast", *,
+                   jobs: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
                    **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``jobs`` selects the parallel backend for the run (``None``/``1``
+    serial, ``-1`` one worker per CPU); ``cache`` short-circuits the run
+    when an entry for ``(experiment_id, fidelity, kwargs)`` exists and
+    records the result otherwise.
+    """
     try:
         _title, runner = REGISTRY[experiment_id]
     except KeyError:
         raise AnalysisError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(REGISTRY)}") from None
-    return runner(fidelity=fidelity, **kwargs)
+    if cache is not None:
+        hit = cache.get(experiment_id, fidelity, kwargs)
+        if hit is not None:
+            return hit
+    if jobs is None:
+        result = runner(fidelity=fidelity, **kwargs)
+    else:
+        with use_executor(get_executor(jobs)):
+            result = runner(fidelity=fidelity, **kwargs)
+    if cache is not None:
+        cache.put(result, kwargs)
+    return result
 
 
-def run_all(fidelity: str = "fast") -> "Dict[str, ExperimentResult]":
+def run_all(fidelity: str = "fast", *, jobs: Optional[int] = None,
+            cache: Optional[ResultCache] = None
+            ) -> "Dict[str, ExperimentResult]":
     """Run every registered experiment (used by the reproduction CLI)."""
-    return {eid: run_experiment(eid, fidelity) for eid in REGISTRY}
+    return {eid: run_experiment(eid, fidelity, jobs=jobs, cache=cache)
+            for eid in REGISTRY}

@@ -56,6 +56,29 @@ class FigureData:
                 return s
         raise AnalysisError(f"no series named {name!r} in {self.figure_id}")
 
+    # -- serialisation (result cache / golden fixtures) ---------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "log_x": self.log_x,
+            "series": [
+                {"name": s.name, "x": s.x, "y": s.y} for s in self.series
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FigureData":
+        figure = cls(figure_id=data["figure_id"], title=data["title"],
+                     x_label=data["x_label"], y_label=data["y_label"],
+                     log_x=data.get("log_x", False))
+        for s in data.get("series", []):
+            figure.add_series(s["name"], s["x"], s["y"])
+        return figure
+
     # -- rendering ----------------------------------------------------------
 
     def as_table(self, float_format: str = ".4f") -> Table:

@@ -70,3 +70,22 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+    # -- serialisation (result cache / golden fixtures) ---------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload; rows are stored already formatted, so the
+        round trip reproduces ``render()`` byte-for-byte."""
+        return {
+            "headers": list(self.headers),
+            "title": self.title,
+            "float_format": self.float_format,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        table = cls(data["headers"], title=data.get("title", ""),
+                    float_format=data.get("float_format", ".3f"))
+        table.rows = [[str(c) for c in row] for row in data.get("rows", [])]
+        return table

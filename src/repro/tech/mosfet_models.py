@@ -234,3 +234,29 @@ def on_resistance(params: MosfetParams, width: float, length: float,
     if ids == 0.0:
         return float("inf")
     return abs(vds_probe / ids)
+
+
+def on_resistance_vec(beta, vt_mag, lam, n_sub, vgs,
+                      vds_probe: float = 0.01):
+    """Vectorised :func:`on_resistance` over arrays of devices.
+
+    ``beta = kp * W / L`` and ``vt_mag = |vt0|`` may carry per-device
+    mismatch; ``lam``/``n_sub``/``vgs`` broadcast.  Because the probe
+    point maps both polarities onto the forward (NMOS) frame with
+    ``vds = vds_probe >= 0``, one square-law evaluation covers NMOS and
+    PMOS alike.  This is the Monte-Carlo batching hot path
+    (:mod:`repro.exec.batch`): one call replaces thousands of scalar
+    :func:`ids_full` evaluations.
+    """
+    import numpy as np
+
+    scale = 2.0 * n_sub * THERMAL_VOLTAGE
+    z = (np.asarray(vgs, float) - np.asarray(vt_mag, float)) / scale
+    vov = scale * np.logaddexp(0.0, z)
+    clm = 1.0 + lam * vds_probe
+    triode = vds_probe < vov
+    core = np.where(triode, vov * vds_probe - 0.5 * vds_probe * vds_probe,
+                    0.5 * vov * vov)
+    ids = np.asarray(beta, float) * core * clm
+    with np.errstate(divide="ignore"):
+        return np.where(ids == 0.0, np.inf, np.abs(vds_probe / ids))

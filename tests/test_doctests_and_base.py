@@ -6,6 +6,7 @@ import pytest
 
 import repro.circuit.units
 import repro.core.encoding
+import repro.exec.cache
 import repro.signals.pwm
 import repro.tech.corners
 from repro.circuit import AnalysisError
@@ -17,6 +18,7 @@ from repro.reporting import FigureData, Table
 @pytest.mark.parametrize("module", [
     repro.circuit.units,
     repro.core.encoding,
+    repro.exec.cache,
     repro.tech.corners,
 ])
 def test_module_doctests(module):

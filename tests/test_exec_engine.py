@@ -1,0 +1,283 @@
+"""Equivalence and cache tests for the execution engine.
+
+The contract under test: serial, process-parallel and vectorised
+execution of the same campaign produce the same records —
+bit-identical between serial and parallel (same scalar ops, different
+processes), tolerance-identical for the vectorised path (same RNG
+draws, numpy-reassociated float reductions) — and cache hits replay
+results byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import adder_monte_carlo, make_blobs, perceptron_yield
+from repro.circuit import AnalysisError, run_sweep
+from repro.core import AdderConfig, WeightedAdder
+from repro.core.rc_model import RcBatchSolver, RcSwitchSolver, RcLeg
+from repro.core.training import PerceptronTrainer
+from repro.exec import (
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    derive_seed,
+    get_executor,
+    params_hash,
+    use_executor,
+)
+from repro.exec.batch import (
+    batch_adder_values,
+    leg_resistance_arrays,
+    sample_adder_mismatch,
+)
+from repro.experiments import run_experiment
+from repro.tech.corners import MonteCarloSampler
+
+
+def _double(x):
+    """Top-level, hence picklable for the process pool."""
+    return {"y": 2 * x}
+
+
+class TestExecutors:
+    def test_get_executor_mapping(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert get_executor(3).jobs == 3
+        assert get_executor(-1).jobs >= 1
+
+    def test_serial_and_process_map_agree(self):
+        items = list(range(20))
+        serial = SerialExecutor().map(_double, items)
+        parallel = ProcessExecutor(2).map(_double, items)
+        assert serial == parallel
+
+    def test_process_pool_falls_back_on_closures(self):
+        captured = 3
+        result = ProcessExecutor(2).map(lambda v: v + captured, [1, 2])
+        assert result == [4, 5]
+
+    def test_use_executor_restores_default(self):
+        from repro.exec import get_default_executor
+        before = get_default_executor()
+        with use_executor(ProcessExecutor(2)):
+            assert get_default_executor().jobs == 2
+        assert get_default_executor() is before
+
+    def test_derive_seed_stable_and_decorrelated(self):
+        assert derive_seed(None, 5) is None
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+        seeds = {derive_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+
+
+class TestSweepExecution:
+    def test_serial_vs_parallel_records_identical(self):
+        grid = {"x": list(range(8))}
+        serial = run_sweep(_double, {"x": grid["x"]},
+                           executor=SerialExecutor())
+        parallel = run_sweep(_double, {"x": grid["x"]},
+                             executor=ProcessExecutor(2))
+        assert serial.records == parallel.records
+
+    def test_per_point_seeds_are_injected_and_stable(self):
+        def probe(x, seed):
+            return {"seed_seen": seed}
+
+        a = run_sweep(probe, {"x": [1, 2, 3]}, seed=11)
+        b = run_sweep(probe, {"x": [1, 2, 3]}, seed=11,
+                      executor=ProcessExecutor(2))
+        assert a.column("seed_seen") == b.column("seed_seen")
+        assert len(set(a.column("seed_seen"))) == 3
+
+
+class TestMonteCarloEquivalence:
+    DUTIES = [0.5, 0.7, 0.9]
+    WEIGHTS = [7, 5, 3]
+
+    def test_serial_vs_parallel_identical(self):
+        adder = WeightedAdder(AdderConfig())
+        serial = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                   n_trials=40, seed=3, method="loop")
+        parallel = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                     n_trials=40, seed=3, method="loop",
+                                     executor=ProcessExecutor(2))
+        assert serial.errors == parallel.errors
+
+    def test_loop_vs_vectorized_same_draws(self):
+        adder = WeightedAdder(AdderConfig())
+        loop = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                 n_trials=40, seed=3, method="loop")
+        vec = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                n_trials=40, seed=3, method="vectorized")
+        np.testing.assert_allclose(vec.errors, loop.errors,
+                                   rtol=1e-9, atol=1e-15)
+
+    def test_auto_is_vectorized(self):
+        adder = WeightedAdder(AdderConfig())
+        auto = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                 n_trials=10, seed=5)
+        vec = adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                                n_trials=10, seed=5, method="vectorized")
+        assert auto.errors == vec.errors
+
+    def test_unknown_method_rejected(self):
+        adder = WeightedAdder(AdderConfig())
+        with pytest.raises(AnalysisError):
+            adder_monte_carlo(adder, self.DUTIES, self.WEIGHTS,
+                              n_trials=2, method="gpu")
+
+
+class TestYieldEquivalence:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = make_blobs(n_per_class=8, n_features=2, separation=0.35,
+                          spread=0.09, seed=13)
+        trained = PerceptronTrainer(2, seed=13).fit(data.X, data.y,
+                                                    epochs=40)
+        return trained.perceptron, data
+
+    @staticmethod
+    def _sampler(seed):
+        rng = np.random.default_rng(seed)
+        return lambda: float(rng.uniform(1.2, 3.5))
+
+    def test_loop_vs_vectorized_identical_records(self, setup):
+        pwm, data = setup
+        loop = perceptron_yield(pwm, data, n_parts=8, seed=13,
+                                vdd_sampler=self._sampler(13),
+                                method="loop")
+        vec = perceptron_yield(pwm, data, n_parts=8, seed=13,
+                               vdd_sampler=self._sampler(13),
+                               method="vectorized")
+        assert loop.accuracies == vec.accuracies
+        assert loop.yield_fraction == vec.yield_fraction
+
+    def test_serial_vs_parallel_identical(self, setup):
+        pwm, data = setup
+        serial = perceptron_yield(pwm, data, n_parts=6, seed=1,
+                                  method="loop")
+        parallel = perceptron_yield(pwm, data, n_parts=6, seed=1,
+                                    method="loop",
+                                    executor=ProcessExecutor(2))
+        assert serial.accuracies == parallel.accuracies
+
+
+class TestBatchSolver:
+    def test_batch_matches_scalar_solver(self):
+        legs = [RcLeg(r_up=1e3 * (i + 1), r_down=2e3 * (i + 1),
+                      duty=d, phase=p, v_up=2.5)
+                for i, (d, p) in enumerate([(0.3, 0.0), (0.6, 0.25),
+                                            (1.0, 0.0), (0.0, 0.0)])]
+        scalar = RcSwitchSolver(legs, cout=10e-12, period=2e-9,
+                                vdd=2.5).solve()
+        batch = RcBatchSolver(
+            duty=[l.duty for l in legs], phase=[l.phase for l in legs],
+            r_up=[[l.r_up for l in legs]], r_down=[[l.r_down for l in legs]],
+            v_up=2.5, cout=10e-12, period=2e-9).solve()
+        np.testing.assert_allclose(batch.average_voltage(),
+                                   [scalar.average_voltage()], rtol=1e-12)
+        np.testing.assert_allclose(batch.ripple(), [scalar.ripple()],
+                                   rtol=1e-9)
+        np.testing.assert_allclose(batch.supply_power(),
+                                   [scalar.supply_power()], rtol=1e-12)
+
+    def test_batch_adder_matches_evaluate(self):
+        cfg = AdderConfig()
+        adder = WeightedAdder(cfg)
+        duties, weights = [0.4, 0.8, 0.1], [7, 2, 5]
+        scalar = adder.evaluate(duties, weights, engine="rc")
+        r_up, r_down = leg_resistance_arrays(cfg, None, cfg.vdd, batch=3)
+        values = batch_adder_values(cfg, duties, weights, r_up, r_down,
+                                    cfg.vdd)
+        np.testing.assert_allclose(values.value,
+                                   [scalar.value] * 3, rtol=1e-12)
+        np.testing.assert_allclose(values.power,
+                                   [scalar.power] * 3, rtol=1e-12)
+
+    def test_sample_batch_matches_sequential_draws(self):
+        cfg = AdderConfig()
+        batch_sampler = MonteCarloSampler(seed=9)
+        seq_sampler = MonteCarloSampler(seed=9)
+        mismatch, = sample_adder_mismatch(batch_sampler, cfg, n_trials=2)
+        for trial in range(2):
+            for i in range(cfg.n_inputs):
+                for b in range(cfg.n_bits):
+                    design = cfg.cell.scaled(float(1 << b))
+                    flat = i * cfg.n_bits + b
+                    nm = seq_sampler.sample(design.wn, design.length)
+                    pm = seq_sampler.sample(design.wp, design.length)
+                    assert mismatch.delta_vt_n[trial, flat] == nm.delta_vt
+                    assert mismatch.kp_scale_n[trial, flat] == nm.kp_scale
+                    assert mismatch.delta_vt_p[trial, flat] == pm.delta_vt
+                    assert mismatch.kp_scale_p[trial, flat] == pm.kp_scale
+
+
+class TestResultCache:
+    def test_miss_then_hit_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("table1", "fast", {}) is None
+        result = run_experiment("table1", fidelity="fast")
+        cache.put(result, {})
+        hit = cache.get("table1", "fast", {})
+        assert hit is not None
+        assert hit.render(charts=True) == result.render(charts=True)
+        # Byte-identical on the second hit too (stable deserialisation).
+        assert (cache.get("table1", "fast", {}).render()
+                == result.render())
+
+    def test_run_experiment_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment("ext_transistor_count", fidelity="fast",
+                               cache=cache)
+        entry = cache.path_for("ext_transistor_count", "fast", {})
+        assert entry.exists()
+        # Corrupt-proof: a second run returns the cached copy.
+        second = run_experiment("ext_transistor_count", fidelity="fast",
+                                cache=cache)
+        assert second.render() == first.render()
+
+    def test_params_change_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = cache.path_for("x", "fast", {"seed": 1})
+        b = cache.path_for("x", "fast", {"seed": 2})
+        c = cache.path_for("x", "paper", {"seed": 1})
+        assert len({a, b, c}) == 3
+        assert params_hash({"b": 1, "a": 2}) == params_hash({"a": 2, "b": 1})
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_experiment("table1", fidelity="fast")
+        path = cache.put(result, {})
+        payload = json.loads(path.read_text())
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload))
+        assert cache.get("table1", "fast", {}) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(run_experiment("table1", fidelity="fast"), {})
+        assert cache.clear() == 1
+        assert cache.get("table1", "fast", {}) is None
+
+
+class TestCliFlags:
+    def test_no_cache_and_jobs_flags_accepted(self, capsys, tmp_path):
+        from repro.__main__ import main as cli_main
+        assert cli_main(["run", "table1", "--no-cache", "--jobs", "1"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_cache_dir_flag_populates_cache(self, capsys, tmp_path):
+        from repro.__main__ import main as cli_main
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["run", "table1", "--cache-dir",
+                         str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("table1/fast-*.json"))
+        assert cli_main(["run", "table1", "--cache-dir",
+                         str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first
