@@ -1,0 +1,151 @@
+"""Benchmark the serving subsystem: per-sample vs batched inference.
+
+Three measurements, written to ``benchmarks/BENCH_serving.json``:
+
+* ``perceptron``  — scalar ``predict()`` loop vs
+  :class:`~repro.serve.engine.BatchInferenceEngine` on a batch of 256
+  rows (the acceptance target is >= 10x at this batch size);
+* ``mlp``         — the same comparison through a 6-unit hidden layer;
+* ``http``        — end-to-end rows/s through the micro-batching
+  ``/predict`` endpoint (one client, whole-batch requests).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import make_blobs
+from repro.core.network import PwmMlp
+from repro.core.training import PerceptronTrainer
+from repro.serve import (
+    BatchInferenceEngine,
+    ModelStore,
+    PerceptronServer,
+)
+
+OUT = Path(__file__).parent / "BENCH_serving.json"
+
+BATCH = 256
+
+
+def _make_batch(seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, (BATCH, 2))
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Wall-clock of the fastest of ``repeats`` runs, seconds."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _compare(name: str, scalar_fn, batched_fn, check_equal) -> dict:
+    t_scalar = _best_of(scalar_fn)
+    t_batched = _best_of(batched_fn)
+    return {
+        "model": name,
+        "batch_rows": BATCH,
+        "scalar_seconds": round(t_scalar, 6),
+        "batched_seconds": round(t_batched, 6),
+        "scalar_rows_per_s": round(BATCH / t_scalar, 1),
+        "batched_rows_per_s": round(BATCH / t_batched, 1),
+        "speedup": round(t_scalar / t_batched, 2),
+        "paths_agree_exactly": bool(check_equal()),
+    }
+
+
+def bench_perceptron() -> dict:
+    data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                      spread=0.09, seed=7)
+    model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
+                                             epochs=60).perceptron
+    X = _make_batch()
+    engine = BatchInferenceEngine()
+    return _compare(
+        "perceptron",
+        lambda: [model.predict(x) for x in X],
+        lambda: engine.predict(model, X),
+        lambda: np.array_equal(
+            np.array([model.predict(x) for x in X]),
+            engine.predict(model, X)))
+
+
+def bench_mlp() -> dict:
+    data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                      spread=0.09, seed=7)
+    model = PwmMlp(2, 6, seed=1)
+    model.fit(data.X, data.y, epochs=40)
+    X = _make_batch()
+    engine = BatchInferenceEngine()
+    return _compare(
+        "mlp(2x6)",
+        lambda: [model.predict(x) for x in X],
+        lambda: engine.predict_mlp(model, X),
+        lambda: np.array_equal(
+            np.array([model.predict(x) for x in X]),
+            engine.predict_mlp(model, X)))
+
+
+def bench_http(tmp_root: Path) -> dict:
+    import urllib.request
+
+    data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                      spread=0.09, seed=7)
+    model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
+                                             epochs=60).perceptron
+    store = ModelStore(tmp_root)
+    store.save("bench", model)
+    X = _make_batch()
+    payload = json.dumps({"model": "bench",
+                          "inputs": X.tolist()}).encode()
+    with PerceptronServer(store, port=0) as server:
+        def roundtrip():
+            request = urllib.request.Request(
+                server.url + "/predict", data=payload,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return json.loads(response.read())
+
+        body = roundtrip()  # warm up + sanity
+        assert body["count"] == BATCH
+        t = _best_of(roundtrip)
+    return {
+        "model": "perceptron over HTTP /predict",
+        "batch_rows": BATCH,
+        "roundtrip_seconds": round(t, 6),
+        "rows_per_s": round(BATCH / t, 1),
+    }
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = {
+            "description": "per-sample scalar inference vs the batched "
+                           "serving engine (repro.serve) at batch "
+                           f"{BATCH}, plus HTTP round-trip throughput",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "benchmarks": [bench_perceptron(), bench_mlp(),
+                           bench_http(Path(tmp))],
+        }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ Subpackages
     Baselines the paper compares against in prose.
 ``repro.analysis`` / ``repro.reporting`` / ``repro.experiments``
     Metrics, table/chart rendering, and one module per paper artefact.
+``repro.serve``
+    Deployment: versioned model artifacts, vectorised batch inference,
+    and the micro-batching HTTP API.
 """
 
 __version__ = "1.0.0"

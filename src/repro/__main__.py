@@ -22,11 +22,24 @@ Execution flags (``run`` and ``all``)
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``) and replayed
     byte-identically on a hit.  ``--cache-dir`` also enables caching for
     fast runs; ``--no-cache`` disables it entirely.
+
+Serving commands
+----------------
+``export-model <name> [--dataset blobs|xor|and|or] [--hidden N] ...``
+    Train a model and persist it as a versioned artifact in the model
+    store (``--store DIR``, default ``$REPRO_MODEL_STORE`` or
+    ``./models``).
+``predict <name> --input d1,d2,... [--input ...] [--vdd V]``
+    Load a stored model and classify duty-cycle rows.
+``serve [--host H] [--port P] [--max-batch N] [--max-latency-ms MS]``
+    Start the micro-batching JSON API (``/predict``, ``/models``,
+    ``/healthz``, ``/metrics``) over the model store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -45,8 +58,27 @@ def _export(result, csv_dir: "Path | None") -> None:
         figure_to_csv(figure, csv_dir / f"{figure.figure_id}.csv")
 
 
+def _jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: an int that is ``-1`` or ``>= 1``.
+
+    ``0`` and anything below ``-1`` used to surface later as a confusing
+    process-pool failure; reject them at the parser with a clear message.
+    """
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs count {text!r} (expected an integer)")
+    if jobs == 0 or jobs < -1:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs count {jobs}: use -1 for one worker per CPU "
+            "or a positive worker count")
+    return jobs
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+    parser.add_argument("--jobs", type=_jobs_count, default=None,
+                        metavar="N",
                         help="process-pool workers for sweep/Monte-Carlo "
                              "points (-1 = one per CPU; default serial)")
     parser.add_argument("--no-cache", action="store_true",
@@ -86,6 +118,111 @@ def _run_cached(experiment_id: str, fidelity: str, jobs, cache):
                           cache=cache)
 
 
+def _default_store_dir() -> Path:
+    """Model-store root: ``$REPRO_MODEL_STORE`` or ``./models``."""
+    import os
+
+    return Path(os.environ.get("REPRO_MODEL_STORE") or "models")
+
+
+def _train_model(dataset: str, hidden: int, epochs: int, seed: int):
+    """Train an exportable model on a built-in dataset.
+
+    Returns ``(model, accuracy, data)`` — a
+    :class:`DifferentialPwmPerceptron` for ``hidden == 0``, else a
+    :class:`PwmMlp` with ``hidden`` random units.
+    """
+    from .analysis.datasets import make_blobs, make_logic
+    from .core.network import PwmMlp
+    from .core.training import PerceptronTrainer
+
+    if dataset == "blobs":
+        data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                          spread=0.09, seed=seed)
+    else:
+        data = make_logic(dataset, n_samples=60, noise=0.04, seed=seed)
+    if hidden > 0:
+        model = PwmMlp(2, hidden, seed=seed)
+        model.fit(data.X, data.y, epochs=epochs)
+        accuracy = model.accuracy(data.X, data.y)
+    else:
+        trainer = PerceptronTrainer(2, seed=seed)
+        model = trainer.fit(data.X, data.y, epochs=epochs).perceptron
+        accuracy = trainer.evaluate(model, data.X, data.y)
+    return model, accuracy, data
+
+
+def _cmd_export_model(args) -> int:
+    from .serve.artifacts import ModelStore
+
+    model, accuracy, _data = _train_model(args.dataset, args.hidden,
+                                          args.epochs, args.seed)
+    store = ModelStore(args.store)
+    path = store.save(args.name, model)
+    doc = store.load_doc(args.name)
+    print(f"exported {doc['kind']} model {args.name!r} "
+          f"(dataset={args.dataset}, training accuracy {accuracy:.3f})")
+    print(f"  artifact: {path} [schema v{doc['schema']}, "
+          f"hash {doc['hash']}]")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .serve.artifacts import ModelStore
+    from .serve.engine import (
+        BatchInferenceEngine,
+        model_decision_offset,
+        model_n_features,
+    )
+
+    store = ModelStore(args.store)
+    model = store.load(args.name)
+    rows = []
+    for text in args.input:
+        try:
+            rows.append([float(v) for v in text.split(",") if v.strip()])
+        except ValueError:
+            print(f"error: non-numeric input row {text!r}",
+                  file=sys.stderr)
+            return 2
+    n_features = model_n_features(model)
+    if any(len(r) != n_features for r in rows):
+        print(f"error: model {args.name!r} expects "
+              f"{n_features} comma-separated duties per --input",
+              file=sys.stderr)
+        return 2
+    # One batched forward pass yields both margins and predictions.
+    margins = BatchInferenceEngine().model_margins(model, rows,
+                                                   vdd=args.vdd)
+    predictions = (margins > model_decision_offset(model)).astype(int)
+    for row, label, margin in zip(rows, predictions, margins):
+        print(f"{','.join(f'{v:g}' for v in row)} -> class {int(label)} "
+              f"(margin {margin:+.4f} V)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.artifacts import ModelStore
+    from .serve.server import PerceptronServer
+
+    store = ModelStore(args.store)
+    server = PerceptronServer(store, host=args.host, port=args.port,
+                              max_batch=args.max_batch,
+                              max_latency=args.max_latency_ms / 1e3)
+    known = ", ".join(m["name"] for m in store.list()) or "(store empty)"
+    print(f"serving {server.url} — models: {known}", file=sys.stderr)
+    print("endpoints: POST /predict, GET /models /healthz /metrics; "
+          "Ctrl-C to stop", file=sys.stderr)
+    server.run()
+    return 0
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=Path, default=None,
+                        help="model-store directory (default "
+                             "$REPRO_MODEL_STORE or ./models)")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,7 +248,48 @@ def main(argv: "list[str] | None" = None) -> int:
                        help="write a combined markdown report here")
     _add_exec_flags(all_p)
 
+    export_p = sub.add_parser(
+        "export-model", help="train a model and save it to the store")
+    export_p.add_argument("name", help="artifact name in the store")
+    export_p.add_argument("--dataset",
+                          choices=("blobs", "xor", "and", "or"),
+                          default="blobs")
+    export_p.add_argument("--hidden", type=int, default=0, metavar="N",
+                          help="hidden units (0 = single differential "
+                               "perceptron; XOR needs a hidden layer)")
+    export_p.add_argument("--epochs", type=int, default=60)
+    export_p.add_argument("--seed", type=int, default=7)
+    _add_store_flag(export_p)
+
+    predict_p = sub.add_parser(
+        "predict", help="classify duty-cycle rows with a stored model")
+    predict_p.add_argument("name", help="artifact name in the store")
+    predict_p.add_argument("--input", action="append", required=True,
+                           metavar="D1,D2,...",
+                           help="one duty-cycle row (repeatable)")
+    predict_p.add_argument("--vdd", type=float, default=None,
+                           help="supply voltage (default: model nominal)")
+    _add_store_flag(predict_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="start the micro-batching model-serving HTTP API")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 = pick a free port)")
+    serve_p.add_argument("--max-batch", type=int, default=64,
+                         help="flush a batch at this many rows")
+    serve_p.add_argument("--max-latency-ms", type=float, default=5.0,
+                         help="flush the oldest request after this wait")
+    _add_store_flag(serve_p)
+
     args = parser.parse_args(argv)
+
+    if args.command in ("export-model", "predict", "serve"):
+        if args.store is None:
+            args.store = _default_store_dir()
+        return {"export-model": _cmd_export_model,
+                "predict": _cmd_predict,
+                "serve": _cmd_serve}[args.command](args)
 
     if args.command == "list":
         for eid, (title, _runner) in REGISTRY.items():

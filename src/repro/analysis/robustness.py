@@ -174,3 +174,38 @@ def accuracy_under_supply(predict, X: np.ndarray, y: np.ndarray,
         points.append(StressPoint(condition=float(vdd),
                                   accuracy=hits / len(y)))
     return points
+
+
+def pwm_accuracy_under_supply(perceptron, X: np.ndarray, y: np.ndarray,
+                              vdd_values: Sequence[float], *,
+                              engine: str = "behavioral"
+                              ) -> List[StressPoint]:
+    """Batched :func:`accuracy_under_supply` for a differential PWM
+    perceptron — identical points, no per-``(sample, vdd)`` Python loop.
+
+    The behavioural engine classifies the whole dataset per supply point
+    in one :class:`~repro.serve.engine.BatchInferenceEngine` call
+    (bit-identical to the scalar path); the switch-level engine batches
+    each sample's entire supply sweep through one
+    :class:`~repro.core.rc_model.RcBatchSolver` solve per cell bank
+    instead of one scalar periodic solve per grid point.
+    """
+    from ..serve.engine import BatchInferenceEngine
+
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if len(X) != len(y) or len(y) == 0:
+        raise AnalysisError("need a non-empty dataset")
+    vdds = [float(v) for v in vdd_values]
+    batch_engine = BatchInferenceEngine()
+    if engine == "behavioral":
+        preds = np.stack([batch_engine.predict(perceptron, X, vdd=v)
+                          for v in vdds])                     # (V, N)
+    else:
+        preds = np.stack([
+            batch_engine.predict_supply_sweep(perceptron, x, vdds,
+                                              engine=engine)
+            for x in X], axis=1)                              # (V, N)
+    return [StressPoint(condition=v,
+                        accuracy=int(np.sum(preds[i] == y)) / len(y))
+            for i, v in enumerate(vdds)]

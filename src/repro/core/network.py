@@ -78,6 +78,18 @@ class PwmMlp:
     def hidden_features(self, X: Sequence[Sequence[float]], *,
                         engine: str = "behavioral",
                         vdd: Optional[float] = None) -> np.ndarray:
+        """Hidden activations for a whole sample matrix.
+
+        The behavioural engine runs as one vectorised
+        :class:`~repro.serve.engine.BatchInferenceEngine` pass —
+        bit-identical to the per-sample loop, which the hardware
+        engines still use.
+        """
+        if engine == "behavioral":
+            from ..serve.engine import BatchInferenceEngine
+
+            return BatchInferenceEngine().hidden_features(
+                self.hidden, np.asarray(X, dtype=float), vdd=vdd)
         return np.asarray([
             self.hidden.forward(x, engine=engine, vdd=vdd) for x in X
         ])
@@ -102,12 +114,30 @@ class PwmMlp:
         hidden = self.hidden.forward(duties, engine=engine, vdd=vdd)
         return self.output.predict(hidden, engine=engine, vdd=vdd)
 
+    def predict_batch(self, X: Sequence[Sequence[float]], *,
+                      vdd: Optional[float] = None) -> np.ndarray:
+        """Behavioural classification of a whole ``(samples, features)``
+        matrix in one vectorised pass (bit-identical to per-sample
+        :meth:`predict`)."""
+        from ..serve.engine import BatchInferenceEngine
+
+        return BatchInferenceEngine().predict_mlp(
+            self, np.asarray(X, dtype=float), vdd=vdd)
+
     def accuracy(self, X: Sequence[Sequence[float]], y: Sequence[int], *,
                  engine: str = "behavioral",
                  vdd: Optional[float] = None) -> float:
+        if len(y) == 0:
+            return 0.0
+        if engine == "behavioral" and self.output is not None:
+            from ..serve.engine import _plain_differential
+
+            if _plain_differential(self.output.comparator):
+                preds = self.predict_batch(X, vdd=vdd)
+                return int(np.sum(preds == np.asarray(y, dtype=int))) / len(y)
         hits = sum(int(self.predict(x, engine=engine, vdd=vdd) == label)
                    for x, label in zip(X, y))
-        return hits / len(y) if len(y) else 0.0
+        return hits / len(y)
 
     @property
     def transistor_count(self) -> int:

@@ -205,6 +205,16 @@ class DifferentialPwmPerceptron:
     def predict(self, duties: Sequence[float], **kwargs) -> int:
         return int(self.decide(duties, **kwargs).fired)
 
+    def predict_batch(self, X: Sequence[Sequence[float]], *,
+                      vdd: Optional[float] = None) -> np.ndarray:
+        """Behavioural classification of a whole ``(samples, features)``
+        matrix in one vectorised pass (bit-identical to per-sample
+        :meth:`predict`)."""
+        from ..serve.engine import BatchInferenceEngine
+
+        return BatchInferenceEngine().predict(
+            self, np.asarray(X, dtype=float), vdd=vdd)
+
     def ideal_sum(self, duties: Sequence[float]) -> float:
         duties = check_duties(duties)
         return float(np.dot(duties, self.weights) + self.bias)

@@ -7,6 +7,17 @@ Fig. 1.  A hardware-in-the-loop mode runs every forward pass through a
 chosen adder engine (behavioural / RC / transistor-level), so training
 can be performed against the simulated mixed-signal datapath itself,
 including under supply variation.
+
+With the (default) behavioural engine and a plain differential
+comparator, the epoch loop runs *vectorised*: all still-unvisited
+samples are classified in one
+:class:`~repro.serve.engine.BatchInferenceEngine` call, the loop jumps
+straight to the first misclassification, updates, and re-batches the
+remainder.  Because the batched forward pass is bit-identical to the
+scalar one, the training trajectory (weight history, epoch errors,
+convergence epoch) is exactly that of the per-sample loop — only faster
+when most samples classify correctly.  Pass ``vectorized=False`` to
+force the scalar reference path.
 """
 
 from __future__ import annotations
@@ -90,16 +101,32 @@ class PerceptronTrainer:
 
     # -- training loop -----------------------------------------------------
 
+    def _can_vectorize(self, perceptron: DifferentialPwmPerceptron,
+                       engine: Optional[str] = None) -> bool:
+        """Batched forward passes are available (and bit-identical) for
+        the behavioural engine with a stateless differential decision."""
+        from ..serve.engine import _plain_differential
+
+        return ((engine or self.engine) == "behavioral"
+                and _plain_differential(perceptron.comparator))
+
     def fit(self, duties: Sequence[Sequence[float]], labels: Sequence[int], *,
             epochs: int = 50, shuffle: bool = True,
             vdd: Optional[float] = None,
             vdd_sampler: Optional[Callable[[], float]] = None,
-            target_accuracy: float = 1.0) -> TrainingResult:
+            target_accuracy: float = 1.0,
+            vectorized: Optional[bool] = None) -> TrainingResult:
         """Train until every sample is classified or ``epochs`` elapse.
 
         ``vdd_sampler`` draws a supply voltage per forward pass, which
         trains the perceptron *under* supply variation — the micro-edge
         scenario of the paper's introduction.
+
+        ``vectorized=None`` (auto) batches the behavioural epoch loop
+        through :class:`~repro.serve.engine.BatchInferenceEngine`; the
+        trajectory is bit-identical to the scalar loop (the supply
+        sampler is consumed in the same per-visit order).  ``False``
+        forces the scalar reference path; hardware engines always use it.
         """
         X = np.asarray(duties, dtype=float)
         y = np.asarray(labels, dtype=int)
@@ -115,6 +142,12 @@ class PerceptronTrainer:
         weights, bias = self._quantize(shadow)
         perceptron = DifferentialPwmPerceptron(weights, bias=bias,
                                                config=self.config)
+        use_vec = (self._can_vectorize(perceptron) if vectorized is None
+                   else bool(vectorized))
+        if use_vec and not self._can_vectorize(perceptron):
+            raise AnalysisError(
+                "vectorized training needs the behavioural engine and a "
+                "plain DifferentialComparator")
         history: List[TrainingRecord] = []
         converged = False
         order = np.arange(len(X))
@@ -122,19 +155,13 @@ class PerceptronTrainer:
         for epoch in range(epochs):
             if shuffle:
                 self._rng.shuffle(order)
-            errors = 0
-            for idx in order:
-                supply = vdd_sampler() if vdd_sampler else vdd
-                pred = perceptron.predict(X[idx], engine=self.engine,
-                                          vdd=supply)
-                err = int(y[idx]) - pred
-                if err != 0:
-                    errors += 1
-                    step = self.learning_rate * err
-                    shadow[:-1] += step * X[idx]
-                    shadow[-1] += step
-                    weights, bias = self._quantize(shadow)
-                    perceptron.set_weights(weights, bias)
+            if use_vec:
+                errors = self._epoch_vectorized(perceptron, shadow,
+                                                X[order], y[order],
+                                                vdd, vdd_sampler)
+            else:
+                errors = self._epoch_scalar(perceptron, shadow, X, y,
+                                            order, vdd, vdd_sampler)
             accuracy = self.evaluate(perceptron, X, y, vdd=vdd)
             history.append(TrainingRecord(
                 epoch=epoch, errors=errors, accuracy=accuracy,
@@ -145,18 +172,81 @@ class PerceptronTrainer:
         return TrainingResult(perceptron=perceptron, history=history,
                               converged=converged)
 
+    def _apply_update(self, perceptron, shadow: np.ndarray, err: int,
+                      x: np.ndarray) -> None:
+        step = self.learning_rate * err
+        shadow[:-1] += step * x
+        shadow[-1] += step
+        weights, bias = self._quantize(shadow)
+        perceptron.set_weights(weights, bias)
+
+    def _epoch_scalar(self, perceptron, shadow, X, y, order, vdd,
+                      vdd_sampler) -> int:
+        """Reference per-sample epoch (any engine, stateful comparators)."""
+        errors = 0
+        for idx in order:
+            supply = vdd_sampler() if vdd_sampler else vdd
+            pred = perceptron.predict(X[idx], engine=self.engine,
+                                      vdd=supply)
+            err = int(y[idx]) - pred
+            if err != 0:
+                errors += 1
+                self._apply_update(perceptron, shadow, err, X[idx])
+        return errors
+
+    def _epoch_vectorized(self, perceptron, shadow, Xo, yo, vdd,
+                          vdd_sampler) -> int:
+        """One epoch over pre-shuffled samples via batched forwards.
+
+        Classifies every not-yet-visited sample in one engine call,
+        jumps to the first misclassification, updates, and re-batches
+        the tail — the weight sequence is exactly the scalar loop's.
+        """
+        from ..serve.engine import BatchInferenceEngine
+
+        engine = BatchInferenceEngine()
+        n = len(Xo)
+        if vdd_sampler:
+            # One draw per sample visit, in visit order — the same
+            # stream consumption as the scalar loop.
+            supplies = np.array([float(vdd_sampler()) for _ in range(n)])
+        else:
+            supplies = None if vdd is None else np.full(n, float(vdd))
+        errors = 0
+        pos = 0
+        while pos < n:
+            tail_vdd = None if supplies is None else supplies[pos:]
+            preds = engine.predict(perceptron, Xo[pos:], vdd=tail_vdd)
+            wrong = np.nonzero(preds != yo[pos:])[0]
+            if wrong.size == 0:
+                break
+            i = pos + int(wrong[0])
+            errors += 1
+            err = int(yo[i]) - int(preds[wrong[0]])
+            self._apply_update(perceptron, shadow, err, Xo[i])
+            pos = i + 1
+        return errors
+
     def evaluate(self, perceptron: DifferentialPwmPerceptron,
                  duties: Sequence[Sequence[float]], labels: Sequence[int], *,
                  vdd: Optional[float] = None,
                  engine: Optional[str] = None) -> float:
-        """Classification accuracy on a dataset."""
+        """Classification accuracy on a dataset (batched when the
+        engine allows — identical result either way)."""
         X = np.asarray(duties, dtype=float)
         y = np.asarray(labels, dtype=int)
+        if len(y) == 0:
+            return 0.0
         engine = engine or self.engine
+        if self._can_vectorize(perceptron, engine) and X.ndim == 2:
+            from ..serve.engine import BatchInferenceEngine
+
+            preds = BatchInferenceEngine().predict(perceptron, X, vdd=vdd)
+            return int(np.sum(preds == y)) / len(y)
         hits = sum(
             int(perceptron.predict(x, engine=engine, vdd=vdd) == label)
             for x, label in zip(X, y))
-        return hits / len(y) if len(y) else 0.0
+        return hits / len(y)
 
 
 def reference_feedback_step(perceptron: DifferentialPwmPerceptron,

@@ -19,7 +19,10 @@ import numpy as np
 
 from ..analog_baseline.current_mode import CurrentModePerceptron
 from ..analysis.datasets import make_blobs
-from ..analysis.robustness import accuracy_under_supply
+from ..analysis.robustness import (
+    accuracy_under_supply,
+    pwm_accuracy_under_supply,
+)
 from ..core.perceptron import DifferentialPwmPerceptron
 from ..core.training import PerceptronTrainer
 from ..digital.digital_perceptron import DigitalPerceptron
@@ -62,14 +65,24 @@ def run(fidelity: str = "fast",
 
     figure = FigureData(EXPERIMENT_ID, TITLE, "Vdd (V)", "Accuracy")
     rng = np.random.default_rng(seed)
+    # The PWM curve batches through the inference engine (whole dataset
+    # per supply point behaviourally; whole supply sweep per sample as
+    # one RcBatchSolver solve at paper fidelity) — same points as the
+    # scalar per-(sample, vdd) loop it replaces.  The baselines keep
+    # the generic scalar path.
     curves = {
-        "PWM (this work)": lambda x, v: pwm.predict(x, engine=engine, vdd=v),
-        "digital MAC @500MHz": lambda x, v: digital.predict(x, vdd=v, rng=rng),
-        "current-mode analog": lambda x, v: analog.predict(x, vdd=v),
+        "PWM (this work)": lambda: pwm_accuracy_under_supply(
+            pwm, data.X, data.y, vdd_values, engine=engine),
+        "digital MAC @500MHz": lambda: accuracy_under_supply(
+            lambda x, v: digital.predict(x, vdd=v, rng=rng),
+            data.X, data.y, vdd_values),
+        "current-mode analog": lambda: accuracy_under_supply(
+            lambda x, v: analog.predict(x, vdd=v),
+            data.X, data.y, vdd_values),
     }
     metrics = {}
-    for name, predict in curves.items():
-        points = accuracy_under_supply(predict, data.X, data.y, vdd_values)
+    for name, run_curve in curves.items():
+        points = run_curve()
         figure.add_series(name, [p.condition for p in points],
                           [p.accuracy for p in points])
         metrics[f"min_accuracy[{name}]"] = min(p.accuracy for p in points)

@@ -10,15 +10,27 @@ One sweep feeds both artefacts:
 
 The input amplitude tracks the supply (the PWM driver runs from the same
 rail), as in the paper's setup.
+
+Execution: the default (transistor-level) sweep flattens the whole
+``(duty, vdd)`` grid and maps it over the session executor, so
+``--jobs N`` parallelises it; ``engine="rc"`` evaluates the cell at the
+switch level instead, batching each duty's *entire* supply sweep through
+one :class:`~repro.core.rc_model.RcBatchSolver` solve (no per-point
+scalar solves at all) — the serving-scale path for wide supply grids.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..analysis.elasticity import ratiometric_report
+from ..circuit.exceptions import AnalysisError
+from ..core.cells import CellDesign
+from ..core.rc_model import RcBatchSolver
+from ..exec.executor import get_default_executor
 from ..reporting.figures import FigureData
 from .base import ExperimentResult, check_fidelity
 from .fig4_dc_transfer import measure_cell
@@ -30,27 +42,79 @@ FAST_VDD = (1.0, 2.5, 4.0)
 
 FREQUENCY = 500e6
 
+#: Fig. 6/7 load the cell with the 100 kOhm "linear" resistor.
+ROUT = 100e3
 
-def _sweep(fidelity: str,
-           vdd_values: Optional[Sequence[float]]) -> "dict[float, list]":
+SWEEP_ENGINES = ("spice", "rc")
+
+
+def _measure_supply_point(payload: "tuple[float, float, int]") -> float:
+    """One transistor-level grid point (top-level: process-pool safe)."""
+    duty, vdd, steps = payload
+    return measure_cell(duty, ROUT, vdd=vdd, frequency=FREQUENCY,
+                        steps_per_period=steps)
+
+
+def supply_sweep_rc_batch(duties: Sequence[float],
+                          vdd_values: Sequence[float], *,
+                          rout: float = ROUT,
+                          cout: float = 1e-12,
+                          frequency: float = FREQUENCY,
+                          design: Optional[CellDesign] = None
+                          ) -> "dict[float, list]":
+    """Switch-level supply sweep, one batched solve per duty cycle.
+
+    The transcoding inverter seen from its output node is a single
+    :class:`~repro.core.rc_model.RcLeg`: pulled to ``Vdd`` through the
+    PMOS while the PWM input is low (fraction ``1 - duty``, starting at
+    phase ``duty``), to ground through the NMOS otherwise.  Every supply
+    point shares that switching pattern, so the whole ``Vdd`` grid is
+    one ``(V, 1)`` :class:`RcBatchSolver` solve.
+    """
+    base = design or CellDesign()
+    base = replace(base, rout=rout * base.scale)
+    vdds = np.asarray([float(v) for v in vdd_values])
+    if vdds.ndim != 1 or vdds.size == 0:
+        raise AnalysisError("need a non-empty 1-D vdd sweep")
+    # The device resistances depend on the supply only, not the duty.
+    r_up = np.array([[base.pull_up_resistance(v)] for v in vdds])
+    r_down = np.array([[base.pull_down_resistance(v)] for v in vdds])
+    data: "dict[float, list]" = {}
+    for duty in duties:
+        duty = float(duty)
+        solver = RcBatchSolver([1.0 - duty], [duty % 1.0], r_up, r_down,
+                               v_up=vdds, cout=cout,
+                               period=1.0 / frequency)
+        values = solver.solve().average_voltage()
+        data[duty] = list(zip(vdds.tolist(),
+                              [float(v) for v in values]))
+    return data
+
+
+def _sweep(fidelity: str, vdd_values: Optional[Sequence[float]],
+           engine: str = "spice") -> "dict[float, list]":
+    if engine not in SWEEP_ENGINES:
+        raise AnalysisError(
+            f"unknown sweep engine {engine!r}; use {SWEEP_ENGINES}")
     if vdd_values is None:
         vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
+    if engine == "rc":
+        return supply_sweep_rc_batch(DUTIES, vdd_values)
     steps = 150 if fidelity == "paper" else 80
-    data = {}
-    for duty in DUTIES:
-        data[duty] = [
-            (float(vdd), measure_cell(duty, 100e3, vdd=float(vdd),
-                                      frequency=FREQUENCY,
-                                      steps_per_period=steps))
-            for vdd in vdd_values
-        ]
+    points = [(duty, float(vdd), steps)
+              for duty in DUTIES for vdd in vdd_values]
+    vouts = get_default_executor().map(_measure_supply_point, points)
+    data: "dict[float, list]" = {duty: [] for duty in DUTIES}
+    for (duty, vdd, _steps), vout in zip(points, vouts):
+        data[duty].append((vdd, vout))
     return data
 
 
 def run_fig6(fidelity: str = "fast",
-             vdd_values: Optional[Sequence[float]] = None) -> ExperimentResult:
+             vdd_values: Optional[Sequence[float]] = None,
+             engine: str = "spice") -> ExperimentResult:
     check_fidelity(fidelity)
-    data = _sweep(fidelity, vdd_values)
+    data = _sweep(fidelity, vdd_values, engine)
     figure = FigureData("fig6", "Vout (absolute) vs supply voltage",
                         "Vdd (V)", "Vout (V)")
     metrics = {}
@@ -71,9 +135,10 @@ def run_fig6(fidelity: str = "fast",
 
 
 def run_fig7(fidelity: str = "fast",
-             vdd_values: Optional[Sequence[float]] = None) -> ExperimentResult:
+             vdd_values: Optional[Sequence[float]] = None,
+             engine: str = "spice") -> ExperimentResult:
     check_fidelity(fidelity)
-    data = _sweep(fidelity, vdd_values)
+    data = _sweep(fidelity, vdd_values, engine)
     figure = FigureData("fig7", "Vout/Vdd (ratiometric) vs supply voltage",
                         "Vdd (V)", "Vout/Vdd")
     metrics = {}

@@ -1,0 +1,50 @@
+"""Model serving: persistent artifacts, batch inference, HTTP API.
+
+The training side of this library produces
+:class:`~repro.core.perceptron.DifferentialPwmPerceptron` and
+:class:`~repro.core.network.PwmMlp` models; this subpackage turns them
+into something deployable:
+
+``repro.serve.artifacts``
+    Versioned JSON model-artifact format and the on-disk
+    :class:`ModelStore` (save / load / list, schema-versioned,
+    hash-stamped).
+``repro.serve.engine``
+    :class:`BatchInferenceEngine` — the behavioural forward pass as
+    whole-``(samples, features)`` numpy matrix ops, bit-identical to the
+    scalar path, plus RC supply-sweep batching through
+    :class:`~repro.core.rc_model.RcBatchSolver`.
+``repro.serve.scheduler``
+    :class:`MicroBatcher` — a thread-safe micro-batching request queue
+    (max batch size + max latency flush) feeding the engine.
+``repro.serve.server``
+    A stdlib ``http.server`` JSON API (``/predict``, ``/models``,
+    ``/healthz``, ``/metrics``) wired into the CLI as
+    ``python -m repro serve`` / ``export-model`` / ``predict``.
+"""
+
+from __future__ import annotations
+
+from .artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ModelStore,
+    artifact_hash,
+    deserialize_model,
+    serialize_model,
+)
+from .engine import BatchInferenceEngine
+from .scheduler import BatchStats, MicroBatcher
+from .server import PerceptronServer, ServingMetrics
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ModelStore",
+    "artifact_hash",
+    "deserialize_model",
+    "serialize_model",
+    "BatchInferenceEngine",
+    "BatchStats",
+    "MicroBatcher",
+    "PerceptronServer",
+    "ServingMetrics",
+]

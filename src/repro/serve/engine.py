@@ -1,0 +1,284 @@
+"""Vectorised batch inference for PWM perceptron models.
+
+The scalar inference path (`DifferentialPwmPerceptron.decide`,
+`PwmHiddenLayer.forward`) evaluates paper Eq. 2 one sample at a time —
+fine for experiments, hopeless for serving.  This module runs the same
+behavioural forward pass as whole-``(samples, features)`` numpy matrix
+operations.
+
+Bit-exactness
+-------------
+The batched behavioural path is **bit-for-bit identical** to the scalar
+path, not merely close: the Eq. 2 accumulation is performed column by
+column in the same order as the scalar ``sum()``, the calibration
+polynomial is evaluated with the same Horner recurrence, and the hidden
+re-encoding applies the same clip expression.  That exactness is what
+lets :class:`~repro.core.training.PerceptronTrainer` and
+:meth:`~repro.core.network.PwmMlp.fit` route their epoch loops through
+this engine without perturbing a single training trajectory (pinned by
+the equivalence tests).
+
+Supply sweeps
+-------------
+For the switch-level engine, a whole supply sweep of one sample shares
+its PWM switching pattern, so it batches through
+:class:`~repro.core.rc_model.RcBatchSolver` — one vectorised periodic
+solve per sample instead of one scalar solve per ``(sample, vdd)``
+point (:meth:`BatchInferenceEngine.predict_supply_sweep`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from ..core.behavioral import CalibrationModel
+from ..core.comparator import DifferentialComparator
+from ..core.encoding import check_weights, max_weight
+from ..core.network import PwmHiddenLayer, PwmMlp
+from ..core.perceptron import DifferentialPwmPerceptron
+from ..exec.batch import batch_adder_values, leg_resistance_arrays
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def check_duty_matrix(X, n_features: int) -> np.ndarray:
+    """Validate a ``(samples, features)`` duty matrix (vectorised
+    counterpart of :func:`repro.core.encoding.check_duties`)."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X[None, :]
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise AnalysisError(
+            f"duty matrix must be (n_samples, {n_features}), got "
+            f"{X.shape}")
+    if X.size and not (np.isfinite(X).all()
+                       and np.min(X) >= 0.0 and np.max(X) <= 1.0):
+        raise AnalysisError("duty cycles must be finite and lie in [0, 1]")
+    return X
+
+
+def eq2_output_vec(duties: np.ndarray, weights: Sequence[int], *,
+                   n_bits: int, vdd: ArrayLike) -> np.ndarray:
+    """Paper Eq. 2 over a ``(samples, channels)`` duty matrix.
+
+    ``vdd`` may be a scalar (shared supply) or a ``(samples,)`` array
+    (one supply per row).  The accumulation runs column by column so
+    every row reproduces the scalar :func:`repro.core.behavioral.eq2_output`
+    bit for bit, regardless of channel count.
+    """
+    duties = np.asarray(duties, dtype=float)
+    k = duties.shape[1]
+    weights = check_weights(weights, n_bits)
+    if len(weights) != k:
+        raise AnalysisError(
+            f"{k} duty columns vs {len(weights)} weights")
+    if k == 0:
+        raise AnalysisError("adder needs at least one input")
+    acc = np.zeros(duties.shape[0])
+    for j in range(k):
+        acc = acc + duties[:, j] * weights[j]
+    return np.asarray(vdd, dtype=float) * acc / (k * max_weight(n_bits))
+
+
+def calibration_apply_vec(calibration: CalibrationModel,
+                          v_ideal: np.ndarray,
+                          vdd: ArrayLike) -> np.ndarray:
+    """Vectorised :meth:`CalibrationModel.apply` (same Horner order)."""
+    vdd = np.asarray(vdd, dtype=float)
+    if np.any(vdd <= 0):
+        raise AnalysisError("vdd must be positive")
+    x = np.asarray(v_ideal, dtype=float) / vdd
+    acc = np.zeros_like(x)
+    for c in reversed(calibration.coefficients):
+        acc = acc * x + c
+    return np.clip(acc, 0.0, 1.0) * vdd
+
+
+def _plain_differential(comparator) -> bool:
+    """True when the decision reduces to ``(pos - neg) > offset``."""
+    return (type(comparator) is DifferentialComparator
+            and comparator.hysteresis == 0.0)
+
+
+class BatchInferenceEngine:
+    """Whole-matrix behavioural forward pass for trained PWM models.
+
+    One engine instance is stateless and thread-safe; the HTTP server
+    shares a single instance across its worker threads.
+    """
+
+    # -- adder level ------------------------------------------------------
+
+    def adder_outputs(self, adder, duties: np.ndarray,
+                      weights: Sequence[int], *,
+                      vdd: ArrayLike) -> np.ndarray:
+        """Behavioural output voltages for a ``(samples, channels)``
+        duty matrix through one :class:`WeightedAdder` (calibration
+        applied when the adder carries one)."""
+        cfg = adder.config
+        v = eq2_output_vec(duties, weights, n_bits=cfg.n_bits, vdd=vdd)
+        calibration = adder._behavioral.calibration
+        if calibration is not None:
+            v = calibration_apply_vec(calibration, v, vdd)
+        return v
+
+    # -- differential perceptron ------------------------------------------
+
+    def margins(self, perceptron: DifferentialPwmPerceptron, X, *,
+                vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Analog decision margins ``v_pos - v_neg`` (volts), one per row.
+
+        ``vdd`` may be a scalar or a per-row array; ``None`` uses the
+        model's nominal supply.
+        """
+        X = check_duty_matrix(X, perceptron.n_features)
+        supply = perceptron.config.vdd if vdd is None else vdd
+        duties = np.column_stack([X, np.ones(X.shape[0])])
+        v_pos = self.adder_outputs(perceptron.pos_adder, duties,
+                                   perceptron._pos_weights, vdd=supply)
+        v_neg = self.adder_outputs(perceptron.neg_adder, duties,
+                                   perceptron._neg_weights, vdd=supply)
+        return v_pos - v_neg
+
+    def predict(self, perceptron: DifferentialPwmPerceptron, X, *,
+                vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Batched binary classification, shape ``(samples,)`` of 0/1."""
+        if not _plain_differential(perceptron.comparator):
+            raise AnalysisError(
+                "batched inference requires a plain DifferentialComparator "
+                "(hysteresis carries state across samples)")
+        offset = perceptron.comparator.offset
+        return (self.margins(perceptron, X, vdd=vdd) > offset).astype(int)
+
+    def predict_supply_sweep(self, perceptron: DifferentialPwmPerceptron,
+                             x: Sequence[float],
+                             vdd_values: Sequence[float], *,
+                             engine: str = "behavioral") -> np.ndarray:
+        """One sample across a supply sweep, shape ``(len(vdd_values),)``.
+
+        With ``engine="rc"`` the whole sweep shares the sample's PWM
+        switching pattern, so it runs as **one**
+        :class:`~repro.core.rc_model.RcBatchSolver` solve per cell bank
+        instead of one scalar switch-level solve per supply point.
+        """
+        vdds = np.asarray(list(vdd_values), dtype=float)
+        if vdds.ndim != 1 or vdds.size == 0:
+            raise AnalysisError("need a non-empty 1-D vdd sweep")
+        if engine == "behavioral":
+            X = np.broadcast_to(np.asarray(x, float),
+                                (vdds.size, len(x)))
+            return self.predict(perceptron, X, vdd=vdds)
+        if engine != "rc":
+            raise AnalysisError(
+                f"unsupported sweep engine {engine!r}; use 'behavioral' "
+                "or 'rc'")
+        if not _plain_differential(perceptron.comparator):
+            raise AnalysisError(
+                "batched inference requires a plain DifferentialComparator "
+                "(hysteresis carries state across samples)")
+        cfg = perceptron.config
+        duties = list(x) + [1.0]
+        r_up, r_down = leg_resistance_arrays(cfg, None, vdds)
+        pos = batch_adder_values(cfg, duties, perceptron._pos_weights,
+                                 r_up, r_down, vdds).value
+        neg = batch_adder_values(cfg, duties, perceptron._neg_weights,
+                                 r_up, r_down, vdds).value
+        return ((pos - neg) > perceptron.comparator.offset).astype(int)
+
+    # -- multi-layer network ----------------------------------------------
+
+    def hidden_features(self, layer: PwmHiddenLayer, X, *,
+                        vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Hidden duty-cycle activations, shape ``(samples, units)``.
+
+        Reproduces :meth:`PwmHiddenLayer.forward` bit for bit: per-unit
+        differential margin, ratiometric gain, clip to [0, 1].
+        """
+        X = check_duty_matrix(X, layer.units[0].n_features)
+        supply = layer.config.vdd if vdd is None else vdd
+        out = np.empty((X.shape[0], len(layer.units)))
+        duties = np.column_stack([X, np.ones(X.shape[0])])
+        for u, unit in enumerate(layer.units):
+            v_pos = self.adder_outputs(unit.pos_adder, duties,
+                                       unit._pos_weights, vdd=supply)
+            v_neg = self.adder_outputs(unit.neg_adder, duties,
+                                       unit._neg_weights, vdd=supply)
+            ratio = (v_pos - v_neg) / supply
+            out[:, u] = np.clip(0.5 + layer.gain * ratio, 0.0, 1.0)
+        return out
+
+    def predict_mlp(self, mlp: PwmMlp, X, *,
+                    vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Batched network classification, shape ``(samples,)`` of 0/1."""
+        if mlp.output is None:
+            raise AnalysisError("network is not trained; call fit() first")
+        hidden = self.hidden_features(mlp.hidden, X, vdd=vdd)
+        return self.predict(mlp.output, hidden, vdd=vdd)
+
+    # -- generic entry point ----------------------------------------------
+
+    def predict_model(self, model, X, *,
+                      vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Dispatch on model type — the serving entry point."""
+        if isinstance(model, PwmMlp):
+            return self.predict_mlp(model, X, vdd=vdd)
+        if isinstance(model, DifferentialPwmPerceptron):
+            return self.predict(model, X, vdd=vdd)
+        raise AnalysisError(
+            f"cannot serve model of type {type(model).__name__}")
+
+    def model_margins(self, model, X, *,
+                      vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Analog evidence per row: the output stage's differential
+        margin in volts (for MLPs, of the output unit on its hidden
+        activations)."""
+        if isinstance(model, PwmMlp):
+            if model.output is None:
+                raise AnalysisError(
+                    "network is not trained; call fit() first")
+            hidden = self.hidden_features(model.hidden, X, vdd=vdd)
+            return self.margins(model.output, hidden, vdd=vdd)
+        if isinstance(model, DifferentialPwmPerceptron):
+            return self.margins(model, X, vdd=vdd)
+        raise AnalysisError(
+            f"cannot serve model of type {type(model).__name__}")
+
+
+def model_n_features(model) -> int:
+    """Input width a served model expects."""
+    if isinstance(model, PwmMlp):
+        return model.hidden.units[0].n_features
+    if isinstance(model, DifferentialPwmPerceptron):
+        return model.n_features
+    raise AnalysisError(
+        f"cannot serve model of type {type(model).__name__}")
+
+
+def model_output_stage(model) -> DifferentialPwmPerceptron:
+    """The perceptron making a model's final decision."""
+    if isinstance(model, PwmMlp):
+        if model.output is None:
+            raise AnalysisError("network is not trained; call fit() first")
+        return model.output
+    if isinstance(model, DifferentialPwmPerceptron):
+        return model
+    raise AnalysisError(
+        f"cannot serve model of type {type(model).__name__}")
+
+
+def model_decision_offset(model) -> float:
+    """Threshold turning :meth:`BatchInferenceEngine.model_margins` into
+    predictions (``margin > offset``) — so one forward pass yields both.
+
+    Raises when the output stage's comparator is stateful (hysteresis),
+    which batched inference cannot reproduce.
+    """
+    stage = model_output_stage(model)
+    if not _plain_differential(stage.comparator):
+        raise AnalysisError(
+            "batched inference requires a plain DifferentialComparator "
+            "(hysteresis carries state across samples)")
+    return stage.comparator.offset

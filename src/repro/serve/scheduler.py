@@ -1,0 +1,224 @@
+"""Thread-safe micro-batching request queue.
+
+Serving traffic arrives one small request at a time, but the
+:class:`~repro.serve.engine.BatchInferenceEngine` amortises its fixed
+per-call cost over whole matrices.  :class:`MicroBatcher` bridges the
+two: requests enqueue from any number of threads, a single worker thread
+coalesces them, and a flush fires when either
+
+* the pending batch reaches ``max_batch`` rows, or
+* the oldest pending request has waited ``max_latency`` seconds
+
+— the classic throughput/latency knob pair.  Each request resolves to a
+:class:`concurrent.futures.Future`, so callers block only for their own
+result.  Handler exceptions propagate to exactly the futures of the
+batch that failed; the worker keeps running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+
+
+@dataclass
+class _Request:
+    features: np.ndarray        # (rows, n_features)
+    vdd: Optional[float]
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class BatchStats:
+    """Cumulative flush telemetry (guarded by the batcher's lock).
+
+    Only O(1) aggregates — a long-running server must not accumulate
+    per-flush history.
+    """
+
+    batches: int = 0
+    rows: int = 0
+    max_batch_rows: int = 0
+    queue_wait_seconds: float = 0.0
+
+    def record(self, rows: int, oldest_wait: float) -> None:
+        self.batches += 1
+        self.rows += rows
+        self.max_batch_rows = max(self.max_batch_rows, rows)
+        self.queue_wait_seconds += oldest_wait
+
+    def snapshot(self) -> dict:
+        mean = self.rows / self.batches if self.batches else 0.0
+        wait = (self.queue_wait_seconds / self.batches
+                if self.batches else 0.0)
+        return {"batches": self.batches, "rows": self.rows,
+                "mean_batch_rows": round(mean, 3),
+                "max_batch_rows": self.max_batch_rows,
+                "mean_queue_wait_ms": round(1e3 * wait, 3)}
+
+
+class MicroBatcher:
+    """Coalesce single predictions into engine-sized batches.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(features, vdds) -> (rows,) predictions`` where
+        ``features`` is the vertically-stacked ``(rows, n_features)``
+        matrix of a flush and ``vdds`` is ``None`` (all rows nominal) or
+        a ``(rows,)`` float array with ``nan`` marking nominal rows.
+    max_batch:
+        Flush as soon as this many rows are pending.
+    max_latency:
+        Flush when the oldest pending request is this old (seconds),
+        even if the batch is small.
+    """
+
+    def __init__(self, handler: Callable, *, max_batch: int = 64,
+                 max_latency: float = 0.005):
+        if max_batch < 1:
+            raise AnalysisError("max_batch must be >= 1")
+        if max_latency < 0:
+            raise AnalysisError("max_latency must be >= 0")
+        self._handler = handler
+        self.max_batch = int(max_batch)
+        self.max_latency = float(max_latency)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: List[_Request] = []
+        self._pending_rows = 0
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self.stats = BatchStats()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-microbatcher")
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the worker; by default flush whatever is still queued."""
+        with self._wakeup:
+            self._running = False
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if drain:
+            while True:
+                batch = self._take(self.max_batch)
+                if not batch:
+                    break
+                self._flush(batch)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client side ------------------------------------------------------
+
+    def submit(self, features, vdd: Optional[float] = None) -> Future:
+        """Enqueue one request (one or more rows); returns its future.
+
+        The future resolves to the ``(rows,)`` prediction array for
+        exactly the submitted rows.
+        """
+        rows = np.asarray(features, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise AnalysisError(
+                "submit() needs a (rows, n_features) matrix or one row")
+        future: Future = Future()
+        request = _Request(rows, None if vdd is None else float(vdd),
+                           future, time.monotonic())
+        with self._wakeup:
+            if not self._running:
+                raise AnalysisError("MicroBatcher is not running")
+            self._queue.append(request)
+            self._pending_rows += rows.shape[0]
+            self._wakeup.notify_all()
+        return future
+
+    # -- worker side ------------------------------------------------------
+
+    def _take(self, limit: int) -> List[_Request]:
+        """Pop up to ``limit`` rows' worth of requests (never splits a
+        request, so one flush may slightly exceed ``max_batch``)."""
+        with self._lock:
+            batch: List[_Request] = []
+            rows = 0
+            while self._queue and (rows == 0 or
+                                   rows + self._queue[0].features.shape[0]
+                                   <= limit):
+                request = self._queue.pop(0)
+                rows += request.features.shape[0]
+                self._pending_rows -= request.features.shape[0]
+                batch.append(request)
+            return batch
+
+    def _flush(self, batch: List[_Request]) -> None:
+        if not batch:
+            return
+        now = time.monotonic()
+        features = np.vstack([r.features for r in batch])
+        vdds = None
+        if any(r.vdd is not None for r in batch):
+            vdds = np.concatenate([
+                np.full(r.features.shape[0],
+                        np.nan if r.vdd is None else r.vdd)
+                for r in batch])
+        with self._lock:
+            self.stats.record(features.shape[0],
+                              now - min(r.enqueued_at for r in batch))
+        try:
+            predictions = np.asarray(self._handler(features, vdds))
+        except Exception as exc:  # propagate to this batch's callers
+            for r in batch:
+                if not r.future.cancelled():
+                    r.future.set_exception(exc)
+            return
+        offset = 0
+        for r in batch:
+            n = r.features.shape[0]
+            if not r.future.cancelled():
+                r.future.set_result(predictions[offset:offset + n])
+            offset += n
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while self._running and not self._queue:
+                    self._wakeup.wait()
+                if not self._running:
+                    return
+                # Wait for a full batch or the oldest request's deadline.
+                deadline = self._queue[0].enqueued_at + self.max_latency
+                while (self._running
+                       and self._pending_rows < self.max_batch):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(timeout=remaining)
+                    if not self._queue:
+                        break
+                if not self._running:
+                    return
+            self._flush(self._take(self.max_batch))

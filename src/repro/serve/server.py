@@ -1,0 +1,329 @@
+"""Stdlib HTTP serving front end for stored PWM perceptron models.
+
+JSON API (content type ``application/json`` throughout):
+
+``GET /healthz``
+    Liveness: ``{"status": "ok", "models": <count>}``.
+``GET /models``
+    Artifact metadata from the backing
+    :class:`~repro.serve.artifacts.ModelStore`.
+``GET /metrics``
+    Request / latency / batch-size counters.
+``POST /predict``
+    ``{"model": <name>, "inputs": [[...], ...], "vdd": <optional>}`` →
+    ``{"model", "predictions", "margins", "count"}``.  ``inputs`` may
+    also be one flat feature row; ``vdd`` a scalar supply for the whole
+    request.
+
+Each loaded model owns one :class:`~repro.serve.scheduler.MicroBatcher`,
+so predictions from concurrent requests against the same model coalesce
+into single :class:`~repro.serve.engine.BatchInferenceEngine` calls
+(``ThreadingHTTPServer`` gives every request its own thread; the
+batcher's futures give each thread back exactly its rows).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.exceptions import AnalysisError
+from .artifacts import ModelStore, deserialize_model
+from .engine import (
+    BatchInferenceEngine,
+    model_decision_offset,
+    model_n_features,
+)
+from .scheduler import MicroBatcher
+
+
+class ServingMetrics:
+    """Thread-safe request/latency counters for ``/metrics``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests_total: Dict[str, int] = {}
+        self.errors_total = 0
+        self.predictions_total = 0
+        self.latency_seconds_sum = 0.0
+        self.latency_seconds_max = 0.0
+        self.started_at = time.time()
+
+    def observe(self, endpoint: str, seconds: float, *, rows: int = 0,
+                error: bool = False) -> None:
+        with self._lock:
+            self.requests_total[endpoint] = \
+                self.requests_total.get(endpoint, 0) + 1
+            self.predictions_total += rows
+            self.errors_total += int(error)
+            self.latency_seconds_sum += seconds
+            self.latency_seconds_max = max(self.latency_seconds_max,
+                                           seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            n = sum(self.requests_total.values())
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests_total": dict(self.requests_total),
+                "errors_total": self.errors_total,
+                "predictions_total": self.predictions_total,
+                "latency_ms_mean": round(
+                    1e3 * self.latency_seconds_sum / n, 3) if n else 0.0,
+                "latency_ms_max": round(
+                    1e3 * self.latency_seconds_max, 3),
+            }
+
+
+class _LoadedModel:
+    """A stored model plus its private micro-batcher."""
+
+    def __init__(self, name: str, model, engine: BatchInferenceEngine, *,
+                 max_batch: int, max_latency: float,
+                 artifact_hash: Optional[str] = None):
+        self.name = name
+        self.model = model
+        self.artifact_hash = artifact_hash
+        self.n_features = model_n_features(model)
+        #: Decision threshold on the batched margins — one forward pass
+        #: yields both margins and predictions.
+        self.offset = model_decision_offset(model)
+        nominal = model.config.vdd
+
+        def handler(features: np.ndarray,
+                    vdds: Optional[np.ndarray]) -> np.ndarray:
+            supply: "float | np.ndarray" = nominal
+            if vdds is not None:
+                supply = np.where(np.isnan(vdds), nominal, vdds)
+            return engine.model_margins(model, features, vdd=supply)
+
+        self.batcher = MicroBatcher(handler, max_batch=max_batch,
+                                    max_latency=max_latency).start()
+
+
+class PerceptronServer:
+    """Micro-batching model server over a :class:`ModelStore`.
+
+    Use as a context manager (tests, examples) or via :meth:`run`
+    (CLI).  ``port=0`` binds an ephemeral free port; read it back from
+    :attr:`port` after construction.
+    """
+
+    def __init__(self, store: ModelStore, *, host: str = "127.0.0.1",
+                 port: int = 0, max_batch: int = 64,
+                 max_latency: float = 0.005):
+        self.store = store
+        self.engine = BatchInferenceEngine()
+        self.metrics = ServingMetrics()
+        self.max_batch = max_batch
+        self.max_latency = max_latency
+        self._models: Dict[str, _LoadedModel] = {}
+        self._models_lock = threading.Lock()
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- model access -----------------------------------------------------
+
+    def get_model(self, name: str) -> _LoadedModel:
+        """Cached model + batcher, reloaded when the artifact changes.
+
+        The stamped content hash is re-read per request, so re-exporting
+        a model under the same name takes effect without a restart —
+        ``/predict`` can never drift from what ``/models`` advertises.
+        """
+        doc = self.store.load_doc(name)  # raises on unknown/corrupt name
+        with self._models_lock:
+            loaded = self._models.get(name)
+            if loaded is not None and \
+                    loaded.artifact_hash == doc.get("hash"):
+                return loaded
+            if loaded is not None:
+                loaded.batcher.stop()  # drains pending futures
+            loaded = _LoadedModel(name, deserialize_model(doc),
+                                  self.engine,
+                                  max_batch=self.max_batch,
+                                  max_latency=self.max_latency,
+                                  artifact_hash=doc.get("hash"))
+            self._models[name] = loaded
+            return loaded
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "PerceptronServer":
+        """Serve from a background thread (for tests/examples)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, daemon=True,
+                name="repro-serve")
+            self._thread.start()
+        return self
+
+    def run(self) -> None:
+        """Serve from the calling thread until interrupted (CLI)."""
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._models_lock:
+            # Drain (the scheduler default) so in-flight request threads
+            # get their futures resolved instead of timing out.
+            for loaded in self._models.values():
+                loaded.batcher.stop()
+            self._models.clear()
+
+    def __enter__(self) -> "PerceptronServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request handling (transport-independent) -------------------------
+
+    def handle_predict(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one ``/predict`` payload; raises AnalysisError on bad
+        input (mapped to HTTP 4xx by the transport)."""
+        if not isinstance(payload, dict):
+            raise AnalysisError("request body must be a JSON object")
+        name = payload.get("model")
+        if not isinstance(name, str) or not name:
+            raise AnalysisError("missing 'model' name")
+        inputs = payload.get("inputs")
+        if inputs is None:
+            raise AnalysisError("missing 'inputs'")
+        loaded = self.get_model(name)
+        try:
+            X = np.asarray(inputs, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise AnalysisError(f"non-numeric inputs: {exc}") from exc
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != loaded.n_features:
+            raise AnalysisError(
+                f"model {name!r} expects rows of {loaded.n_features} "
+                f"features, got shape {tuple(X.shape)}")
+        vdd = payload.get("vdd")
+        if vdd is not None:
+            vdd = float(vdd)
+            # json.loads accepts Infinity/NaN — reject them here.
+            if not math.isfinite(vdd) or vdd <= 0:
+                raise AnalysisError("vdd must be a positive finite number")
+        margins = loaded.batcher.submit(X, vdd=vdd).result(timeout=30)
+        predictions = (margins > loaded.offset).astype(int)
+        return {
+            "model": name,
+            "predictions": [int(p) for p in predictions],
+            "margins": [float(m) for m in margins],
+            "count": int(X.shape[0]),
+        }
+
+    def batcher_metrics(self) -> Dict[str, Any]:
+        with self._models_lock:
+            return {name: loaded.batcher.stats.snapshot()
+                    for name, loaded in self._models.items()}
+
+
+def _make_handler(server: "PerceptronServer"):
+    """Bind a BaseHTTPRequestHandler subclass to one server instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing ------------------------------------------------------
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _observed(self, endpoint: str, fn) -> None:
+            t0 = time.perf_counter()
+            status, payload, rows = 500, {"error": "internal error"}, 0
+            try:
+                status, payload, rows = fn()
+            except AnalysisError as exc:
+                message = str(exc)
+                status = 404 if ("no model" in message
+                                 or "unknown" in message) else 400
+                payload = {"error": message}
+            except Exception as exc:  # pragma: no cover - defensive
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            finally:
+                server.metrics.observe(
+                    endpoint, time.perf_counter() - t0, rows=rows,
+                    error=status >= 400)
+                self._reply(status, payload)
+
+        # -- endpoints -----------------------------------------------------
+
+        def do_GET(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz" or path == "/":
+                # Liveness must stay O(1): no store scan per probe.
+                self._observed("/healthz", lambda: (
+                    200, {"status": "ok",
+                          "models_loaded": len(server._models)}, 0))
+            elif path == "/models":
+                self._observed("/models", lambda: (
+                    200, {"models": server.store.list()}, 0))
+            elif path == "/metrics":
+                def metrics() -> Tuple[int, Dict[str, Any], int]:
+                    payload = server.metrics.snapshot()
+                    payload["batchers"] = server.batcher_metrics()
+                    return 200, payload, 0
+                self._observed("/metrics", metrics)
+            else:
+                # One shared metrics label for unknown paths: the raw
+                # client-supplied path would give unbounded cardinality.
+                self._observed("unknown", lambda: (
+                    404, {"error": f"unknown endpoint {self.path}"}, 0))
+
+        def do_POST(self) -> None:
+            if self.path.rstrip("/") != "/predict":
+                self._observed("unknown", lambda: (
+                    404, {"error": f"unknown endpoint {self.path}"}, 0))
+                return
+
+            def predict() -> Tuple[int, Dict[str, Any], int]:
+                length = int(self.headers.get("Content-Length") or 0)
+                if length <= 0:
+                    raise AnalysisError("empty request body")
+                raw = self.rfile.read(length)
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise AnalysisError(
+                        f"request body is not JSON: {exc}") from exc
+                result = server.handle_predict(payload)
+                return 200, result, result["count"]
+
+            self._observed("/predict", predict)
+
+    return Handler

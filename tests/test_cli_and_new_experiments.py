@@ -30,6 +30,19 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["run", "fig99"])
 
+    @pytest.mark.parametrize("jobs", ["0", "-2", "-99", "two"])
+    def test_invalid_jobs_rejected_by_argparse(self, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["run", "table1", "--jobs", jobs])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid jobs count" in err
+
+    @pytest.mark.parametrize("jobs", ["1", "-1", "2"])
+    def test_valid_jobs_accepted(self, jobs, capsys):
+        assert cli_main(["run", "table1", "--jobs", jobs]) == 0
+        assert "table1" in capsys.readouterr().out
+
 
 class TestNoiseExperiment:
     def test_amplitude_and_frequency_immune(self):

@@ -41,9 +41,16 @@ def test_mlp_xor_pipeline():
     assert out.count("OK") >= 4
 
 
+def test_serving_pipeline():
+    out = run_example("serving_pipeline.py")
+    assert "serving pipeline complete" in out
+    assert "match the in-process" in out
+    assert out.count("OK") >= 5
+
+
 def test_examples_exist_and_have_docstrings():
     scripts = sorted(EXAMPLES.glob("*.py"))
-    assert len(scripts) >= 6
+    assert len(scripts) >= 7
     for script in scripts:
         text = script.read_text()
         assert text.lstrip().startswith(('#!/usr/bin/env python3\n"""',
