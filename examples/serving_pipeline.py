@@ -11,7 +11,10 @@ example walks the whole path the ``repro.serve`` subsystem provides:
 3. start the micro-batching HTTP server on a free port;
 4. query ``/predict`` over HTTP (a whole batch in one request) and
    check the answers against the in-process batch inference engine;
-5. read back the server's ``/metrics`` counters.
+5. read back the server's ``/metrics`` counters;
+6. discover the experiment registry over ``GET /experiments`` and run
+   a schema-validated fast-fidelity experiment via
+   ``POST /experiments/<id>/run``.
 
 Run:  python examples/serving_pipeline.py
 """
@@ -89,6 +92,18 @@ def main() -> None:
                   f"requests, {metrics['predictions_total']} rows, "
                   f"mean batch {batcher['mean_batch_rows']} rows, "
                   f"mean latency {metrics['latency_ms_mean']} ms")
+
+            print("6. experiments as a served resource...")
+            status, schemas = http_json(server.url + "/experiments")
+            print(f"   {schemas['count']} experiments discoverable "
+                  "over GET /experiments — OK")
+            status, body = http_json(
+                server.url + "/experiments/ext_montecarlo/run",
+                {"params": {"seed": 21, "method": "vectorized"}})
+            assert status == 200, status
+            sigma = body["result"]["metrics"]["sigma_mV[row0]"]
+            print(f"   POST /experiments/ext_montecarlo/run (seed=21): "
+                  f"mismatch sigma {sigma:.2f} mV — OK")
     print("serving pipeline complete")
 
 

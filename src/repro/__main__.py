@@ -2,12 +2,19 @@
 
 Commands
 --------
-``list``
-    Show every registered experiment.
-``run <id> [--fidelity fast|paper] [--no-charts] [--csv DIR]``
-    Run one experiment and print its tables/figures.
-``all [--fidelity fast|paper] [--csv DIR]``
-    Run every registered experiment.
+``list [--tag TAG] [--json]``
+    Show every registered experiment (id, tags, title).  ``--json``
+    dumps the full typed parameter schemas (the same document that is
+    snapshotted in ``experiments_schema.json`` and served as
+    ``GET /experiments``).
+``run <id> [--fidelity fast|paper] [schema options] [--no-charts] [--csv DIR]``
+    Run one experiment.  Each experiment's parameters are generated
+    from its declared schema — ``python -m repro run fig4 --help``
+    lists exactly the options ``fig4`` accepts, and bad values fail at
+    the parser with the schema's help text.
+``all [--fidelity fast|paper] [--set ID.PARAM=VALUE ...] [--csv DIR]``
+    Run every registered experiment; ``--set`` overrides one
+    experiment's parameter (repeatable), validated against its schema.
 
 Execution flags (``run`` and ``all``)
 -------------------------------------
@@ -17,11 +24,11 @@ Execution flags (``run`` and ``all``)
     so every experiment inherits it; results are identical to serial
     runs, just faster.
 ``--no-cache`` / ``--cache-dir DIR``
-    Paper-fidelity runs are cached on disk keyed by
-    ``(experiment_id, fidelity, params-hash)`` (default directory:
-    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``) and replayed
-    byte-identically on a hit.  ``--cache-dir`` also enables caching for
-    fast runs; ``--no-cache`` disables it entirely.
+    Paper-fidelity runs are cached on disk keyed by the canonical
+    :class:`~repro.experiments.spec.RunConfig` encoding (default
+    directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``) and
+    replayed byte-identically on a hit.  ``--cache-dir`` also enables
+    caching for fast runs; ``--no-cache`` disables it entirely.
 
 Serving commands
 ----------------
@@ -33,7 +40,7 @@ Serving commands
     Load a stored model and classify duty-cycle rows.
 ``serve [--host H] [--port P] [--max-batch N] [--max-latency-ms MS]``
     Start the micro-batching JSON API (``/predict``, ``/models``,
-    ``/healthz``, ``/metrics``) over the model store.
+    ``/experiments``, ``/healthz``, ``/metrics``) over the model store.
 """
 
 from __future__ import annotations
@@ -43,8 +50,10 @@ import json
 import sys
 from pathlib import Path
 
+from .circuit.exceptions import AnalysisError
 from .exec.cache import ResultCache, default_cache_dir
-from .experiments import PAPER_ARTEFACTS, REGISTRY, run_experiment
+from .experiments import RunConfig, describe, get_spec, run_config
+from .experiments.spec import SPECS, Param
 from .reporting import figure_to_csv, table_to_csv, write_markdown_report
 
 
@@ -89,6 +98,67 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                              "also enables caching at fast fidelity")
 
 
+# -- schema-derived experiment options ------------------------------------
+#
+# ``run <id>`` gets one generated option per declared parameter, so the
+# parser itself is the validation surface: unknown flags die in
+# argparse, bad values die in the Param's parse/validate with the
+# schema's help text.
+
+#: dests already taken by the run-command plumbing; a experiment schema
+#: may never collide with these (guarded at parser-build time).
+_RESERVED_DESTS = {"command", "experiment_id", "fidelity", "help",
+                   "no_charts", "csv", "jobs", "no_cache", "cache_dir",
+                   "report", "set"}
+
+
+def _param_type(param: Param):
+    def convert(text: str):
+        try:
+            return param.parse(text)
+        except AnalysisError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    convert.__name__ = param.type
+    return convert
+
+
+def _param_help(param: Param) -> str:
+    notes = []
+    if param.choices is not None:
+        notes.append("one of " + ", ".join(str(c) for c in param.choices))
+    bounds = []
+    if param.minimum is not None:
+        bounds.append(f">= {param.minimum:g}")
+    if param.maximum is not None:
+        bounds.append(f"<= {param.maximum:g}")
+    if bounds:
+        notes.append(" and ".join(bounds))
+    if param.default is not None:
+        notes.append(f"default {param.default}")
+    suffix = f" ({'; '.join(notes)})" if notes else ""
+    return f"{param.help}{suffix}"
+
+
+def _add_schema_options(parser: argparse.ArgumentParser, spec) -> None:
+    for param in spec.runner_params:
+        if param.name in _RESERVED_DESTS:
+            raise AnalysisError(
+                f"experiment {spec.id!r}: parameter {param.name!r} "
+                "collides with a built-in CLI flag")
+        flag = "--" + param.name.replace("_", "-")
+        metavar = ("F1,F2,..." if param.type == "floats"
+                   else param.type.upper())
+        parser.add_argument(flag, dest=param.name, type=_param_type(param),
+                            default=None, metavar=metavar,
+                            help=_param_help(param))
+
+
+def _explicit_params(args, spec) -> dict:
+    """Parameters the user actually passed (defaults stay schema-side)."""
+    return {p.name: getattr(args, p.name) for p in spec.runner_params
+            if getattr(args, p.name) is not None}
+
+
 def _resolve_cache(args) -> "ResultCache | None":
     """Cache policy: paper runs cache by default, fast runs opt in."""
     if args.no_cache:
@@ -100,22 +170,44 @@ def _resolve_cache(args) -> "ResultCache | None":
     return None
 
 
-def _run_cached(experiment_id: str, fidelity: str, jobs, cache):
-    """Run one experiment, announcing cache hits on stderr.
+def _run_cached(config: RunConfig, jobs, cache, explicit: dict):
+    """Run one config, announcing cache hits on stderr.
 
     The notice keeps stale replays distinguishable from fresh runs
-    (the cache key covers parameters, not code — after changing
-    experiment code, recompute with ``--no-cache``).
+    (the cache key covers the canonical config, not code — after
+    changing experiment code, recompute with ``--no-cache``).
+    ``explicit`` (the raw user-provided params) also lets the cache
+    probe entries written under the pre-RunConfig kwargs key.
     """
     if cache is not None:
-        hit = cache.get(experiment_id, fidelity, {})
+        hit = cache.get_config(config, legacy_params=explicit)
         if hit is not None:
-            print(f"[cache] {experiment_id}: replayed from "
-                  f"{cache.path_for(experiment_id, fidelity, {})} "
+            print(f"[cache] {config.experiment_id}: replayed from "
+                  f"{cache.path_for_config(config)} "
                   "(use --no-cache to recompute)", file=sys.stderr)
             return hit
-    return run_experiment(experiment_id, fidelity=fidelity, jobs=jobs,
-                          cache=cache)
+    return run_config(config, jobs=jobs, cache=cache,
+                      legacy_params=explicit)
+
+
+def _parse_overrides(parser: argparse.ArgumentParser,
+                     pairs: "list[str] | None") -> dict:
+    """``--set ID.PARAM=VALUE`` pairs -> validated overrides mapping."""
+    overrides: "dict[str, dict]" = {}
+    for text in pairs or []:
+        head, sep, value = text.partition("=")
+        eid, dot, pname = head.partition(".")
+        if not sep or not dot or not eid or not pname:
+            parser.error(f"--set expects ID.PARAM=VALUE, got {text!r}")
+        if pname == "fidelity":
+            parser.error("fidelity is set once for the whole run with "
+                         "--fidelity, not per experiment via --set")
+        try:
+            overrides.setdefault(eid, {})[pname] = \
+                get_spec(eid).param(pname).parse(value)
+        except AnalysisError as exc:
+            parser.error(str(exc))
+    return overrides
 
 
 def _default_store_dir() -> Path:
@@ -211,8 +303,9 @@ def _cmd_serve(args) -> int:
                               max_latency=args.max_latency_ms / 1e3)
     known = ", ".join(m["name"] for m in store.list()) or "(store empty)"
     print(f"serving {server.url} — models: {known}", file=sys.stderr)
-    print("endpoints: POST /predict, GET /models /healthz /metrics; "
-          "Ctrl-C to stop", file=sys.stderr)
+    print("endpoints: POST /predict, POST /experiments/<id>/run, "
+          "GET /models /experiments /healthz /metrics; Ctrl-C to stop",
+          file=sys.stderr)
     server.run()
     return 0
 
@@ -223,26 +316,63 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_MODEL_STORE or ./models)")
 
 
+def _cmd_list(args) -> int:
+    document = describe()
+    if args.tag:
+        document["experiments"] = [
+            entry for entry in document["experiments"]
+            if args.tag in entry["tags"]]
+        document["count"] = len(document["experiments"])
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for entry in document["experiments"]:
+        extra = [p["name"] for p in entry["params"]
+                 if p["name"] != "fidelity"]
+        params = f" ({', '.join(extra)})" if extra else ""
+        print(f"{entry['id']:22s} [{','.join(entry['tags'])}] "
+              f"{entry['title']}{params}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the DATE 2019 PWM mixed-signal perceptron")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered experiments")
+    list_p = sub.add_parser(
+        "list", help="list registered experiments and their schemas")
+    list_p.add_argument("--tag", default=None,
+                        help="only experiments carrying this tag")
+    list_p.add_argument("--json", action="store_true",
+                        help="dump the full typed parameter schemas "
+                             "(the experiments_schema.json document)")
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("experiment_id", choices=sorted(REGISTRY))
-    run_p.add_argument("--fidelity", choices=("fast", "paper"),
-                       default="fast")
-    run_p.add_argument("--no-charts", action="store_true")
-    run_p.add_argument("--csv", type=Path, default=None,
-                       help="export tables/series as CSV into this directory")
-    _add_exec_flags(run_p)
+    run_p = sub.add_parser(
+        "run", help="run one experiment (see `run <id> --help` for its "
+                    "schema-derived options)")
+    run_sub = run_p.add_subparsers(dest="experiment_id", metavar="<id>",
+                                   required=True)
+    for spec in SPECS.values():
+        exp_p = run_sub.add_parser(
+            spec.id, help=spec.title,
+            description=f"{spec.title}. {spec.description}")
+        exp_p.add_argument("--fidelity", choices=("fast", "paper"),
+                           default="fast")
+        exp_p.add_argument("--no-charts", action="store_true")
+        exp_p.add_argument("--csv", type=Path, default=None,
+                           help="export tables/series as CSV into this "
+                                "directory")
+        _add_exec_flags(exp_p)
+        _add_schema_options(exp_p, spec)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fidelity", choices=("fast", "paper"),
                        default="fast")
+    all_p.add_argument("--set", action="append", metavar="ID.PARAM=VALUE",
+                       help="override one experiment's parameter "
+                            "(repeatable), validated against its schema")
     all_p.add_argument("--csv", type=Path, default=None)
     all_p.add_argument("--report", type=Path, default=None,
                        help="write a combined markdown report here")
@@ -292,23 +422,25 @@ def main(argv: "list[str] | None" = None) -> int:
                 "serve": _cmd_serve}[args.command](args)
 
     if args.command == "list":
-        for eid, (title, _runner) in REGISTRY.items():
-            tag = "paper" if eid in PAPER_ARTEFACTS else "ext"
-            print(f"{eid:22s} [{tag:5s}] {title}")
-        return 0
+        return _cmd_list(args)
 
     cache = _resolve_cache(args)
 
     if args.command == "run":
-        result = _run_cached(args.experiment_id, args.fidelity,
-                             args.jobs, cache)
+        spec = get_spec(args.experiment_id)
+        explicit = _explicit_params(args, spec)
+        config = RunConfig.build(spec.id, args.fidelity, explicit)
+        result = _run_cached(config, args.jobs, cache, explicit)
         print(result.render(charts=not args.no_charts))
         _export(result, args.csv)
         return 0
 
+    overrides = _parse_overrides(all_p, getattr(args, "set", None))
     results = {}
-    for eid in REGISTRY:
-        result = _run_cached(eid, args.fidelity, args.jobs, cache)
+    for eid in SPECS:
+        explicit = overrides.get(eid, {})
+        config = RunConfig.build(eid, args.fidelity, explicit)
+        result = _run_cached(config, args.jobs, cache, explicit)
         results[eid] = result
         print(result.render(charts=False))
         print()

@@ -10,7 +10,9 @@ Three cooperating pieces:
   import ...``; kept out of this namespace so the circuit layer can
   import the executor without a cycle);
 * :mod:`repro.exec.cache` — on-disk experiment-result cache keyed by
-  ``(experiment_id, fidelity, params-hash)``.
+  the canonical :class:`~repro.experiments.spec.RunConfig` encoding
+  (legacy ``(experiment_id, fidelity, kwargs-hash)`` entries stay
+  read-compatible and are migrated on first hit).
 """
 
 from .cache import (

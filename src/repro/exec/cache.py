@@ -14,10 +14,18 @@ is byte-identical to the original (floats survive the JSON round trip
 exactly via ``repr`` shortest-round-trip encoding) — pinned by the
 equivalence tests.
 
-The cache is wired into :func:`repro.experiments.registry.run_experiment`
+The cache is wired into :func:`repro.experiments.registry.run_config`
 and the ``python -m repro`` CLI (``--cache-dir``, ``--no-cache``).  A
 schema version is embedded in every entry; bumping
 :data:`CACHE_SCHEMA_VERSION` invalidates stale entries wholesale.
+
+Keys come in two generations.  The current one hashes the canonical
+encoding of a validated :class:`~repro.experiments.spec.RunConfig`
+(defaults filled, values normalised), so spelling a default explicitly
+no longer forks the key (:meth:`ResultCache.get_config` /
+:meth:`ResultCache.put_config`).  The original generation hashed the
+raw run kwargs; :meth:`ResultCache.get_config` still probes that legacy
+path on a miss and transparently migrates hits to the new key.
 """
 
 from __future__ import annotations
@@ -79,9 +87,11 @@ class ResultCache:
     def get(self, experiment_id: str, fidelity: str,
             params: Optional[Dict[str, Any]] = None):
         """Cached :class:`ExperimentResult`, or ``None`` on miss."""
+        return self._load(self.path_for(experiment_id, fidelity, params))
+
+    def _load(self, path: Path):
         from ..experiments.base import ExperimentResult
 
-        path = self.path_for(experiment_id, fidelity, params)
         if not path.exists():
             return None
         try:
@@ -92,13 +102,59 @@ class ResultCache:
             return None
         return ExperimentResult.from_dict(payload["result"])
 
+    # -- RunConfig-keyed interface (current generation) ---------------------
+
+    def path_for_config(self, config) -> Path:
+        """Entry path for a validated RunConfig (canonical-key hash)."""
+        from .. import __version__
+
+        # Fold the package version in, as for legacy keys: released
+        # numeric changes invalidate old entries.
+        canonical = config.canonical_json() + f"|repro={__version__}"
+        key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return (self.root / config.experiment_id /
+                f"{config.fidelity}-rc{key}.json")
+
+    def get_config(self, config, *,
+                   legacy_params: Optional[Dict[str, Any]] = None):
+        """Cached result for a RunConfig, or ``None`` on miss.
+
+        On a miss at the canonical key, the pre-RunConfig kwargs-hash
+        path is probed with ``legacy_params`` (the raw kwargs a legacy
+        caller supplied; pass ``{}`` for "no explicit parameters").  A
+        legacy hit is re-written under the canonical key so the old
+        entry keeps serving after the migration.
+        """
+        path = self.path_for_config(config)
+        result = self._load(path)
+        if result is not None or legacy_params is None:
+            return result
+        legacy = self._load(self.path_for(config.experiment_id,
+                                          config.fidelity, legacy_params))
+        if legacy is not None:
+            self.put_config(legacy, config)
+        return legacy
+
+    def put_config(self, result, config) -> Path:
+        """Store a result under the config's canonical key."""
+        return self._write(self.path_for_config(config),
+                           config.canonical_dict()["params"], result)
+
+    # -- legacy kwargs-keyed interface --------------------------------------
+
     def put(self, result, params: Optional[Dict[str, Any]] = None) -> Path:
         """Store a result; returns the entry path."""
-        path = self.path_for(result.experiment_id, result.fidelity, params)
+        return self._write(
+            self.path_for(result.experiment_id, result.fidelity, params),
+            {k: repr(v) for k, v in sorted((params or {}).items())},
+            result)
+
+    def _write(self, path: Path, params_doc: Dict[str, Any],
+               result) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
-            "params": {k: repr(v) for k, v in sorted((params or {}).items())},
+            "params": params_doc,
             "result": result.to_dict(),
         }
         # Unique tmp name per writer: concurrent runs may race on the

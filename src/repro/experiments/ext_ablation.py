@@ -16,7 +16,8 @@ from ..core.design_space import (
     rout_ablation,
 )
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_ablation"
 TITLE = "Design-space ablations: Rout (linearity/power), Cout (ripple/settling)"
@@ -27,8 +28,9 @@ COUTS_PAPER = (0.1e-12, 0.2e-12, 0.5e-12, 1e-12, 2e-12, 5e-12, 10e-12)
 COUTS_FAST = (0.5e-12, 1e-12, 10e-12)
 
 
+@experiment("ext_ablation", title=TITLE,
+            tags=("extension", "design-space"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     routs = ROUTS_PAPER if fidelity == "paper" else ROUTS_FAST
     couts = COUTS_PAPER if fidelity == "paper" else COUTS_FAST
     op = CellOperatingPoint()

@@ -15,7 +15,8 @@ import numpy as np
 from ..circuit.ac import ac_analysis
 from ..core.cells import build_transcoding_inverter_bench
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_ac"
 TITLE = "Averaging-node pole vs Rout/Cout (AC analysis)"
@@ -25,8 +26,9 @@ GRID_PAPER = ((5e3, 1e-12), (20e3, 1e-12), (100e3, 0.5e-12),
               (100e3, 1e-12), (100e3, 2e-12), (100e3, 10e-12))
 
 
+@experiment("ext_ac", title=TITLE,
+            tags=("extension", "ac"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     grid = GRID_PAPER if fidelity == "paper" else GRID_FAST
     n_freq = 80 if fidelity == "paper" else 40
 

@@ -25,7 +25,8 @@ from ..core.cells import CellDesign, transcoding_inverter_subckt
 from ..reporting.figures import FigureData
 from ..signals.pwm import rail_referenced_pwm
 from ..signals.supply import ramp
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_dynamic_supply"
 TITLE = "Ratiometric output during a live supply ramp (2.5 V -> 1.25 V)"
@@ -51,8 +52,9 @@ def _build(t_ramp: float) -> Circuit:
     return c
 
 
+@experiment("ext_dynamic_supply", title=TITLE,
+            tags=("extension", "supply", "transient"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     n_windows = 24 if fidelity == "paper" else 14
     periods_per_window = 10 if fidelity == "paper" else 8
     period = 1.0 / FREQUENCY

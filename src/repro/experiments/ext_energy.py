@@ -19,7 +19,8 @@ import numpy as np
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..digital.digital_perceptron import DigitalPerceptron
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_energy"
 TITLE = "Energy per classification: PWM adder vs digital MAC"
@@ -28,8 +29,9 @@ WORKLOAD_DUTIES = (0.70, 0.80, 0.90)
 WORKLOAD_WEIGHTS = (7, 7, 7)
 
 
+@experiment("ext_energy", title=TITLE,
+            tags=("extension", "energy"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     adder = WeightedAdder(AdderConfig())
     vdd_points = (1.0, 1.5, 2.5, 3.5) if fidelity == "fast" \
         else tuple(np.arange(1.0, 4.01, 0.5))

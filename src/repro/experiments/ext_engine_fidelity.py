@@ -12,14 +12,16 @@ from __future__ import annotations
 from ..analysis.calibrate import calibrate_adder, calibration_grid
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment, seed_param
 
 EXPERIMENT_ID = "ext_engine_fidelity"
 TITLE = "Engine cross-validation: behavioral vs RC vs transistor level"
 
 
+@experiment("ext_engine_fidelity", title=TITLE,
+            tags=("extension", "validation"), params=[seed_param(0)])
 def run(fidelity: str = "fast", seed: int = 0) -> ExperimentResult:
-    check_fidelity(fidelity)
     adder = WeightedAdder(AdderConfig())
     n_random = 10 if fidelity == "paper" else 4
     steps = 120 if fidelity == "paper" else 70

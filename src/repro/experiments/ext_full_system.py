@@ -12,7 +12,8 @@ from __future__ import annotations
 from ..core.full_perceptron import evaluate_full_perceptron
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_full_system"
 TITLE = "Full Fig. 1 perceptron (adder + comparator) at transistor level"
@@ -26,8 +27,9 @@ CASES = [
 THETA = 9.0
 
 
+@experiment("ext_full_system", title=TITLE,
+            tags=("extension", "transistor-level", "perceptron"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     vdd_points = (2.5,) if fidelity == "fast" else (1.5, 2.5, 4.0)
     steps = 80 if fidelity == "fast" else 120
 

@@ -16,14 +16,16 @@ from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
 from ..signals.kessels import CounterConfig, KesselsPwmGenerator, elastic_clock
 from ..signals.supply import ramp
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_kessels"
 TITLE = "Kessels modulo-N generator -> adder, under an elastic clock"
 
 
+@experiment("ext_kessels", title=TITLE,
+            tags=("extension", "elastic-clock"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     modulus = 16
     codes = (4, 8, 12) if fidelity == "fast" else (2, 4, 6, 8, 10, 12, 14)
     supply = ramp(2.5, 1.2, 2e-6).clamped(v_min=1.0)  # drooping harvester

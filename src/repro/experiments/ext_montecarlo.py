@@ -17,16 +17,26 @@ from __future__ import annotations
 from ..analysis.robustness import adder_corner_errors, adder_monte_carlo
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment, seed_param
 from .table2_adder import PAPER_ROWS
 
 EXPERIMENT_ID = "ext_montecarlo"
 TITLE = "Adder output error under mismatch (Monte Carlo) and corners"
 
 
+@experiment(
+    "ext_montecarlo", title=TITLE,
+    tags=("extension", "monte-carlo", "mismatch"),
+    params=[
+        seed_param(3),
+        Param("method", "str", default="auto",
+              choices=("auto", "loop", "vectorized"),
+              help="Monte-Carlo backend: batched 'vectorized', "
+                   "scalar 'loop', or 'auto'"),
+    ])
 def run(fidelity: str = "fast", seed: int = 3,
         method: str = "auto") -> ExperimentResult:
-    check_fidelity(fidelity)
     n_trials = 200 if fidelity == "paper" else 25
     adder = WeightedAdder(AdderConfig())
 

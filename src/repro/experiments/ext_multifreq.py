@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from ..core.weighted_adder import AdderConfig, WeightedAdder, common_period
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_multifreq"
 TITLE = "Adder with a different PWM frequency on every input"
@@ -31,8 +32,9 @@ CASES = (
 )
 
 
+@experiment("ext_multifreq", title=TITLE,
+            tags=("extension", "frequency"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     steps_per_fast_period = 100 if fidelity == "paper" else 60
     adder = WeightedAdder(AdderConfig())
     theory = adder.theoretical_output(WORKLOAD_DUTIES, WORKLOAD_WEIGHTS)

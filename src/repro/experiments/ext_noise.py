@@ -16,7 +16,8 @@ from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
 from ..signals.noise import NoiseSpec, PwmNoiseSampler
 from ..signals.pwm import PwmSpec
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment, seed_param
 
 EXPERIMENT_ID = "ext_noise"
 TITLE = "Impairment study: amplitude/frequency noise vs edge jitter"
@@ -45,8 +46,9 @@ def _error_stats(adder: WeightedAdder, sampler: PwmNoiseSampler,
     return float(np.mean(errors)), float(np.max(errors))
 
 
+@experiment("ext_noise", title=TITLE,
+            tags=("extension", "noise"), params=[seed_param(5)])
 def run(fidelity: str = "fast", seed: int = 5) -> ExperimentResult:
-    check_fidelity(fidelity)
     n_trials = 120 if fidelity == "paper" else 30
     adder = WeightedAdder(AdderConfig())
     magnitude = 0.03  # 3 % relative impairment on each axis

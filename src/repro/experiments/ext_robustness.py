@@ -27,7 +27,8 @@ from ..core.perceptron import DifferentialPwmPerceptron
 from ..core.training import PerceptronTrainer
 from ..digital.digital_perceptron import DigitalPerceptron
 from ..reporting.figures import FigureData
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment, seed_param
 
 EXPERIMENT_ID = "ext_robustness"
 TITLE = "Classification accuracy vs supply voltage (PWM vs baselines)"
@@ -36,10 +37,18 @@ PAPER_VDD = tuple(np.arange(0.75, 4.01, 0.25))
 FAST_VDD = (0.8, 1.0, 1.5, 2.5, 3.5)
 
 
+@experiment(
+    "ext_robustness", title=TITLE,
+    tags=("extension", "supply", "accuracy"),
+    params=[
+        Param("vdd_values", "floats", default=None, minimum=0.05,
+              help="supply voltages in V "
+                   "(default: fidelity-dependent grid)"),
+        seed_param(7),
+    ])
 def run(fidelity: str = "fast",
         vdd_values: Optional[Sequence[float]] = None,
         seed: int = 7) -> ExperimentResult:
-    check_fidelity(fidelity)
     if vdd_values is None:
         vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
     n = 40 if fidelity == "paper" else 16

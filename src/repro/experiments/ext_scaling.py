@@ -14,7 +14,8 @@ import numpy as np
 
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment, seed_param
 
 EXPERIMENT_ID = "ext_scaling"
 TITLE = "Architecture scaling: adder accuracy/power/area vs k and n"
@@ -37,8 +38,9 @@ def _worst_case_error(adder: WeightedAdder, seed: int,
     return worst, float(np.mean(powers))
 
 
+@experiment("ext_scaling", title=TITLE,
+            tags=("extension", "scaling"), params=[seed_param(9)])
 def run(fidelity: str = "fast", seed: int = 9) -> ExperimentResult:
-    check_fidelity(fidelity)
     n_samples = 40 if fidelity == "paper" else 12
     configs = [(k, n) for k in (2, 3, 4, 6, 8) for n in (2, 3, 4)] \
         if fidelity == "paper" else [(2, 2), (3, 3), (6, 3), (8, 4)]

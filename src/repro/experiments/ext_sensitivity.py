@@ -12,7 +12,8 @@ from __future__ import annotations
 from ..analysis.sensitivity import SENSITIVITY_PARAMETERS, adder_sensitivities
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_sensitivity"
 TITLE = "Global parameter sensitivities of the adder output"
@@ -21,8 +22,9 @@ WORKLOAD_DUTIES = (0.70, 0.80, 0.90)
 WORKLOAD_WEIGHTS = (7, 7, 7)
 
 
+@experiment("ext_sensitivity", title=TITLE,
+            tags=("extension", "sensitivity"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     rel_step = 0.05 if fidelity == "fast" else 0.02
     adder = WeightedAdder(AdderConfig())
     sensitivities = adder_sensitivities(

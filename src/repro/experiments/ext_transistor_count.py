@@ -12,14 +12,16 @@ from __future__ import annotations
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..digital.digital_perceptron import DigitalPerceptron
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "ext_transistor_count"
 TITLE = "Area: PWM adder vs digital MAC (transistor counts)"
 
 
+@experiment("ext_transistor_count", title=TITLE,
+            tags=("extension", "area"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     config = AdderConfig()
     adder = WeightedAdder(config)
     circuit = adder.build_circuit([0.5, 0.5, 0.5], [7, 7, 7])

@@ -22,7 +22,8 @@ from ..analysis.datasets import make_blobs
 from ..analysis.yield_analysis import perceptron_yield
 from ..core.training import PerceptronTrainer
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment, seed_param
 
 EXPERIMENT_ID = "ext_yield"
 TITLE = "Parametric yield: mismatch + unregulated supply"
@@ -30,9 +31,18 @@ TITLE = "Parametric yield: mismatch + unregulated supply"
 VDD_RANGE = (1.2, 3.5)
 
 
+@experiment(
+    "ext_yield", title=TITLE,
+    tags=("extension", "yield", "monte-carlo"),
+    params=[
+        seed_param(13),
+        Param("method", "str", default="auto",
+              choices=("auto", "loop", "vectorized"),
+              help="yield campaign backend: batched 'vectorized', "
+                   "scalar 'loop', or 'auto'"),
+    ])
 def run(fidelity: str = "fast", seed: int = 13,
         method: str = "auto") -> ExperimentResult:
-    check_fidelity(fidelity)
     n_parts = 60 if fidelity == "paper" else 12
     n_per_class = 30 if fidelity == "paper" else 12
 

@@ -20,7 +20,8 @@ from ..circuit.pss import shooting
 from ..core.cells import NO_LOAD_ROUT, build_transcoding_inverter_bench
 from ..reporting.figures import FigureData
 from ..tech.umc65 import TABLE1_SIZING
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Inverter cell: Vout vs input duty cycle (per Rout)"
@@ -40,9 +41,15 @@ def measure_cell(duty: float, rout: float, *, vdd: float = TABLE1_SIZING.vdd,
     return pss.average("out")
 
 
+@experiment(
+    "fig4", title=TITLE, tags=("paper", "figure", "dc-transfer"),
+    params=[
+        Param("duties", "floats", default=None, minimum=0.0, maximum=1.0,
+              help="input duty cycles to sweep "
+                   "(default: fidelity-dependent grid)"),
+    ])
 def run(fidelity: str = "fast",
         duties: Optional[Sequence[float]] = None) -> ExperimentResult:
-    check_fidelity(fidelity)
     if duties is None:
         duties = (np.linspace(0.0, 1.0, 11) if fidelity == "paper"
                   else np.linspace(0.1, 0.9, 5))

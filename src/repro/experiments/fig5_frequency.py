@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..analysis.elasticity import frequency_flatness
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment
 from .fig4_dc_transfer import measure_cell
 from ..reporting.figures import FigureData
 
@@ -23,9 +24,15 @@ PAPER_FREQUENCIES = (1e6, 5e6, 10e6, 50e6, 100e6, 500e6, 1000e6, 1500e6)
 FAST_FREQUENCIES = (10e6, 100e6, 1000e6)
 
 
+@experiment(
+    "fig5", title=TITLE, tags=("paper", "figure", "frequency"),
+    params=[
+        Param("frequencies", "floats", default=None, minimum=1.0,
+              help="input PWM frequencies in Hz "
+                   "(default: fidelity-dependent grid)"),
+    ])
 def run(fidelity: str = "fast",
         frequencies: Optional[Sequence[float]] = None) -> ExperimentResult:
-    check_fidelity(fidelity)
     if frequencies is None:
         frequencies = PAPER_FREQUENCIES if fidelity == "paper" \
             else FAST_FREQUENCIES

@@ -32,7 +32,8 @@ from ..core.cells import CellDesign
 from ..core.rc_model import RcBatchSolver
 from ..exec.executor import get_default_executor
 from ..reporting.figures import FigureData
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment
 from .fig4_dc_transfer import measure_cell
 
 DUTIES = (0.25, 0.50, 0.75)
@@ -110,10 +111,20 @@ def _sweep(fidelity: str, vdd_values: Optional[Sequence[float]],
     return data
 
 
+@experiment(
+    "fig6", title="Output voltage vs power supply",
+    tags=("paper", "figure", "supply"),
+    params=[
+        Param("vdd_values", "floats", default=None, minimum=0.05,
+              help="supply voltages in V "
+                   "(default: fidelity-dependent grid)"),
+        Param("engine", "str", default="spice", choices=SWEEP_ENGINES,
+              help="sweep engine: transistor-level 'spice' or batched "
+                   "switch-level 'rc'"),
+    ])
 def run_fig6(fidelity: str = "fast",
              vdd_values: Optional[Sequence[float]] = None,
              engine: str = "spice") -> ExperimentResult:
-    check_fidelity(fidelity)
     data = _sweep(fidelity, vdd_values, engine)
     figure = FigureData("fig6", "Vout (absolute) vs supply voltage",
                         "Vdd (V)", "Vout (V)")
@@ -134,10 +145,20 @@ def run_fig6(fidelity: str = "fast",
     return result
 
 
+@experiment(
+    "fig7", title="Output voltage relative to the power supply",
+    tags=("paper", "figure", "supply"),
+    params=[
+        Param("vdd_values", "floats", default=None, minimum=0.05,
+              help="supply voltages in V "
+                   "(default: fidelity-dependent grid)"),
+        Param("engine", "str", default="spice", choices=SWEEP_ENGINES,
+              help="sweep engine: transistor-level 'spice' or batched "
+                   "switch-level 'rc'"),
+    ])
 def run_fig7(fidelity: str = "fast",
              vdd_values: Optional[Sequence[float]] = None,
              engine: str = "spice") -> ExperimentResult:
-    check_fidelity(fidelity)
     data = _sweep(fidelity, vdd_values, engine)
     figure = FigureData("fig7", "Vout/Vdd (ratiometric) vs supply voltage",
                         "Vdd (V)", "Vout/Vdd")

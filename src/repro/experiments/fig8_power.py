@@ -19,7 +19,8 @@ import numpy as np
 
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.figures import FigureData
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import Param, experiment
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Average supply power vs input frequency (3x3 adder)"
@@ -32,9 +33,15 @@ PAPER_FREQUENCIES = tuple(np.arange(100e6, 1001e6, 100e6))
 FAST_FREQUENCIES = (100e6, 500e6, 1000e6)
 
 
+@experiment(
+    "fig8", title=TITLE, tags=("paper", "figure", "power"),
+    params=[
+        Param("frequencies", "floats", default=None, minimum=1.0,
+              help="input frequencies in Hz "
+                   "(default: fidelity-dependent grid)"),
+    ])
 def run(fidelity: str = "fast",
         frequencies: Optional[Sequence[float]] = None) -> ExperimentResult:
-    check_fidelity(fidelity)
     if frequencies is None:
         frequencies = PAPER_FREQUENCIES if fidelity == "paper" \
             else FAST_FREQUENCIES

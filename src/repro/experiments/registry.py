@@ -1,83 +1,105 @@
 """Experiment registry: every paper artefact and extension by id.
 
-:func:`run_experiment` is the one choke point every runner passes
-through, so execution concerns are wired here once for all experiments:
+Experiments self-register through the
+:func:`~repro.experiments.spec.experiment` decorator; importing this
+module pulls every experiment module in (in curated order: paper
+artefacts first, then extensions) and exposes the execution choke
+points:
 
-* ``jobs`` installs a process-pool default executor for the duration of
-  the run (inherited by :func:`repro.circuit.sweep.run_sweep` and the
-  Monte-Carlo/yield entry points);
-* ``cache`` consults an on-disk :class:`repro.exec.cache.ResultCache`
-  keyed by ``(experiment_id, fidelity, params-hash)`` before running and
-  stores the result after.
+* :func:`run_config` executes a validated
+  :class:`~repro.experiments.spec.RunConfig` — the single currency for
+  the Python API, the CLI and the HTTP surface;
+* :func:`run_experiment` is the historical ``(id, fidelity, **kwargs)``
+  entry point, kept as a thin shim that builds a :class:`RunConfig`
+  first (so bad parameters fail fast with the schema's help text);
+* :func:`run_all` runs the whole registry with per-experiment,
+  schema-validated ``overrides``.
+
+Execution concerns are wired here once for all experiments: ``jobs``
+installs a process-pool default executor for the duration of the run
+(inherited by :func:`repro.circuit.sweep.run_sweep` and the
+Monte-Carlo/yield entry points); ``cache`` consults an on-disk
+:class:`repro.exec.cache.ResultCache` keyed by the canonical
+:class:`RunConfig` encoding (with a compatibility read path for
+pre-RunConfig kwargs-hash entries) before running and stores the
+result after.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..circuit.exceptions import AnalysisError
 from ..exec.cache import ResultCache
 from ..exec.executor import get_executor, use_executor
-from . import (
-    ext_ablation,
-    ext_ac,
-    ext_dynamic_supply,
-    ext_energy,
-    ext_engine_fidelity,
-    ext_full_system,
-    ext_kessels,
-    ext_montecarlo,
-    ext_multifreq,
-    ext_noise,
-    ext_robustness,
-    ext_scaling,
-    ext_sensitivity,
-    ext_transistor_count,
-    ext_yield,
-    fig4_dc_transfer,
-    fig5_frequency,
-    fig6_fig7_supply,
-    fig8_power,
-    table1_parameters,
-    table2_adder,
-)
+
+# Curated registration order: the paper's artefacts in presentation
+# order first, then the extensions.  The decorator registers on import,
+# so this import sequence *is* the registry order.
+from . import table1_parameters    # noqa: F401  table1
+from . import fig4_dc_transfer     # noqa: F401  fig4
+from . import fig5_frequency       # noqa: F401  fig5
+from . import fig6_fig7_supply     # noqa: F401  fig6, fig7
+from . import table2_adder         # noqa: F401  table2
+from . import fig8_power           # noqa: F401  fig8
+from . import ext_transistor_count  # noqa: F401
+from . import ext_robustness       # noqa: F401
+from . import ext_montecarlo       # noqa: F401
+from . import ext_ablation         # noqa: F401
+from . import ext_engine_fidelity  # noqa: F401
+from . import ext_kessels          # noqa: F401
+from . import ext_noise            # noqa: F401
+from . import ext_energy           # noqa: F401
+from . import ext_sensitivity      # noqa: F401
+from . import ext_full_system      # noqa: F401
+from . import ext_multifreq        # noqa: F401
+from . import ext_dynamic_supply   # noqa: F401
+from . import ext_scaling          # noqa: F401
+from . import ext_ac               # noqa: F401
+from . import ext_yield            # noqa: F401
 from .base import ExperimentResult
+from .spec import SPECS, RunConfig, get_spec
 
 Runner = Callable[..., ExperimentResult]
 
-#: id -> (title, runner)
+#: Legacy view: id -> (title, runner).  The runners are the decorated
+#: module entry points (they validate ``fidelity`` on every call).
 REGISTRY: "Dict[str, tuple[str, Runner]]" = {
-    "table1": (table1_parameters.TITLE, table1_parameters.run),
-    "fig4": (fig4_dc_transfer.TITLE, fig4_dc_transfer.run),
-    "fig5": (fig5_frequency.TITLE, fig5_frequency.run),
-    "fig6": ("Output voltage vs power supply", fig6_fig7_supply.run_fig6),
-    "fig7": ("Output voltage relative to the power supply",
-             fig6_fig7_supply.run_fig7),
-    "table2": (table2_adder.TITLE, table2_adder.run),
-    "fig8": (fig8_power.TITLE, fig8_power.run),
-    "ext_transistor_count": (ext_transistor_count.TITLE,
-                             ext_transistor_count.run),
-    "ext_robustness": (ext_robustness.TITLE, ext_robustness.run),
-    "ext_montecarlo": (ext_montecarlo.TITLE, ext_montecarlo.run),
-    "ext_ablation": (ext_ablation.TITLE, ext_ablation.run),
-    "ext_engine_fidelity": (ext_engine_fidelity.TITLE,
-                            ext_engine_fidelity.run),
-    "ext_kessels": (ext_kessels.TITLE, ext_kessels.run),
-    "ext_noise": (ext_noise.TITLE, ext_noise.run),
-    "ext_energy": (ext_energy.TITLE, ext_energy.run),
-    "ext_sensitivity": (ext_sensitivity.TITLE, ext_sensitivity.run),
-    "ext_full_system": (ext_full_system.TITLE, ext_full_system.run),
-    "ext_multifreq": (ext_multifreq.TITLE, ext_multifreq.run),
-    "ext_dynamic_supply": (ext_dynamic_supply.TITLE,
-                           ext_dynamic_supply.run),
-    "ext_scaling": (ext_scaling.TITLE, ext_scaling.run),
-    "ext_ac": (ext_ac.TITLE, ext_ac.run),
-    "ext_yield": (ext_yield.TITLE, ext_yield.run),
+    spec.id: (spec.title, spec.entry) for spec in SPECS.values()
 }
 
 #: Artefacts that appear in the paper itself (vs extensions).
-PAPER_ARTEFACTS = ("table1", "fig4", "fig5", "fig6", "fig7", "table2",
-                   "fig8")
+PAPER_ARTEFACTS = tuple(eid for eid, spec in SPECS.items()
+                        if "paper" in spec.tags)
+
+
+def run_config(config: RunConfig, *, jobs: Optional[int] = None,
+               cache: Optional[ResultCache] = None,
+               legacy_params: Optional[Dict[str, Any]] = None
+               ) -> ExperimentResult:
+    """Execute one validated :class:`RunConfig`.
+
+    ``jobs`` selects the parallel backend for the run (``None``/``1``
+    serial, ``-1`` one worker per CPU); ``cache`` short-circuits the
+    run when an entry for the config's canonical key exists and records
+    the result otherwise.  ``legacy_params`` (the raw kwargs of a
+    pre-RunConfig caller) lets the cache also probe — and migrate —
+    entries written under the old kwargs-hash key.
+    """
+    spec = get_spec(config.experiment_id)
+    if cache is not None:
+        hit = cache.get_config(config, legacy_params=legacy_params)
+        if hit is not None:
+            return hit
+    kwargs = config.param_dict()
+    if jobs is None:
+        result = spec.runner(fidelity=config.fidelity, **kwargs)
+    else:
+        with use_executor(get_executor(jobs)):
+            result = spec.runner(fidelity=config.fidelity, **kwargs)
+    if cache is not None:
+        cache.put_config(result, config)
+    return result
 
 
 def run_experiment(experiment_id: str, fidelity: str = "fast", *,
@@ -86,34 +108,37 @@ def run_experiment(experiment_id: str, fidelity: str = "fast", *,
                    **kwargs) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``jobs`` selects the parallel backend for the run (``None``/``1``
-    serial, ``-1`` one worker per CPU); ``cache`` short-circuits the run
-    when an entry for ``(experiment_id, fidelity, kwargs)`` exists and
-    records the result otherwise.
+    .. deprecated::
+        Thin compatibility shim over :meth:`RunConfig.build` +
+        :func:`run_config`; prefer those in new code.  Unknown or
+        invalid ``kwargs`` now fail fast against the experiment's
+        declared schema instead of surfacing as ``TypeError`` inside
+        the runner.
     """
-    try:
-        _title, runner = REGISTRY[experiment_id]
-    except KeyError:
-        raise AnalysisError(
-            f"unknown experiment {experiment_id!r}; "
-            f"available: {sorted(REGISTRY)}") from None
-    if cache is not None:
-        hit = cache.get(experiment_id, fidelity, kwargs)
-        if hit is not None:
-            return hit
-    if jobs is None:
-        result = runner(fidelity=fidelity, **kwargs)
-    else:
-        with use_executor(get_executor(jobs)):
-            result = runner(fidelity=fidelity, **kwargs)
-    if cache is not None:
-        cache.put(result, kwargs)
-    return result
+    config = RunConfig.build(experiment_id, fidelity, kwargs)
+    return run_config(config, jobs=jobs, cache=cache, legacy_params=kwargs)
 
 
 def run_all(fidelity: str = "fast", *, jobs: Optional[int] = None,
-            cache: Optional[ResultCache] = None
+            cache: Optional[ResultCache] = None,
+            overrides: Optional[Mapping[str, Mapping[str, Any]]] = None
             ) -> "Dict[str, ExperimentResult]":
-    """Run every registered experiment (used by the reproduction CLI)."""
-    return {eid: run_experiment(eid, fidelity, jobs=jobs, cache=cache)
-            for eid in REGISTRY}
+    """Run every registered experiment (used by the reproduction CLI).
+
+    ``overrides`` maps experiment id -> parameter overrides for that
+    experiment; every entry is validated against the target's declared
+    schema up front (unknown experiment ids or parameters raise
+    :class:`AnalysisError` before anything runs).
+    """
+    overrides = {eid: dict(params)
+                 for eid, params in (overrides or {}).items()}
+    unknown = set(overrides) - set(SPECS)
+    if unknown:
+        raise AnalysisError(
+            f"run_all overrides name unknown experiment(s) "
+            f"{sorted(unknown)}; available: {sorted(SPECS)}")
+    configs = {eid: RunConfig.build(eid, fidelity, overrides.get(eid))
+               for eid in SPECS}
+    return {eid: run_config(config, jobs=jobs, cache=cache,
+                            legacy_params=overrides.get(eid, {}))
+            for eid, config in configs.items()}

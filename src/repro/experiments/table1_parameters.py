@@ -13,14 +13,15 @@ from ..core.cells import CellDesign
 from ..reporting.tables import Table
 from ..tech.mosfet_models import gate_capacitances, on_resistance
 from ..tech.umc65 import TABLE1_SIZING, table1_parameters
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "table1"
 TITLE = "Simulation parameters (paper Table I)"
 
 
+@experiment("table1", title=TITLE, tags=("paper", "table", "parameters"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     design = CellDesign()
     table = Table(["Parameter", "Paper value", "This reproduction"],
                   title="Table I parameters")

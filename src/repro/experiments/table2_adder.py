@@ -17,7 +17,8 @@ from typing import List, Tuple
 
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
-from .base import ExperimentResult, check_fidelity
+from .base import ExperimentResult
+from .spec import experiment
 
 EXPERIMENT_ID = "table2"
 TITLE = "3x3 weighted adder: theoretical vs simulated output"
@@ -42,8 +43,8 @@ PAPER_ROWS: "List[Table2Row]" = [
 ]
 
 
+@experiment("table2", title=TITLE, tags=("paper", "table", "adder"))
 def run(fidelity: str = "fast") -> ExperimentResult:
-    check_fidelity(fidelity)
     adder = WeightedAdder(AdderConfig())  # Cout=10pF default, Table I cell
     engine = "spice" if fidelity == "paper" else "rc"
     steps = 120 if fidelity == "paper" else 0

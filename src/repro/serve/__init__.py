@@ -19,8 +19,11 @@ into something deployable:
     (max batch size + max latency flush) feeding the engine.
 ``repro.serve.server``
     A stdlib ``http.server`` JSON API (``/predict``, ``/models``,
-    ``/healthz``, ``/metrics``) wired into the CLI as
-    ``python -m repro serve`` / ``export-model`` / ``predict``.
+    ``/experiments``, ``/experiments/<id>/run``, ``/healthz``,
+    ``/metrics``) wired into the CLI as ``python -m repro serve`` /
+    ``export-model`` / ``predict``.  Experiments are served from their
+    declarative specs (:mod:`repro.experiments.spec`): schemas via GET,
+    config-validated fast-fidelity runs via POST.
 """
 
 from __future__ import annotations
@@ -34,9 +37,10 @@ from .artifacts import (
 )
 from .engine import BatchInferenceEngine
 from .scheduler import BatchStats, MicroBatcher
-from .server import PerceptronServer, ServingMetrics
+from .server import NotFoundError, PerceptronServer, ServingMetrics
 
 __all__ = [
+    "NotFoundError",
     "ARTIFACT_SCHEMA_VERSION",
     "ModelStore",
     "artifact_hash",

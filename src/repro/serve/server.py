@@ -1,4 +1,4 @@
-"""Stdlib HTTP serving front end for stored PWM perceptron models.
+"""Stdlib HTTP serving front end for stored models and experiments.
 
 JSON API (content type ``application/json`` throughout):
 
@@ -14,6 +14,18 @@ JSON API (content type ``application/json`` throughout):
     ``{"model", "predictions", "margins", "count"}``.  ``inputs`` may
     also be one flat feature row; ``vdd`` a scalar supply for the whole
     request.
+``GET /experiments`` / ``GET /experiments/<id>``
+    The self-describing experiment registry: typed parameter schemas
+    straight from :func:`repro.experiments.describe`.
+``POST /experiments/<id>/run``
+    ``{"params": {...}, "fidelity": "fast"}`` (both optional) →
+    ``{"experiment_id", "config", "result", "cached"}``.  Parameters
+    are validated against the experiment's declared schema
+    (:meth:`~repro.experiments.spec.RunConfig.build`); the returned
+    ``result`` is the full :class:`ExperimentResult` JSON encoding
+    (loss-free — ``from_dict(result).render()`` reproduces the CLI
+    output).  Only fast fidelity is served; identical configs are
+    memoised per server process.
 
 Each loaded model owns one :class:`~repro.serve.scheduler.MicroBatcher`,
 so predictions from concurrent requests against the same model coalesce
@@ -28,6 +40,7 @@ import json
 import math
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -41,6 +54,10 @@ from .engine import (
     model_n_features,
 )
 from .scheduler import MicroBatcher
+
+
+class NotFoundError(AnalysisError):
+    """A named resource (model, experiment, endpoint) does not exist."""
 
 
 class ServingMetrics:
@@ -115,6 +132,9 @@ class PerceptronServer:
     :attr:`port` after construction.
     """
 
+    #: Most-recently-used experiment runs memoised per process.
+    experiment_memo_max = 128
+
     def __init__(self, store: ModelStore, *, host: str = "127.0.0.1",
                  port: int = 0, max_batch: int = 64,
                  max_latency: float = 0.005):
@@ -125,6 +145,13 @@ class PerceptronServer:
         self.max_latency = max_latency
         self._models: Dict[str, _LoadedModel] = {}
         self._models_lock = threading.Lock()
+        # Experiment memo: identical validated configs replay without
+        # recomputation (RunConfig is frozen/hashable by design).
+        # LRU-bounded: the config space is unbounded (arbitrary seeds
+        # and grids), and each entry holds a full result document.
+        self._experiment_results: "OrderedDict[Any, Dict[str, Any]]" = \
+            OrderedDict()
+        self._experiments_lock = threading.Lock()
         handler = _make_handler(self)
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -243,6 +270,76 @@ class PerceptronServer:
             return {name: loaded.batcher.stats.snapshot()
                     for name, loaded in self._models.items()}
 
+    # -- experiments as a served resource ----------------------------------
+    #
+    # The experiment registry is imported lazily: the serving layer
+    # stays importable (and fast to start) without the experiment
+    # modules, and model-only deployments never pay for them.
+
+    def describe_experiments(self) -> Dict[str, Any]:
+        from ..experiments import describe
+
+        return describe()
+
+    def describe_experiment(self, experiment_id: str) -> Dict[str, Any]:
+        from ..experiments import describe
+
+        try:
+            return describe(experiment_id)
+        except AnalysisError as exc:
+            raise NotFoundError(str(exc)) from None
+
+    def handle_run_experiment(self, experiment_id: str,
+                              payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one ``POST /experiments/<id>/run`` payload.
+
+        The body is config-validated against the experiment's declared
+        schema; bad parameters raise :class:`AnalysisError` (HTTP 400),
+        unknown experiments :class:`NotFoundError` (HTTP 404).
+        """
+        from ..experiments import RunConfig, get_spec, run_config
+
+        try:
+            get_spec(experiment_id)
+        except AnalysisError as exc:
+            raise NotFoundError(str(exc)) from None
+        if not isinstance(payload, dict):
+            raise AnalysisError("request body must be a JSON object")
+        extra = set(payload) - {"fidelity", "params"}
+        if extra:
+            raise AnalysisError(
+                f"unknown request field(s) {sorted(extra)}; "
+                "expected 'fidelity' and/or 'params'")
+        fidelity = payload.get("fidelity", "fast")
+        if fidelity != "fast":
+            raise AnalysisError(
+                f"only fidelity 'fast' is served over HTTP, got "
+                f"{fidelity!r}; run paper-fidelity campaigns through "
+                "the CLI (python -m repro run ...)")
+        params = payload.get("params")
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            raise AnalysisError("'params' must be a JSON object")
+        config = RunConfig.build(experiment_id, fidelity, params)
+        with self._experiments_lock:
+            memo = self._experiment_results.get(config)
+            if memo is not None:
+                self._experiment_results.move_to_end(config)
+                return memo
+        result = run_config(config)
+        response = {
+            "experiment_id": experiment_id,
+            "config": config.canonical_dict(),
+            "result": result.to_dict(),
+            "cached": False,
+        }
+        with self._experiments_lock:
+            self._experiment_results[config] = {**response, "cached": True}
+            while len(self._experiment_results) > self.experiment_memo_max:
+                self._experiment_results.popitem(last=False)
+        return response
+
 
 def _make_handler(server: "PerceptronServer"):
     """Bind a BaseHTTPRequestHandler subclass to one server instance."""
@@ -268,10 +365,14 @@ def _make_handler(server: "PerceptronServer"):
             status, payload, rows = 500, {"error": "internal error"}, 0
             try:
                 status, payload, rows = fn()
+            except NotFoundError as exc:
+                status, payload = 404, {"error": str(exc)}
             except AnalysisError as exc:
+                # Unknown experiments/endpoints arrive as NotFoundError
+                # above; only the model store still signals absence by
+                # message.
                 message = str(exc)
-                status = 404 if ("no model" in message
-                                 or "unknown" in message) else 400
+                status = 404 if "no model" in message else 400
                 payload = {"error": message}
             except Exception as exc:  # pragma: no cover - defensive
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
@@ -293,6 +394,13 @@ def _make_handler(server: "PerceptronServer"):
             elif path == "/models":
                 self._observed("/models", lambda: (
                     200, {"models": server.store.list()}, 0))
+            elif path == "/experiments":
+                self._observed("/experiments", lambda: (
+                    200, server.describe_experiments(), 0))
+            elif path.startswith("/experiments/"):
+                experiment_id = path[len("/experiments/"):]
+                self._observed("/experiments", lambda: (
+                    200, server.describe_experiment(experiment_id), 0))
             elif path == "/metrics":
                 def metrics() -> Tuple[int, Dict[str, Any], int]:
                     payload = server.metrics.snapshot()
@@ -305,25 +413,43 @@ def _make_handler(server: "PerceptronServer"):
                 self._observed("unknown", lambda: (
                     404, {"error": f"unknown endpoint {self.path}"}, 0))
 
+        def _read_json(self, *, required: bool) -> Any:
+            """Request body as JSON; ``{}`` when absent and optional."""
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                if required:
+                    raise AnalysisError("empty request body")
+                return {}
+            raw = self.rfile.read(length)
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"request body is not JSON: {exc}") from exc
+
         def do_POST(self) -> None:
-            if self.path.rstrip("/") != "/predict":
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/predict":
+                def predict() -> Tuple[int, Dict[str, Any], int]:
+                    payload = self._read_json(required=True)
+                    result = server.handle_predict(payload)
+                    return 200, result, result["count"]
+
+                self._observed("/predict", predict)
+            elif path.startswith("/experiments/") and path.endswith("/run"):
+                experiment_id = path[len("/experiments/"):-len("/run")]
+
+                def run_exp() -> Tuple[int, Dict[str, Any], int]:
+                    payload = self._read_json(required=False)
+                    result = server.handle_run_experiment(experiment_id,
+                                                          payload)
+                    return 200, result, 0
+
+                # One shared label for all experiment runs: bounded
+                # metric cardinality, as for unknown paths.
+                self._observed("/experiments/run", run_exp)
+            else:
                 self._observed("unknown", lambda: (
                     404, {"error": f"unknown endpoint {self.path}"}, 0))
-                return
-
-            def predict() -> Tuple[int, Dict[str, Any], int]:
-                length = int(self.headers.get("Content-Length") or 0)
-                if length <= 0:
-                    raise AnalysisError("empty request body")
-                raw = self.rfile.read(length)
-                try:
-                    payload = json.loads(raw)
-                except json.JSONDecodeError as exc:
-                    raise AnalysisError(
-                        f"request body is not JSON: {exc}") from exc
-                result = server.handle_predict(payload)
-                return 200, result, result["count"]
-
-            self._observed("/predict", predict)
 
     return Handler

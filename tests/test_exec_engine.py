@@ -231,10 +231,15 @@ class TestResultCache:
                 == result.render())
 
     def test_run_experiment_uses_cache(self, tmp_path):
+        from repro.experiments import RunConfig
+
         cache = ResultCache(tmp_path)
         first = run_experiment("ext_transistor_count", fidelity="fast",
                                cache=cache)
-        entry = cache.path_for("ext_transistor_count", "fast", {})
+        # Entries are written under the canonical RunConfig key (the
+        # legacy kwargs-hash path remains read-compatible).
+        entry = cache.path_for_config(
+            RunConfig.build("ext_transistor_count", "fast"))
         assert entry.exists()
         # Corrupt-proof: a second run returns the cached copy.
         second = run_experiment("ext_transistor_count", fidelity="fast",

@@ -425,6 +425,103 @@ class TestHttpServer:
         assert after["batchers"]["demo"]["rows"] >= 1
 
 
+@pytest.mark.usefixtures("serving_stack")
+class TestExperimentEndpoints:
+    """Experiments join models as a served, self-describing resource."""
+
+    _get = TestHttpServer._get
+    _post = TestHttpServer._post
+
+    def test_experiments_index_serves_schemas(self):
+        status, body = self._get("/experiments")
+        assert status == 200
+        assert body["count"] == len(body["experiments"]) >= 22
+        by_id = {e["id"]: e for e in body["experiments"]}
+        assert "ext_montecarlo" in by_id
+        names = [p["name"] for p in by_id["ext_montecarlo"]["params"]]
+        assert names == ["fidelity", "seed", "method"]
+
+    def test_single_experiment_schema_and_404(self):
+        status, body = self._get("/experiments/fig4")
+        assert status == 200 and body["id"] == "fig4"
+        assert any(p["name"] == "duties" for p in body["params"])
+        status, body = self._get("/experiments/fig99")
+        assert status == 404 and "error" in body
+
+    def test_run_returns_rendered_equivalent_result(self):
+        from repro.experiments import ExperimentResult, run_experiment
+
+        status, body = self._post("/experiments/table1/run", {})
+        assert status == 200
+        assert body["experiment_id"] == "table1"
+        assert body["config"]["fidelity"] == "fast"
+        served = ExperimentResult.from_dict(body["result"])
+        direct = run_experiment("table1", fidelity="fast")
+        assert served.render() == direct.render()
+
+    def test_run_with_params_and_memoisation(self):
+        payload = {"params": {"seed": 21, "method": "vectorized"}}
+        status, first = self._post("/experiments/ext_montecarlo/run",
+                                   payload)
+        assert status == 200 and first["cached"] is False
+        assert first["config"]["params"]["seed"] == 21
+        status, second = self._post("/experiments/ext_montecarlo/run",
+                                    payload)
+        assert status == 200 and second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_run_validation_errors(self):
+        cases = [
+            ("/experiments/fig99/run", {}, 404),
+            ("/experiments/ext_montecarlo/run",
+             {"params": {"trials": 10}}, 400),
+            ("/experiments/ext_montecarlo/run",
+             {"params": {"seed": "x"}}, 400),
+            ("/experiments/ext_montecarlo/run",
+             {"fidelity": "paper"}, 400),
+            ("/experiments/ext_montecarlo/run",
+             {"bogus": 1}, 400),
+            ("/experiments/ext_montecarlo/run",
+             {"params": [1, 2]}, 400),
+            # Falsy non-dict params are malformed too, not "defaults".
+            ("/experiments/ext_montecarlo/run",
+             {"params": 0}, 400),
+            ("/experiments/ext_montecarlo/run",
+             {"params": ""}, 400),
+            # fidelity must ride at the top level, never inside params
+            # (a silent drop here would ignore a requested fidelity).
+            ("/experiments/ext_montecarlo/run",
+             {"params": {"fidelity": "paper"}}, 400),
+        ]
+        for path, payload, expected in cases:
+            status, body = self._post(path, payload)
+            assert status == expected, (path, payload, body)
+            assert "error" in body
+
+    def test_experiment_memo_is_lru_bounded(self):
+        server = self.server
+        with server._experiments_lock:
+            server._experiment_results.clear()
+        original = server.experiment_memo_max
+        server.experiment_memo_max = 2
+        try:
+            for seed in (1, 2, 3):
+                self._post("/experiments/ext_sensitivity/run", {})
+                self._post("/experiments/ext_montecarlo/run",
+                           {"params": {"seed": seed}})
+            with server._experiments_lock:
+                assert len(server._experiment_results) == 2
+        finally:
+            server.experiment_memo_max = original
+
+    def test_experiment_metrics_labels(self):
+        self._get("/experiments")
+        self._post("/experiments/table1/run", {})
+        counters = self._get("/metrics")[1]["requests_total"]
+        assert counters.get("/experiments", 0) >= 1
+        assert counters.get("/experiments/run", 0) >= 1
+
+
 class TestModelHotReload:
     def test_reexported_artifact_served_without_restart(self, tmp_path):
         store = ModelStore(tmp_path)
