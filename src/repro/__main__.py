@@ -15,6 +15,17 @@ Commands
 ``all [--fidelity fast|paper] [--set ID.PARAM=VALUE ...] [--csv DIR]``
     Run every registered experiment; ``--set`` overrides one
     experiment's parameter (repeatable), validated against its schema.
+``campaign run|status|report SPEC.json``
+    Orchestrate a declarative multi-config sweep
+    (:mod:`repro.campaigns`): ``run`` executes (or resumes) the
+    campaign — ``--shard I/N`` partitions the expanded configs by
+    content hash so N independent processes/machines cover the set
+    exactly once, and finished configs are skipped on re-runs (the
+    result cache is the checkpoint); ``status`` reports done/missing
+    per shard; ``report`` aggregates every config's metrics into one
+    tidy table (``--out`` markdown, ``--json`` machine-readable,
+    ``--csv`` export).  Campaign results always persist in the result
+    cache (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``).
 
 Execution flags (``run`` and ``all``)
 -------------------------------------
@@ -40,7 +51,9 @@ Serving commands
     Load a stored model and classify duty-cycle rows.
 ``serve [--host H] [--port P] [--max-batch N] [--max-latency-ms MS]``
     Start the micro-batching JSON API (``/predict``, ``/models``,
-    ``/experiments``, ``/healthz``, ``/metrics``) over the model store.
+    ``/experiments``, ``/campaigns``, ``/healthz``, ``/metrics``) over
+    the model store; ``--campaign-dir`` names the served campaign
+    specs (default ``$REPRO_CAMPAIGN_DIR`` or ``./campaigns``).
 """
 
 from __future__ import annotations
@@ -217,6 +230,104 @@ def _default_store_dir() -> Path:
     return Path(os.environ.get("REPRO_MODEL_STORE") or "models")
 
 
+def _default_campaign_dir() -> Path:
+    """Served campaign specs: ``$REPRO_CAMPAIGN_DIR`` or ``./campaigns``."""
+    import os
+
+    return Path(os.environ.get("REPRO_CAMPAIGN_DIR") or "campaigns")
+
+
+# -- campaign orchestration ------------------------------------------------
+
+
+def _campaign_cache(args) -> ResultCache:
+    """Campaigns always cache — the cache *is* the resume checkpoint."""
+    if args.cache_dir is not None:
+        return ResultCache(args.cache_dir)
+    return ResultCache(default_cache_dir())
+
+
+def _cmd_campaign(args) -> int:
+    from .campaigns import (
+        CampaignRunner,
+        CampaignSpec,
+        campaign_status,
+        collect_results,
+        parse_shard,
+        results_document,
+        results_table,
+    )
+
+    spec = CampaignSpec.load(args.spec)
+    cache = _campaign_cache(args)
+
+    if args.campaign_command == "run":
+        shard = parse_shard(args.shard) if args.shard else (1, 1)
+        runner = CampaignRunner(spec, cache, jobs=args.jobs, shard=shard)
+
+        def progress(entry, fresh: bool) -> None:
+            verb = "ran" if fresh else "hit"
+            print(f"[campaign {spec.name} shard {shard[0]}/{shard[1]}] "
+                  f"{verb} #{entry.position} {entry.config.label()}",
+                  file=sys.stderr)
+
+        summary = runner.run(progress=progress)
+        print(f"campaign {spec.name!r} shard {shard[0]}/{shard[1]}: "
+              f"{summary.executed} executed, {summary.skipped} resumed "
+              f"from cache ({summary.in_shard} of {summary.total} "
+              f"configs in this shard)")
+        return 0
+
+    if args.campaign_command == "status":
+        status = campaign_status(spec, cache, n_shards=args.shards)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(f"campaign {status['campaign']!r} "
+              f"({status['experiment']} [{status['fidelity']}]): "
+              f"{status['done']}/{status['total']} configs done")
+        for bucket in status["shards"]:
+            print(f"  shard {bucket['shard']}: "
+                  f"{bucket['done']}/{bucket['total']} done")
+        for label in status["missing_labels"]:
+            print(f"  missing: {label}")
+        if status["missing_labels_truncated"]:
+            remainder = status["missing"] - len(status["missing_labels"])
+            print(f"  ... and {remainder} more missing")
+        return 0
+
+    # report
+    collected = collect_results(spec, cache)
+    table = results_table(spec, collected)
+    document = results_document(spec, collected)
+    print(table.render())
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        target = args.csv / f"campaign_{spec.name}.csv"
+        table_to_csv(table, target)
+        print(f"CSV written to {target}", file=sys.stderr)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"aggregate JSON written to {args.json}", file=sys.stderr)
+    if args.out is not None:
+        from .reporting import write_campaign_report
+
+        write_campaign_report(
+            args.out, name=spec.name, title=spec.display_title,
+            experiment_id=spec.experiment_id, fidelity=spec.fidelity,
+            table=table, total=document["total"], done=document["done"],
+            description=spec.description)
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.require_complete and document["done"] < document["total"]:
+        print(f"error: campaign {spec.name!r} incomplete — "
+              f"{document['total'] - document['done']} config(s) "
+              "missing (re-run to fill them in)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _train_model(dataset: str, hidden: int, epochs: int, seed: int):
     """Train an exportable model on a built-in dataset.
 
@@ -300,11 +411,13 @@ def _cmd_serve(args) -> int:
     store = ModelStore(args.store)
     server = PerceptronServer(store, host=args.host, port=args.port,
                               max_batch=args.max_batch,
-                              max_latency=args.max_latency_ms / 1e3)
+                              max_latency=args.max_latency_ms / 1e3,
+                              campaign_dir=args.campaign_dir)
     known = ", ".join(m["name"] for m in store.list()) or "(store empty)"
     print(f"serving {server.url} — models: {known}", file=sys.stderr)
     print("endpoints: POST /predict, POST /experiments/<id>/run, "
-          "GET /models /experiments /healthz /metrics; Ctrl-C to stop",
+          "POST /campaigns/<name>/run, GET /models /experiments "
+          "/campaigns /healthz /metrics; Ctrl-C to stop",
           file=sys.stderr)
     server.run()
     return 0
@@ -378,6 +491,66 @@ def main(argv: "list[str] | None" = None) -> int:
                        help="write a combined markdown report here")
     _add_exec_flags(all_p)
 
+    camp_p = sub.add_parser(
+        "campaign",
+        help="orchestrate a declarative multi-config sweep "
+             "(sharded, resumable, aggregated)")
+    camp_sub = camp_p.add_subparsers(dest="campaign_command",
+                                     metavar="run|status|report",
+                                     required=True)
+
+    def _add_campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", type=Path, metavar="SPEC.json",
+                       help="campaign spec file (see repro.campaigns.spec)")
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="result-cache root shared by every shard "
+                            "(default $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-pwm); the cache is the "
+                            "campaign's resume checkpoint")
+
+    camp_run = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign shard",
+        description="Execute the campaign's cache misses.  Finished "
+                    "configs are skipped, so re-running an interrupted "
+                    "campaign only executes what is left.")
+    _add_campaign_common(camp_run)
+    camp_run.add_argument("--shard", default=None, metavar="I/N",
+                          help="run shard I of N (1-based; configs "
+                               "partition deterministically by canonical "
+                               "config hash, so N processes with "
+                               "distinct I cover the campaign exactly "
+                               "once; default 1/1)")
+    camp_run.add_argument("--jobs", type=_jobs_count, default=None,
+                          metavar="N",
+                          help="process-pool workers for the points "
+                               "inside each experiment (-1 = one per "
+                               "CPU; default serial)")
+
+    camp_status = camp_sub.add_parser(
+        "status", help="show done/missing configs per shard")
+    _add_campaign_common(camp_status)
+    camp_status.add_argument("--shards", type=int, default=1, metavar="N",
+                             help="break the counts down over N shards")
+    camp_status.add_argument("--json", action="store_true",
+                             help="dump the full status document")
+
+    camp_report = camp_sub.add_parser(
+        "report", help="aggregate all finished configs into one table")
+    _add_campaign_common(camp_report)
+    camp_report.add_argument("--out", type=Path, default=None,
+                             metavar="FILE",
+                             help="write a markdown campaign report here")
+    camp_report.add_argument("--json", type=Path, default=None,
+                             metavar="FILE",
+                             help="write the aggregate JSON document here")
+    camp_report.add_argument("--csv", type=Path, default=None,
+                             metavar="DIR",
+                             help="export the tidy results table as CSV "
+                                  "into this directory")
+    camp_report.add_argument("--require-complete", action="store_true",
+                             help="exit nonzero if any config is missing "
+                                  "(CI merge gates)")
+
     export_p = sub.add_parser(
         "export-model", help="train a model and save it to the store")
     export_p.add_argument("name", help="artifact name in the store")
@@ -410,6 +583,10 @@ def main(argv: "list[str] | None" = None) -> int:
                          help="flush a batch at this many rows")
     serve_p.add_argument("--max-latency-ms", type=float, default=5.0,
                          help="flush the oldest request after this wait")
+    serve_p.add_argument("--campaign-dir", type=Path, default=None,
+                         help="directory of campaign spec JSONs served "
+                              "as /campaigns (default $REPRO_CAMPAIGN_DIR "
+                              "or ./campaigns)")
     _add_store_flag(serve_p)
 
     args = parser.parse_args(argv)
@@ -417,12 +594,21 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command in ("export-model", "predict", "serve"):
         if args.store is None:
             args.store = _default_store_dir()
+        if args.command == "serve" and args.campaign_dir is None:
+            args.campaign_dir = _default_campaign_dir()
         return {"export-model": _cmd_export_model,
                 "predict": _cmd_predict,
                 "serve": _cmd_serve}[args.command](args)
 
     if args.command == "list":
         return _cmd_list(args)
+
+    if args.command == "campaign":
+        try:
+            return _cmd_campaign(args)
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     cache = _resolve_cache(args)
 

@@ -1,0 +1,465 @@
+"""Declarative campaign specs: parameter axes over experiment schemas.
+
+A *campaign* turns one experiment into a population of runs — the shape
+behind every robustness claim in the paper (accuracy across a supply
+grid, yield across mismatch seeds).  A :class:`CampaignSpec` names the
+experiment, a fidelity, fixed ``base`` parameters, and a list of *axes*
+that each vary one (or, zipped, several) of the experiment's declared
+:class:`~repro.experiments.spec.Param` values::
+
+    {
+      "name": "montecarlo-yield",
+      "experiment": "ext_yield",
+      "fidelity": "fast",
+      "base": {"method": "vectorized"},
+      "axes": [
+        {"param": "seed", "sample": {"count": 6, "low": 0, "high": 9999,
+                                     "seed": 13}}
+      ]
+    }
+
+Axis kinds (exactly one of the value keys per axis):
+
+``values``
+    Explicit grid: ``{"param": "seed", "values": [0, 1, 2]}``.  For
+    ``"floats"`` params each value is itself a list (a whole grid per
+    run, e.g. ``vdd_values``).
+``range``
+    Arithmetic progression ``start + i*step`` for ``count`` points:
+    ``{"param": "seed", "range": {"start": 0, "count": 8}}`` (``step``
+    defaults to 1) — the idiomatic spelling of a seed range.
+``sample``
+    Deterministic uniform random draws:
+    ``{"param": "seed", "sample": {"count": 4, "low": 0, "high": 9999,
+    "seed": 0}}``.  Integer params draw integers over ``[low, high]``,
+    float params uniform floats.  Draws are SHA-256-derived from the
+    axis' own ``seed`` and the point index — no library RNG stream —
+    so the expansion is bit-reproducible on every machine and library
+    version (shard processes on different hosts must agree on it).
+``zip``
+    Lockstep variation of several params:
+    ``{"zip": [{"param": "seed", "values": [0, 1]},
+    {"param": "method", "values": ["loop", "vectorized"]}]}`` — the
+    sub-axes must have equal lengths and contribute *one* product axis.
+
+Expansion (:meth:`CampaignSpec.expand`) is the cartesian product of the
+axes in declaration order (last axis fastest), each point merged over
+``base`` and validated into a canonical, hashable
+:class:`~repro.experiments.spec.RunConfig` — so the expanded list is
+deterministic and ordered, the property sharding and resumable
+execution (:mod:`repro.campaigns.runner`) are built on.  Duplicate
+configs (possible under ``sample`` collisions) are dropped, keeping the
+first occurrence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..circuit.exceptions import AnalysisError
+from ..experiments.base import check_fidelity
+from ..experiments.spec import ExperimentSpec, Param, RunConfig, get_spec
+
+PathLike = Union[str, Path]
+
+#: Campaign names appear in file paths and URLs; keep them slug-shaped.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+
+#: The mutually-exclusive value keys an axis may carry.
+_AXIS_KINDS = ("values", "range", "sample", "zip")
+
+
+def _require_dict(data: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise AnalysisError(f"{what} must be a JSON object, got {data!r}")
+    return data
+
+
+def _reject_unknown(data: Dict[str, Any], allowed: Iterable[str],
+                    what: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise AnalysisError(
+            f"{what}: unknown field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}")
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One campaign axis: a named kind plus its raw (JSON-shaped) spec.
+
+    ``kind`` is one of :data:`_AXIS_KINDS`; ``param`` is empty for
+    ``zip`` axes, whose sub-axes live in ``children``.  The raw payload
+    is kept verbatim so :meth:`describe` round-trips the spec file.
+    """
+
+    kind: str
+    param: str = ""
+    payload: Tuple[Tuple[str, Any], ...] = ()
+    children: Tuple["AxisSpec", ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], where: str) -> "AxisSpec":
+        data = _require_dict(data, where)
+        kinds = [k for k in _AXIS_KINDS if k in data]
+        if len(kinds) != 1:
+            raise AnalysisError(
+                f"{where}: exactly one of {_AXIS_KINDS} is required, "
+                f"got {sorted(data)}")
+        kind = kinds[0]
+        if kind == "zip":
+            _reject_unknown(data, ("zip",), where)
+            subaxes = data["zip"]
+            if not isinstance(subaxes, list) or len(subaxes) < 2:
+                raise AnalysisError(
+                    f"{where}: 'zip' expects a list of >= 2 sub-axes")
+            children = tuple(
+                cls.from_dict(sub, f"{where}.zip[{i}]")
+                for i, sub in enumerate(subaxes))
+            bad = [c for c in children if c.kind == "zip"]
+            if bad:
+                raise AnalysisError(f"{where}: zip axes cannot nest")
+            return cls(kind="zip", children=children)
+        _reject_unknown(data, ("param", kind), where)
+        param = data.get("param")
+        if not isinstance(param, str) or not param:
+            raise AnalysisError(f"{where}: missing 'param' name")
+        payload = data[kind]
+        if kind == "values":
+            if not isinstance(payload, list) or not payload:
+                raise AnalysisError(
+                    f"{where}: 'values' must be a non-empty list")
+            items: Tuple[Tuple[str, Any], ...] = (
+                ("values", tuple(_freeze(v) for v in payload)),)
+        else:
+            payload = _require_dict(payload, f"{where}.{kind}")
+            required = (("start", "count") if kind == "range"
+                        else ("count", "low", "high"))
+            allowed = (required + ("step",) if kind == "range"
+                       else required + ("seed",))
+            _reject_unknown(payload, allowed, f"{where}.{kind}")
+            missing = [k for k in required if k not in payload]
+            if missing:
+                raise AnalysisError(
+                    f"{where}.{kind}: missing field(s) {missing}")
+            count = payload["count"]
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 1:
+                raise AnalysisError(
+                    f"{where}.{kind}: 'count' must be a positive "
+                    f"integer, got {count!r}")
+            for key in ("start", "step", "low", "high"):
+                value = payload.get(key)
+                if value is not None and (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))):
+                    raise AnalysisError(
+                        f"{where}.{kind}: {key!r} must be a number, "
+                        f"got {value!r}")
+            sample_seed = payload.get("seed")
+            if sample_seed is not None and (
+                    isinstance(sample_seed, bool)
+                    or not isinstance(sample_seed, int)):
+                # _hash_uniform would silently truncate a float seed
+                # (int(1.5) == 1), quietly merging specs that spell
+                # different seeds; reject it at load time instead.
+                raise AnalysisError(
+                    f"{where}.{kind}: 'seed' must be an integer, "
+                    f"got {sample_seed!r}")
+            items = tuple(sorted(payload.items()))
+        return cls(kind=kind, param=param, payload=items)
+
+    # -- expansion ----------------------------------------------------------
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        """Every parameter name this axis assigns."""
+        if self.kind == "zip":
+            return tuple(p for c in self.children for p in c.params)
+        return (self.param,)
+
+    def size(self) -> int:
+        """Point count on this axis, without materialising any point.
+
+        For ``zip`` the first sub-axis speaks for all (a length
+        mismatch is caught at expansion time).
+        """
+        if self.kind == "zip":
+            return self.children[0].size()
+        payload = dict(self.payload)
+        if self.kind == "values":
+            return len(payload["values"])
+        return payload["count"]
+
+    def assignments(self, experiment: ExperimentSpec
+                    ) -> List[Dict[str, Any]]:
+        """The ordered list of ``{param: value}`` points on this axis."""
+        if self.kind == "zip":
+            columns = [c.assignments(experiment) for c in self.children]
+            lengths = sorted({len(col) for col in columns})
+            if len(lengths) != 1:
+                raise AnalysisError(
+                    f"zip axis over {self.params}: sub-axes have "
+                    f"mismatched lengths {lengths}")
+            return [{k: v for col in row for k, v in col.items()}
+                    for row in zip(*columns)]
+        param = experiment.param(self.param)
+        payload = dict(self.payload)
+        if self.kind == "values":
+            raw = list(payload["values"])
+        elif self.kind == "range":
+            start, step = payload["start"], payload.get("step", 1)
+            raw = [start + i * step for i in range(payload["count"])]
+            if param.type == "int":
+                raw = [_as_int(v, f"range axis over {self.param!r}")
+                       for v in raw]
+        else:  # sample
+            sample_seed = payload.get("seed", 0)
+            low, high = payload["low"], payload["high"]
+            if low > high:
+                raise AnalysisError(
+                    f"sample axis over {self.param!r}: low {low!r} > "
+                    f"high {high!r}")
+            uniforms = [_hash_uniform(sample_seed, self.param, i)
+                        for i in range(payload["count"])]
+            if param.type == "int":
+                # Inclusive [low, high] semantics: fractional bounds
+                # shrink inward (truncating int(0.5) -> 0 would let
+                # draws fall below the declared low).
+                lo, hi = math.ceil(low), math.floor(high)
+                if lo > hi:
+                    raise AnalysisError(
+                        f"sample axis over {self.param!r}: no integers "
+                        f"in [{low!r}, {high!r}]")
+                raw = [min(lo + int(u * (hi - lo + 1)), hi)
+                       for u in uniforms]
+            else:
+                raw = [low + u * (high - low) for u in uniforms]
+        where = f"campaign axis over {self.param!r}: "
+        return [{self.param: param.validate(value, where=where)}
+                for value in raw]
+
+    def describe(self) -> Dict[str, Any]:
+        if self.kind == "zip":
+            return {"zip": [c.describe() for c in self.children]}
+        if self.kind == "values":
+            values = [_thaw(v) for v in dict(self.payload)["values"]]
+            return {"param": self.param, "values": values}
+        return {"param": self.param, self.kind: dict(self.payload)}
+
+
+def _hash_uniform(seed: int, param: str, index: int) -> float:
+    """Uniform draw in ``[0, 1)`` from SHA-256 — no library RNG stream.
+
+    Numpy's ``Generator`` streams are not guaranteed stable across
+    releases (NEP 19); shard processes on different machines must
+    expand a ``sample`` axis to the *same* configs, so draws come from
+    a primitive whose output depends only on the spec content.
+    """
+    payload = f"{int(seed)},{param},{int(index)}".encode("ascii")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+def _freeze(value: Any) -> Any:
+    return tuple(_freeze(v) for v in value) \
+        if isinstance(value, list) else value
+
+
+def _thaw(value: Any) -> Any:
+    return [_thaw(v) for v in value] if isinstance(value, tuple) else value
+
+
+def _as_int(value: Any, where: str) -> int:
+    if isinstance(value, bool):
+        raise AnalysisError(f"{where}: expected an integer, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise AnalysisError(
+                f"{where}: produced non-integer value {value!r} for an "
+                "integer parameter")
+        return int(value)
+    if not isinstance(value, int):
+        raise AnalysisError(f"{where}: expected an integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, declarative multi-config sweep over one experiment."""
+
+    name: str
+    experiment_id: str
+    fidelity: str = "fast"
+    title: str = ""
+    description: str = ""
+    base: Tuple[Tuple[str, Any], ...] = ()
+    axes: Tuple[AxisSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise AnalysisError(
+                f"campaign name {self.name!r} must match "
+                f"{_NAME_RE.pattern} (it names files and URLs)")
+        check_fidelity(self.fidelity)
+        spec = get_spec(self.experiment_id)  # raises on unknown id
+        assigned: List[str] = [k for k, _ in self.base]
+        for axis in self.axes:
+            assigned.extend(axis.params)
+        dupes = sorted({p for p in assigned if assigned.count(p) > 1})
+        if dupes:
+            raise AnalysisError(
+                f"campaign {self.name!r}: parameter(s) {dupes} assigned "
+                "more than once across base/axes")
+        declared = {p.name for p in spec.runner_params}
+        unknown = sorted(set(assigned) - declared)
+        if unknown:
+            raise AnalysisError(
+                f"campaign {self.name!r}: parameter(s) {unknown} are not "
+                f"declared by experiment {self.experiment_id!r}; "
+                f"declared: {sorted(declared)}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        data = _require_dict(data, "campaign spec")
+        _reject_unknown(
+            data, ("name", "experiment", "fidelity", "title",
+                   "description", "base", "axes"), "campaign spec")
+        for key in ("name", "experiment"):
+            if not isinstance(data.get(key), str) or not data[key]:
+                raise AnalysisError(
+                    f"campaign spec: missing or non-string {key!r}")
+        base = _require_dict(data.get("base", {}), "campaign 'base'")
+        axes_doc = data.get("axes", [])
+        if not isinstance(axes_doc, list):
+            raise AnalysisError("campaign 'axes' must be a list")
+        axes = tuple(AxisSpec.from_dict(axis, f"axes[{i}]")
+                     for i, axis in enumerate(axes_doc))
+        return cls(
+            name=data["name"], experiment_id=data["experiment"],
+            fidelity=data.get("fidelity", "fast"),
+            title=str(data.get("title", "")),
+            description=str(data.get("description", "")),
+            base=tuple(sorted((k, _freeze(v)) for k, v in base.items())),
+            axes=axes)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignSpec":
+        """Load and validate a campaign spec JSON file."""
+        target = Path(path)
+        try:
+            payload = json.loads(target.read_text())
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(
+                f"cannot read campaign spec {target}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"campaign spec {target} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def display_title(self) -> str:
+        return self.title or self.name
+
+    def axis_params(self) -> Tuple[str, ...]:
+        """Varied parameter names, in axis declaration order."""
+        return tuple(p for axis in self.axes for p in axis.params)
+
+    def size_bound(self) -> int:
+        """Upper bound on :meth:`expand`'s length, without expanding.
+
+        The product of the declared axis point counts — exact unless
+        duplicate points collapse under de-duplication.  O(axes): no
+        point (let alone :class:`RunConfig`) is materialised, so
+        surfaces can refuse oversized campaigns *before* building
+        millions of configs.
+        """
+        bound = 1
+        for axis in self.axes:
+            bound *= axis.size()
+        return bound
+
+    def expand(self) -> List[RunConfig]:
+        """The deterministic, ordered, de-duplicated config list."""
+        spec = get_spec(self.experiment_id)
+        axis_points = [axis.assignments(spec) for axis in self.axes]
+        configs: List[RunConfig] = []
+        seen = set()
+        for combo in itertools.product(*axis_points):
+            params = {k: _thaw(v) for k, v in self.base}
+            for assignment in combo:
+                params.update(assignment)
+            config = RunConfig.build(self.experiment_id, self.fidelity,
+                                     params)
+            if config not in seen:
+                seen.add(config)
+                configs.append(config)
+        return configs
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able echo of the spec (round-trips via a spec file)."""
+        return {
+            "name": self.name,
+            "experiment": self.experiment_id,
+            "fidelity": self.fidelity,
+            "title": self.title,
+            "description": self.description,
+            "base": {k: _thaw(v) for k, v in self.base},
+            "axes": [axis.describe() for axis in self.axes],
+        }
+
+    def key(self) -> str:
+        """Stable short hash of the *execution-relevant* spec content.
+
+        Covers experiment, fidelity, base and axes — what determines
+        the expanded config set — and deliberately excludes ``name``,
+        ``title`` and ``description``, so fixing a typo in a
+        half-finished campaign's prose does not mark its shard
+        manifests stale.
+        """
+        doc = self.describe()
+        execution = {k: doc[k]
+                     for k in ("experiment", "fidelity", "base", "axes")}
+        canonical = json.dumps(execution, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def load_campaign(path: PathLike) -> CampaignSpec:
+    """Module-level alias for :meth:`CampaignSpec.load`."""
+    return CampaignSpec.load(path)
+
+
+def find_campaigns(directory: Optional[PathLike]
+                   ) -> List[Tuple[Path, "CampaignSpec | AnalysisError"]]:
+    """Scan a directory for ``*.json`` campaign specs.
+
+    Returns ``(path, spec-or-error)`` pairs in sorted path order; files
+    that fail to parse/validate yield the :class:`AnalysisError` instead
+    of aborting the listing (a served campaign directory should not be
+    taken down by one bad file).
+    """
+    if directory is None:
+        return []
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    entries: List[Tuple[Path, "CampaignSpec | AnalysisError"]] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            entries.append((path, CampaignSpec.load(path)))
+        except AnalysisError as exc:
+            entries.append((path, exc))
+    return entries

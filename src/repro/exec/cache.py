@@ -90,17 +90,33 @@ class ResultCache:
         return self._load(self.path_for(experiment_id, fidelity, params))
 
     def _load(self, path: Path):
+        """Deserialise one entry; any corruption reads as a miss.
+
+        A truncated or torn write can leave invalid JSON, JSON of the
+        wrong shape (``null``, a list, a dict missing ``result``), or a
+        result document that no longer deserialises.  All of those are
+        misses — the caller re-runs and the next :meth:`_write`
+        replaces the bad entry atomically — never exceptions: a corrupt
+        cache must not take down the campaign that is trying to heal it.
+        """
+        from ..circuit.exceptions import AnalysisError
         from ..experiments.base import ExperimentResult
 
         if not path.exists():
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
-        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != CACHE_SCHEMA_VERSION \
+                or not isinstance(payload.get("result"), dict):
             return None
-        return ExperimentResult.from_dict(payload["result"])
+        try:
+            return ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, AttributeError,
+                AnalysisError):
+            return None
 
     # -- RunConfig-keyed interface (current generation) ---------------------
 

@@ -27,6 +27,7 @@ result after.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..circuit.exceptions import AnalysisError
@@ -102,6 +103,10 @@ def run_config(config: RunConfig, *, jobs: Optional[int] = None,
     return result
 
 
+#: One deprecation notice per process — the shim is called in loops.
+_RUN_EXPERIMENT_WARNED = False
+
+
 def run_experiment(experiment_id: str, fidelity: str = "fast", *,
                    jobs: Optional[int] = None,
                    cache: Optional[ResultCache] = None,
@@ -110,11 +115,21 @@ def run_experiment(experiment_id: str, fidelity: str = "fast", *,
 
     .. deprecated::
         Thin compatibility shim over :meth:`RunConfig.build` +
-        :func:`run_config`; prefer those in new code.  Unknown or
-        invalid ``kwargs`` now fail fast against the experiment's
-        declared schema instead of surfacing as ``TypeError`` inside
-        the runner.
+        :func:`run_config`; prefer those in new code (a
+        :class:`DeprecationWarning` is emitted once per process).
+        Unknown or invalid ``kwargs`` now fail fast against the
+        experiment's declared schema instead of surfacing as
+        ``TypeError`` inside the runner.  Results are identical to
+        ``run_config(RunConfig.build(...))`` — pinned by the test
+        suite.
     """
+    global _RUN_EXPERIMENT_WARNED
+    if not _RUN_EXPERIMENT_WARNED:
+        _RUN_EXPERIMENT_WARNED = True
+        warnings.warn(
+            "run_experiment() is deprecated; build a RunConfig and pass "
+            "it to run_config() instead", DeprecationWarning,
+            stacklevel=2)
     config = RunConfig.build(experiment_id, fidelity, kwargs)
     return run_config(config, jobs=jobs, cache=cache, legacy_params=kwargs)
 

@@ -178,6 +178,23 @@ class Param:
         }
 
 
+def format_param_value(value: Any) -> str:
+    """Compact human spelling of a normalised param value.
+
+    The one place the grid-compaction rule lives (``(0.4, 0.8)`` ->
+    ``'0.4,0.8'``): :meth:`RunConfig.label` and the campaign results
+    table both render through it, so the two can never diverge.
+
+    >>> format_param_value((0.4, 0.8))
+    '0.4,0.8'
+    """
+    if isinstance(value, tuple):
+        return ",".join(format(v, "g") for v in value)
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
 #: ``fidelity`` is declared once, injected into every experiment schema.
 FIDELITY_PARAM = Param(
     "fidelity", "str", default="fast", choices=FIDELITIES,
@@ -374,6 +391,17 @@ class RunConfig:
         """Stable short content hash of the canonical encoding."""
         return hashlib.sha256(
             self.canonical_json().encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Compact one-line spelling for progress/status displays.
+
+        >>> RunConfig.build("ext_yield", "fast", {"seed": 2}).label()
+        'ext_yield[fast] method=auto seed=2'
+        """
+        tail = " ".join(f"{k}={format_param_value(v)}"
+                        for k, v in self.params)
+        head = f"{self.experiment_id}[{self.fidelity}]"
+        return f"{head} {tail}" if tail else head
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":

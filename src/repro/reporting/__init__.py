@@ -8,8 +8,10 @@ from .export import (
 )
 from .figures import FigureData, Series
 from .report import (
+    build_campaign_report,
     build_markdown_report,
     experiment_to_markdown,
+    write_campaign_report,
     write_markdown_report,
 )
 from .tables import Table
@@ -19,4 +21,5 @@ __all__ = [
     "table_to_csv", "figure_to_csv", "figure_to_json", "load_figure_json",
     "build_markdown_report", "write_markdown_report",
     "experiment_to_markdown",
+    "build_campaign_report", "write_campaign_report",
 ]

@@ -26,6 +26,15 @@ JSON API (content type ``application/json`` throughout):
     (loss-free — ``from_dict(result).render()`` reproduces the CLI
     output).  Only fast fidelity is served; identical configs are
     memoised per server process.
+``GET /campaigns``
+    Campaign specs found in the server's ``--campaign-dir`` (name,
+    experiment, fidelity, expanded config count).
+``POST /campaigns/<name>/run``
+    Run a whole fast-fidelity campaign synchronously → the aggregated
+    tidy results document (:mod:`repro.campaigns.results`) plus a
+    rendered table.  Each config goes through the same per-process
+    memo as single experiment runs; paper-fidelity or oversized
+    campaigns are redirected to the sharded CLI.
 
 Each loaded model owns one :class:`~repro.serve.scheduler.MicroBatcher`,
 so predictions from concurrent requests against the same model coalesce
@@ -135,10 +144,19 @@ class PerceptronServer:
     #: Most-recently-used experiment runs memoised per process.
     experiment_memo_max = 128
 
+    #: Largest campaign servable over HTTP.  Must not exceed
+    #: ``experiment_memo_max``: a campaign bigger than the memo would
+    #: evict its own head while collecting, so the documented
+    #: "repeated runs replay instantly" would silently stop holding.
+    #: Bigger sweeps belong on the CLI (sharded, cached on disk).
+    campaign_config_max = 128
+
     def __init__(self, store: ModelStore, *, host: str = "127.0.0.1",
                  port: int = 0, max_batch: int = 64,
-                 max_latency: float = 0.005):
+                 max_latency: float = 0.005,
+                 campaign_dir: "str | None" = None):
         self.store = store
+        self.campaign_dir = campaign_dir
         self.engine = BatchInferenceEngine()
         self.metrics = ServingMetrics()
         self.max_batch = max_batch
@@ -322,6 +340,12 @@ class PerceptronServer:
         if not isinstance(params, dict):
             raise AnalysisError("'params' must be a JSON object")
         config = RunConfig.build(experiment_id, fidelity, params)
+        return self._memoised_run_config(config)
+
+    def _memoised_run_config(self, config) -> Dict[str, Any]:
+        """Run one validated config through the per-process LRU memo."""
+        from ..experiments import run_config
+
         with self._experiments_lock:
             memo = self._experiment_results.get(config)
             if memo is not None:
@@ -329,7 +353,7 @@ class PerceptronServer:
                 return memo
         result = run_config(config)
         response = {
-            "experiment_id": experiment_id,
+            "experiment_id": config.experiment_id,
             "config": config.canonical_dict(),
             "result": result.to_dict(),
             "cached": False,
@@ -339,6 +363,122 @@ class PerceptronServer:
             while len(self._experiment_results) > self.experiment_memo_max:
                 self._experiment_results.popitem(last=False)
         return response
+
+    # -- campaigns as a served resource -------------------------------------
+
+    def list_campaigns(self) -> Dict[str, Any]:
+        """``GET /campaigns``: specs found in the campaign directory.
+
+        Config counts come from the O(axes) ``size_bound`` — a spec
+        declaring millions of points must not cost a full expansion
+        per listing request.  Specs within the servable size cap are
+        expanded and report their exact (de-duplicated) count;
+        anything over the cap reports the declared bound with
+        ``n_configs_exact`` False.
+        """
+        from ..campaigns import find_campaigns
+
+        entries = []
+        names: Dict[str, int] = {}
+        for path, loaded in find_campaigns(self.campaign_dir):
+            if isinstance(loaded, Exception):
+                entries.append({"file": path.name, "error": str(loaded)})
+                continue
+            try:
+                # Expansion can fail where loading cannot (zip length
+                # mismatches, out-of-bounds sampled values); one bad
+                # file must not take down the whole listing.
+                bound = loaded.size_bound()
+                exact = bound <= self.campaign_config_max
+                n_configs = len(loaded.expand()) if exact else bound
+            except AnalysisError as exc:
+                entries.append({"name": loaded.name, "file": path.name,
+                                "error": str(exc)})
+                # Still counts toward name collisions: the run endpoint
+                # refuses duplicates whether or not the twin expands.
+                names[loaded.name] = names.get(loaded.name, 0) + 1
+                continue
+            entries.append({
+                "name": loaded.name,
+                "file": path.name,
+                "title": loaded.display_title,
+                "experiment": loaded.experiment_id,
+                "fidelity": loaded.fidelity,
+                "axis_params": list(loaded.axis_params()),
+                "n_configs": n_configs,
+                "n_configs_exact": exact,
+                "servable": exact and loaded.fidelity == "fast",
+            })
+            names[loaded.name] = names.get(loaded.name, 0) + 1
+        for entry in entries:
+            if names.get(entry.get("name", ""), 0) > 1:
+                entry["duplicate_name"] = True
+        return {"count": len(entries), "campaigns": entries}
+
+    def handle_run_campaign(self, name: str,
+                            payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one ``POST /campaigns/<name>/run`` request synchronously.
+
+        Every config goes through the same per-process memo as
+        ``POST /experiments/<id>/run``, so repeated campaign runs (and
+        overlapping single-experiment requests) replay instantly.  Only
+        fast-fidelity specs are served; paper campaigns belong on the
+        CLI where they shard and persist.
+        """
+        from ..campaigns import (
+            find_campaigns,
+            results_document,
+            results_table,
+        )
+        from ..experiments.base import ExperimentResult
+
+        if not isinstance(payload, dict):
+            raise AnalysisError("request body must be a JSON object")
+        if payload:
+            raise AnalysisError(
+                f"campaign runs take no request fields, got "
+                f"{sorted(payload)} (parameters live in the spec file)")
+        matches = []
+        known = []
+        for path, loaded in find_campaigns(self.campaign_dir):
+            if isinstance(loaded, Exception):
+                continue
+            known.append(loaded.name)
+            if loaded.name == name:
+                matches.append((path, loaded))
+        if not matches:
+            raise NotFoundError(
+                f"unknown campaign {name!r}; available: {sorted(known)}")
+        if len(matches) > 1:
+            # Running "whichever file sorts last" would silently pick
+            # axes the client never saw — make the collision explicit.
+            raise AnalysisError(
+                f"campaign name {name!r} is declared by multiple spec "
+                f"files ({[p.name for p, _ in matches]}); rename one")
+        spec = matches[0][1]
+        if spec.fidelity != "fast":
+            raise AnalysisError(
+                f"only fast-fidelity campaigns are served over HTTP; "
+                f"{name!r} declares fidelity {spec.fidelity!r} — run it "
+                "through the CLI (python -m repro campaign run ...)")
+        bound = spec.size_bound()
+        if bound > self.campaign_config_max:
+            # Checked on the O(axes) bound *before* expanding: a huge
+            # spec must not cost the expansion it is being refused for.
+            raise AnalysisError(
+                f"campaign {name!r} declares {bound} configs, over the "
+                f"HTTP limit of {self.campaign_config_max}; run it "
+                "sharded through the CLI")
+        configs = spec.expand()
+        collected = []
+        for position, config in enumerate(configs):
+            response = self._memoised_run_config(config)
+            collected.append((position, config,
+                              ExperimentResult.from_dict(
+                                  response["result"])))
+        document = results_document(spec, collected)
+        document["table"] = results_table(spec, collected).render()
+        return document
 
 
 def _make_handler(server: "PerceptronServer"):
@@ -397,6 +537,9 @@ def _make_handler(server: "PerceptronServer"):
             elif path == "/experiments":
                 self._observed("/experiments", lambda: (
                     200, server.describe_experiments(), 0))
+            elif path == "/campaigns":
+                self._observed("/campaigns", lambda: (
+                    200, server.list_campaigns(), 0))
             elif path.startswith("/experiments/"):
                 experiment_id = path[len("/experiments/"):]
                 self._observed("/experiments", lambda: (
@@ -448,6 +591,15 @@ def _make_handler(server: "PerceptronServer"):
                 # One shared label for all experiment runs: bounded
                 # metric cardinality, as for unknown paths.
                 self._observed("/experiments/run", run_exp)
+            elif path.startswith("/campaigns/") and path.endswith("/run"):
+                name = path[len("/campaigns/"):-len("/run")]
+
+                def run_campaign() -> Tuple[int, Dict[str, Any], int]:
+                    payload = self._read_json(required=False)
+                    result = server.handle_run_campaign(name, payload)
+                    return 200, result, 0
+
+                self._observed("/campaigns/run", run_campaign)
             else:
                 self._observed("unknown", lambda: (
                     404, {"error": f"unknown endpoint {self.path}"}, 0))

@@ -4,9 +4,11 @@ import doctest
 
 import pytest
 
+import repro.campaigns.runner
 import repro.circuit.units
 import repro.core.encoding
 import repro.exec.cache
+import repro.experiments.spec
 import repro.signals.pwm
 import repro.tech.corners
 from repro.circuit import AnalysisError
@@ -16,9 +18,11 @@ from repro.reporting import FigureData, Table
 
 
 @pytest.mark.parametrize("module", [
+    repro.campaigns.runner,
     repro.circuit.units,
     repro.core.encoding,
     repro.exec.cache,
+    repro.experiments.spec,
     repro.tech.corners,
 ])
 def test_module_doctests(module):
