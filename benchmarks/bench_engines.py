@@ -1,0 +1,122 @@
+"""Benchmark the engine layer: batched MNA sweeps vs the per-point loop.
+
+Times the transistor-level (``spice``) supply sweep of the Fig. 2 cell
+at ``fidelity="paper"`` — the paper's 0.5–5 V grid, 150 steps/period —
+through the historical per-point shooting loop and through the stacked
+:class:`~repro.circuit.batch_transient.BatchTransientSolver` path,
+verifies the two agree bit for bit, and records the other engines'
+timings on the same workload for the fidelity/speed ladder.  Writes
+``benchmarks/BENCH_engines.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cells import CellDesign
+from repro.engines import CellStimulus, get_engine
+from repro.experiments.fig6_fig7_supply import (
+    DUTIES,
+    FREQUENCY,
+    PAPER_VDD,
+    ROUT,
+)
+
+OUT = Path(__file__).parent / "BENCH_engines.json"
+
+PAPER_STEPS = 150
+#: Timing repetitions; the minimum is reported (standard for
+#: wall-clock microbenchmarks — it is the least noisy estimator).
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS) -> "tuple[float, object]":
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_spice_sweep() -> dict:
+    """Batched vs per-point MNA shooting on the paper supply grid."""
+    spice = get_engine("spice")
+    design = CellDesign()
+
+    def sweep(batched: bool):
+        return {duty: spice.sweep_supply(
+            design,
+            CellStimulus(duty=duty, frequency=FREQUENCY, rout=ROUT),
+            PAPER_VDD, steps_per_period=PAPER_STEPS, batched=batched)
+            for duty in DUTIES}
+
+    # Warm both paths once (imports, caches) before timing.
+    spice.sweep_supply(design, CellStimulus(duty=0.5, rout=ROUT),
+                       PAPER_VDD[:2], steps_per_period=PAPER_STEPS)
+    t_loop, loop = _best_of(lambda: sweep(batched=False))
+    t_batch, batch = _best_of(lambda: sweep(batched=True))
+    identical = all(np.array_equal(loop[d], batch[d]) for d in DUTIES)
+    return {
+        "workload": "fig6/fig7 spice supply sweep",
+        "fidelity": "paper",
+        "duties": list(DUTIES),
+        "n_vdd_points": len(PAPER_VDD),
+        "steps_per_period": PAPER_STEPS,
+        "per_point_loop_seconds": round(t_loop, 4),
+        "batched_mna_seconds": round(t_batch, 4),
+        "speedup": round(t_loop / t_batch, 2),
+        "results_bit_identical": bool(identical),
+    }
+
+
+def bench_engine_ladder() -> dict:
+    """All three engines on one paper-grid duty (fidelity/speed ladder)."""
+    design = CellDesign()
+    stimulus = CellStimulus(duty=0.5, frequency=FREQUENCY, rout=ROUT)
+    ladder = {}
+    for eid in ("behavioral", "rc", "spice"):
+        eng = get_engine(eid)
+        options = {"steps_per_period": PAPER_STEPS} if eid == "spice" \
+            else {}
+        seconds, values = _best_of(
+            lambda eng=eng, options=options: eng.sweep_supply(
+                design, stimulus, PAPER_VDD, **options))
+        ladder[eid] = {
+            "seconds": round(seconds, 6),
+            "output_at_2p5V": round(
+                float(values[list(PAPER_VDD).index(2.5)]), 6),
+        }
+    return {
+        "workload": "one-duty paper supply sweep per engine",
+        "n_vdd_points": len(PAPER_VDD),
+        "engines": ladder,
+    }
+
+
+def main() -> None:
+    payload = {
+        "description": "engine registry benchmarks: stacked "
+                       "BatchTransientSolver MNA sweeps vs the "
+                       "historical per-point shooting loop, plus the "
+                       "behavioral/rc/spice fidelity ladder",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": [bench_spice_sweep(), bench_engine_ladder()],
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,11 +2,14 @@
 
 Commands
 --------
-``list [--tag TAG] [--json]``
+``list [--tag TAG] [--json] [--engines]``
     Show every registered experiment (id, tags, title).  ``--json``
     dumps the full typed parameter schemas (the same document that is
     snapshotted in ``experiments_schema.json`` and served as
-    ``GET /experiments``).
+    ``GET /experiments``).  ``--engines`` lists the simulation-engine
+    registry instead (ids, titles, capabilities — the same document as
+    ``GET /engines``); experiments taking an ``--engine`` option accept
+    exactly these ids.
 ``run <id> [--fidelity fast|paper] [schema options] [--no-charts] [--csv DIR]``
     Run one experiment.  Each experiment's parameters are generated
     from its declared schema — ``python -m repro run fig4 --help``
@@ -417,7 +420,7 @@ def _cmd_serve(args) -> int:
     print(f"serving {server.url} — models: {known}", file=sys.stderr)
     print("endpoints: POST /predict, POST /experiments/<id>/run, "
           "POST /campaigns/<name>/run, GET /models /experiments "
-          "/campaigns /healthz /metrics; Ctrl-C to stop",
+          "/engines /campaigns /healthz /metrics; Ctrl-C to stop",
           file=sys.stderr)
     server.run()
     return 0
@@ -430,6 +433,21 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_list(args) -> int:
+    if args.engines:
+        from .engines import describe as describe_engines
+
+        document = describe_engines()
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        for entry in document["engines"]:
+            caps = entry["capabilities"]
+            flags = ",".join(sorted(
+                name for name, value in caps.items()
+                if value is True))
+            print(f"{entry['id']:12s} [{caps['level']}] "
+                  f"{entry['title']} ({flags})")
+        return 0
     document = describe()
     if args.tag:
         document["experiments"] = [
@@ -461,6 +479,10 @@ def main(argv: "list[str] | None" = None) -> int:
     list_p.add_argument("--json", action="store_true",
                         help="dump the full typed parameter schemas "
                              "(the experiments_schema.json document)")
+    list_p.add_argument("--engines", action="store_true",
+                        help="list the simulation-engine registry "
+                             "(ids usable with `run <id> --engine`) "
+                             "instead of the experiments")
 
     run_p = sub.add_parser(
         "run", help="run one experiment (see `run <id> --help` for its "

@@ -29,14 +29,14 @@ from ..core.cells import CellDesign
 from ..core.rc_model import RcSwitchSolver
 from ..core.weighted_adder import WeightedAdder
 from ..exec.batch import (
+    MC_METHODS,
     batch_adder_values,
     leg_resistance_arrays,
+    resolve_monte_carlo_method,
     sample_adder_mismatch,
 )
 from ..exec.executor import get_default_executor
 from ..tech.corners import CORNER_NAMES, MonteCarloSampler, corner
-
-MC_METHODS = ("auto", "loop", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -95,14 +95,16 @@ def adder_monte_carlo(adder: WeightedAdder, duties: Sequence[float],
     """
     if n_trials < 1:
         raise AnalysisError("need at least one trial")
-    if method not in MC_METHODS:
-        raise AnalysisError(f"unknown method {method!r}; use {MC_METHODS}")
+    # The switch-level engine batches whole trial sets; "auto" resolves
+    # against its registry capabilities (engines without
+    # batched_monte_carlo would drop to the per-trial loop).
+    method = resolve_monte_carlo_method(method, engine_id="rc")
     cfg = adder.config
     sampler = sampler or MonteCarloSampler(seed=seed)
     supply = cfg.vdd if vdd is None else vdd
     nominal = adder.evaluate(duties, weights, engine="rc", vdd=vdd).value
 
-    if method in ("auto", "vectorized"):
+    if method == "vectorized":
         mismatch, = sample_adder_mismatch(sampler, cfg, n_trials)
         r_up, r_down = leg_resistance_arrays(cfg, mismatch, supply)
         values = batch_adder_values(cfg, duties, weights, r_up, r_down,
@@ -190,8 +192,13 @@ def pwm_accuracy_under_supply(perceptron, X: np.ndarray, y: np.ndarray,
     :class:`~repro.core.rc_model.RcBatchSolver` solve per cell bank
     instead of one scalar periodic solve per grid point.
     """
+    from ..engines import require_capability
     from ..serve.engine import BatchInferenceEngine
 
+    # Registry choke point: unknown ids and engines that cannot produce
+    # perceptron margins (e.g. 'spice') fail with the registry's help.
+    require_capability(engine, "serving_margins",
+                       context="perceptron accuracy sweeps")
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=int)
     if len(X) != len(y) or len(y) == 0:

@@ -18,6 +18,12 @@ Quick example::
 """
 
 from .ac import AcPoint, AcResult, ac_analysis
+from .batch_transient import (
+    BatchPssResult,
+    BatchTransientResult,
+    BatchTransientSolver,
+    shooting_batch,
+)
 from .dc import OpPoint, dc_sweep, operating_point
 from .elements import (
     Capacitor,
@@ -76,6 +82,8 @@ __all__ = [
     "operating_point", "dc_sweep", "OpPoint", "MnaContext",
     "ac_analysis", "AcResult", "AcPoint",
     "transient", "TransientResult",
+    "BatchTransientSolver", "BatchTransientResult", "shooting_batch",
+    "BatchPssResult",
     "shooting", "settle_average", "PssResult",
     "sweep", "sweep1d", "run_sweep", "SweepResult",
     "to_spice", "write_spice",

@@ -1,0 +1,873 @@
+"""Batched MNA transient and shooting PSS over independent sweep points.
+
+A supply sweep (or Monte-Carlo campaign) of one bench is a family of
+circuits that share *structure* — the same elements on the same nodes
+with the same source timing — and differ only in values: rail voltages,
+source amplitudes, device geometry.  Solving them one at a time repeats
+the whole Python stepping machinery (breakpoint handling, companion
+updates, Newton bookkeeping) once per point; that overhead, not LAPACK,
+dominates the wall clock for the paper's small benches.
+
+:class:`BatchTransientSolver` integrates ``P`` such circuits in
+lock-step: one breakpoint-aware time loop, vectorised companion models,
+one MOSFET stamp over all ``(P, M)`` devices per Newton iteration, and
+one stacked ``(P, S, S)`` linear solve.  Because the stacked system is
+block-diagonal across points, each point's Newton iterates are exactly
+the ones the scalar engine would produce — per-point convergence is
+tracked with a freeze mask, so a point that converges early keeps its
+converged solution while stragglers iterate.  The results are therefore
+bit-identical to per-point :func:`repro.circuit.transient.transient`
+runs whenever no point forces a step-size halving (the perceptron
+benches never do; equality is pinned by the engine tests).
+
+:func:`shooting_batch` lifts the same trick to periodic steady state:
+one batched Newton-shooting iteration drives all points, with each
+point's PSS captured at the iteration where *it* converges — again
+matching the scalar :func:`repro.circuit.pss.shooting` point for point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..tech.mosfet_models import ids_full_vec
+from .dc import operating_point
+from .elements.base import SOURCE
+from .elements.mosfet import GMIN_DS
+from .elements.passives import Capacitor, Inductor
+from .elements.sources import PwmVoltage, Vdc, VoltageSource, Vpulse
+from .exceptions import AnalysisError, ConvergenceError, SingularMatrixError
+from .mna import MnaContext
+from .netlist import Circuit
+from .pss import PssResult, _default_observe
+from .transient import (
+    BE_STEPS_AFTER_BREAKPOINT,
+    MIN_STEP,
+    TransientResult,
+)
+from .waveform import Waveform
+
+try:
+    # The gufunc behind np.linalg.solve.  Binding it directly skips
+    # ~15 us of per-call Python argument checking — measurable when the
+    # Newton loop solves thousands of small stacked systems.  It returns
+    # NaNs instead of raising on singular matrices; the Newton loop's
+    # finite-ness check already handles that path.
+    from numpy.linalg._umath_linalg import solve as _gufunc_solve
+except ImportError:  # pragma: no cover - older/newer numpy layouts
+    _gufunc_solve = None
+
+
+def _batched_solve(G: np.ndarray, I: np.ndarray) -> np.ndarray:
+    """Stacked ``(P, S, S) @ x = (P, S)`` solve, minimal overhead.
+
+    Callers run under a suppressing ``np.errstate`` (singular systems
+    surface as NaNs and are handled by the finite-ness check).
+    """
+    if _gufunc_solve is not None:
+        return _gufunc_solve(G, I[:, :, None])[:, :, 0]
+    return np.linalg.solve(G, I[:, :, None])[:, :, 0]
+
+
+def _structure_signature(ctx: MnaContext) -> "list[tuple]":
+    """Per-element structural identity of a compiled circuit."""
+    return [(type(el).__name__, el.name, el._idx, el._branch)
+            for el in ctx.circuit.flat_elements]
+
+
+class _BatchCapacitors:
+    """Vectorised companion models for every capacitor in the batch.
+
+    State arrays are ``(K, P)`` — one row per capacitor, one column per
+    sweep point.  The companion conductance ``geq`` is shared across
+    points (same C, same dt); only the equivalent current differs.
+    """
+
+    def __init__(self, caps_by_point: List[List[Capacitor]], size: int):
+        caps = caps_by_point[0]
+        self.n = len(caps)
+        self.n_points = n_points = len(caps_by_point)
+        if self.n == 0:
+            return
+        a = np.array([c._idx[0] for c in caps], dtype=np.intp)
+        b = np.array([c._idx[1] for c in caps], dtype=np.intp)
+        self.a, self.b = a, b
+        self.a_valid = a >= 0
+        self.b_valid = b >= 0
+        self.a_gather = np.where(a >= 0, a, size)
+        self.b_gather = np.where(b >= 0, b, size)
+        # Per-point values, (K, P): parasitic caps scale with device
+        # geometry, which Monte-Carlo batches perturb per point.
+        self.c = np.array([[c.capacitance for c in point_caps]
+                           for point_caps in caps_by_point]).T
+        self.ic = np.array([[np.nan if c.ic is None else c.ic
+                             for c in point_caps]
+                            for point_caps in caps_by_point]).T
+        self.v_prev = np.zeros((self.n, n_points))
+        self.i_prev = np.zeros((self.n, n_points))
+        self._geq_cache: "dict[tuple[float, str], np.ndarray]" = {}
+        self._live = self.c > 0.0
+        # RHS scatter slots, interleaved per cap (a row then b row) in
+        # element order to reproduce the scalar accumulation sequence.
+        rows, signs, caps_idx = [], [], []
+        for k in range(self.n):
+            if not self._live[k].any():
+                continue
+            if a[k] >= 0:
+                rows.append(a[k])
+                signs.append(-1.0)
+                caps_idx.append(k)
+            if b[k] >= 0:
+                rows.append(b[k])
+                signs.append(1.0)
+                caps_idx.append(k)
+        self._rhs_rows = np.asarray(rows, dtype=np.intp)
+        self._rhs_signs = np.asarray(signs)[:, None]
+        self._rhs_caps = np.asarray(caps_idx, dtype=np.intp)
+
+    def _voltages(self, x_t_padded: np.ndarray) -> np.ndarray:
+        """Element voltages ``(K, P)`` from padded ``(S+1, P)`` states."""
+        return x_t_padded[self.a_gather] - x_t_padded[self.b_gather]
+
+    def init_state(self, x_t_padded: np.ndarray) -> None:
+        if self.n == 0:
+            return
+        self.v_prev = self._voltages(x_t_padded)
+        has_ic = np.isfinite(self.ic)
+        if has_ic.any():
+            self.v_prev[has_ic] = self.ic[has_ic]
+        self.i_prev = np.zeros_like(self.v_prev)
+
+    def geq(self, dt: float, method: str) -> np.ndarray:
+        """Companion conductances ``(K, P)``, cached per step size."""
+        cached = self._geq_cache.get((dt, method))
+        if cached is None:
+            factor = 1.0 if method == "be" else 2.0
+            cached = factor * self.c / dt
+            self._geq_cache[(dt, method)] = cached
+        return cached
+
+    def add_geq_stack(self, G_stack: np.ndarray, dt: float,
+                      method: str) -> None:
+        """Companion conductances onto the stacked base, ``(P, S, S)``.
+
+        Caps are applied one at a time in element order (vectorised
+        over points only) so every cell accumulates in exactly the
+        sequence the scalar assembler uses — bit-identical sums even
+        where several caps share a node with static conductances.
+        """
+        if self.n == 0:
+            return
+        geq = self.geq(dt, method)
+        for k in range(self.n):
+            if not self._live[k].any():
+                continue
+            g = geq[k]
+            a, b = self.a[k], self.b[k]
+            if a >= 0:
+                G_stack[:, a, a] += g
+            if b >= 0:
+                G_stack[:, b, b] += g
+            if a >= 0 and b >= 0:
+                G_stack[:, a, b] -= g
+                G_stack[:, b, a] -= g
+
+    def stamp_rhs(self, I_t: np.ndarray, dt: float, method: str) -> None:
+        """Equivalent currents into the transposed RHS ``(S, P)``.
+
+        The scatter interleaves each cap's ``a`` then ``b`` row in
+        element order — the scalar ``add_current`` sequence — so nodes
+        shared by several caps accumulate identically.
+        """
+        if self.n == 0 or self._rhs_rows.size == 0:
+            return
+        geq = self.geq(dt, method)
+        if method == "be":
+            ieq = -geq * self.v_prev
+        else:
+            ieq = -geq * self.v_prev - self.i_prev
+        # add_current(a, b, ieq): I[a] -= ieq, I[b] += ieq.
+        np.add.at(I_t, self._rhs_rows,
+                  self._rhs_signs * ieq.take(self._rhs_caps, axis=0))
+
+    def accept_step(self, x_t_padded: np.ndarray, dt: float,
+                    method: str) -> None:
+        if self.n == 0:
+            return
+        v_new = self._voltages(x_t_padded)
+        live = self._live
+        geq = self.geq(dt, method)
+        if method == "be":
+            i_new = geq * (v_new - self.v_prev)
+        else:
+            i_new = geq * (v_new - self.v_prev) - self.i_prev
+        self.i_prev = np.where(live, i_new, 0.0)
+        self.v_prev = v_new
+
+
+class _BatchMosfets:
+    """Vectorised MOSFET stamping over ``(P, M)`` devices.
+
+    Index arrays come from the shared structure; device parameters are
+    gathered per point, so Monte-Carlo batches (same netlist, perturbed
+    geometry) stamp exactly like supply sweeps.
+    """
+
+    def __init__(self, contexts: List[MnaContext]):
+        groups = [ctx.mosfet_group for ctx in contexts]
+        g0 = groups[0]
+        self.m = g0.n
+        self.n_points = len(contexts)
+        if self.m == 0:
+            return
+        size = contexts[0].size
+        self.size = size
+        self.d, self.g, self.s = g0.d, g0.g, g0.s
+        self.d_gather, self.g_gather, self.s_gather = \
+            g0.d_gather, g0.g_gather, g0.s_gather
+        self.sign = g0.sign
+        # Per-point device parameters, shape (P, M).
+        self.beta = np.stack([g.beta for g in groups])
+        self.vt = np.stack([g.vt for g in groups])
+        self.lam = np.stack([g.lam for g in groups])
+        self.n_sub = np.stack([g.n_sub for g in groups])
+        self.valid_idx = np.nonzero(g0.valid)[0]
+        self.d_valid = g0.d_valid
+        self.s_valid = g0.s_valid
+        # Linear scatter indices into the flattened (P, S, S) stack:
+        # point p's pattern is the shared pattern offset by p*S*S.
+        offsets = np.arange(self.n_points, dtype=np.intp) * size * size
+        self.lin = (offsets[:, None] + g0.lin[None, :]).ravel()
+
+        self._base_lin = g0.lin
+        self._lin_by_size = {self.n_points: self.lin}
+        #: per-batch-size scratch: (gm/gt block buffer, current buffer).
+        self._buf_by_size: "dict[int, tuple]" = {}
+        # Stamp pattern: per device the 8 G entries are +/-gm then
+        # +/-gds blocks; building them as one broadcast multiply (exact
+        # for +/-1 factors) replaces eight buffer writes per iteration.
+        self._signs = np.array([1.0, -1.0, -1.0, 1.0,
+                                1.0, 1.0, -1.0, -1.0])[None, :, None]
+        self._d_valid_idx = np.nonzero(g0.d_valid)[0]
+        self._s_valid_idx = np.nonzero(g0.s_valid)[0]
+        self._i_rows = np.concatenate([self.d[self._d_valid_idx],
+                                       self.s[self._s_valid_idx]])
+
+    def stamp(self, G_stack: np.ndarray, I_t: np.ndarray,
+              x_pad_cols: np.ndarray,
+              rows: Optional[np.ndarray] = None) -> None:
+        """Accumulate linearised stamps for a (sub-)batch.
+
+        ``G_stack`` is ``(B, S, S)``, ``I_t`` the transposed RHS
+        ``(S, B)``, ``x_pad_cols`` the padded states ``(B, S+1)``
+        (last column zero for ground gathers).  ``rows`` names the
+        original batch rows when ``B < P`` (converged points dropped
+        from the Newton working set); device parameters are gathered
+        accordingly.
+        """
+        if rows is None:
+            beta, vt, lam, n_sub = self.beta, self.vt, self.lam, self.n_sub
+        else:
+            beta, vt = self.beta[rows], self.vt[rows]
+            lam, n_sub = self.lam[rows], self.n_sub[rows]
+        b = x_pad_cols.shape[0]
+        lin = self._lin_by_size.get(b)
+        if lin is None:
+            offsets = np.arange(b, dtype=np.intp) * self.size * self.size
+            lin = (offsets[:, None] + self._base_lin[None, :]).ravel()
+            self._lin_by_size[b] = lin
+        vd = x_pad_cols[:, self.d_gather]    # (B, M)
+        vg = x_pad_cols[:, self.g_gather]
+        vs = x_pad_cols[:, self.s_gather]
+        ids, gm, gds = ids_full_vec(vd, vg, vs, self.sign, beta,
+                                    vt, lam, n_sub)
+        gt = gds + GMIN_DS
+        ieq = ids - gm * (vg - vs) - gds * (vd - vs)
+        bufs = self._buf_by_size.get(b)
+        if bufs is None:
+            bufs = (np.empty((b, 2, self.m)),
+                    np.empty((self._i_rows.size, b)))
+            self._buf_by_size[b] = bufs
+        gmgt, i_vals = bufs
+        # (B, 2, M) -> repeat -> (B, 8, M) * +/-1 -> (B, 8M): the
+        # factors are exact, so the entries equal the scalar engine's
+        # concatenation order.
+        gmgt[:, 0] = gm
+        gmgt[:, 1] = gt
+        vals = (gmgt.repeat(4, axis=1) * self._signs).reshape(b, 8 * self.m)
+        np.add.at(G_stack.reshape(-1), lin,
+                  vals.take(self.valid_idx, axis=1).ravel())
+        nd = self._d_valid_idx.size
+        np.negative(ieq.take(self._d_valid_idx, axis=1).T, out=i_vals[:nd])
+        i_vals[nd:] = ieq.take(self._s_valid_idx, axis=1).T
+        np.add.at(I_t, self._i_rows, i_vals)
+
+
+class _VsrcColumn:
+    """Per-point values of one voltage source across the batch.
+
+    The sweep-family common cases — DC rails and same-timing PWM/pulse
+    drivers whose amplitudes vary per point — evaluate as one array
+    expression with exactly the operation order of the scalar
+    ``value(t)`` (so results stay bit-identical); anything else falls
+    back to a per-point Python loop.
+    """
+
+    def __init__(self, elements: List[VoltageSource]):
+        el0 = elements[0]
+        self._values = [el.value for el in elements]
+        self.mode = "loop"
+        if all(type(el) is Vdc for el in elements):
+            self.mode = "const"
+            self.const = np.array([el.voltage for el in elements])
+        elif all(type(el) in (Vpulse, PwmVoltage) for el in elements) \
+                and all(el.delay == el0.delay and el.rise == el0.rise
+                        and el.fall == el0.fall and el.width == el0.width
+                        and el.period == el0.period for el in elements):
+            self.mode = "pulse"
+            self.v1 = np.array([el.v1 for el in elements])
+            self.v2 = np.array([el.v2 for el in elements])
+            self.delay, self.rise = el0.delay, el0.rise
+            self.fall, self.width = el0.fall, el0.width
+            self.pulse_period = el0.period
+
+    def __call__(self, t: float):
+        if self.mode == "const":
+            return self.const
+        if self.mode == "pulse":
+            # Mirrors Vpulse.value branch for branch; the shared timing
+            # guarantees every point takes the same branch.
+            if t < self.delay:
+                return self.v1
+            tau = (t - self.delay) % self.pulse_period
+            if tau < self.rise:
+                if self.rise == 0:
+                    return self.v2
+                return self.v1 + (self.v2 - self.v1) * tau / self.rise
+            tau -= self.rise
+            if tau < self.width:
+                return self.v2
+            tau -= self.width
+            if tau < self.fall:
+                if self.fall == 0:
+                    return self.v1
+                return self.v2 + (self.v1 - self.v2) * tau / self.fall
+            return self.v1
+        return [value(t) for value in self._values]
+
+
+class BatchTransientResult:
+    """Lock-step solution of a circuit batch: ``X`` is ``(T, P, S)``."""
+
+    def __init__(self, circuits: List[Circuit], t: np.ndarray, X: np.ndarray):
+        self.circuits = circuits
+        self.t = t
+        self.X = X
+
+    @property
+    def n_points(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def final_x(self) -> np.ndarray:
+        """End states, shape ``(P, S)``."""
+        return self.X[-1].copy()
+
+    def node(self, name: str) -> np.ndarray:
+        """Node voltages over time for every point, shape ``(T, P)``."""
+        idx = self.circuits[0].node_index(name)
+        if idx < 0:
+            return np.zeros(self.X.shape[:2])
+        return self.X[:, :, idx]
+
+    def point(self, p: int) -> TransientResult:
+        """One point's trajectory as an ordinary :class:`TransientResult`."""
+        return TransientResult(self.circuits[p], self.t, self.X[:, p, :])
+
+
+class BatchTransientSolver:
+    """Lock-step transient integration of structurally identical circuits.
+
+    All circuits must share their element structure (names, types, node
+    bindings) and their source *timing* (breakpoints); element values —
+    rail voltages, source amplitudes, device geometry, resistances — are
+    free to differ per point.  Unsupported in batches: inductors and
+    non-MOSFET nonlinear devices (switches), which keep per-element
+    Python state the vectorised layer does not model.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit]):
+        self.circuits = list(circuits)
+        if not self.circuits:
+            raise AnalysisError("need at least one circuit to batch")
+        self.contexts = [MnaContext(c) for c in self.circuits]
+        ctx0 = self.contexts[0]
+        self.size = ctx0.size
+        self.n_nodes = ctx0.n_nodes
+        self.n_points = len(self.circuits)
+
+        signature = _structure_signature(ctx0)
+        for ctx in self.contexts[1:]:
+            if ctx.size != ctx0.size or \
+                    _structure_signature(ctx) != signature:
+                raise AnalysisError(
+                    "batched circuits must share element structure "
+                    "(same elements on the same nodes); rebuild the "
+                    "family from one parametrised builder")
+        for ctx in self.contexts:
+            if ctx.other_nonlinear:
+                raise AnalysisError(
+                    "batched transient does not support non-MOSFET "
+                    "nonlinear elements (switches); use the scalar "
+                    "engine")
+            if any(isinstance(el, Inductor) for el in ctx.reactive_elements):
+                raise AnalysisError(
+                    "batched transient does not support inductors yet; "
+                    "use the scalar engine")
+
+        # Per-point static base (stacked); structure is shared so the
+        # source branch rows can be folded in once.
+        self._G_static = np.stack([ctx._G_static for ctx in self.contexts])
+        self._I_static = np.stack([ctx._I_static for ctx in self.contexts])
+
+        cats0 = ctx0.circuit.by_category
+        self._vsources = [el for el in cats0[SOURCE]
+                          if isinstance(el, VoltageSource)]
+        self._isources = [el for el in cats0[SOURCE]
+                          if not isinstance(el, VoltageSource)]
+        # Per-point source elements, aligned with the shared structure.
+        by_name = [{el.name: el for el in ctx.circuit.by_category[SOURCE]}
+                   for ctx in self.contexts]
+        self._vsources_by_point = [[bn[el.name] for el in self._vsources]
+                                   for bn in by_name]
+        self._isources_by_point = [[bn[el.name] for el in self._isources]
+                                   for bn in by_name]
+        # Per-source batched value evaluators — the per-step RHS fill
+        # runs thousands of times.
+        self._vsrc_cols = [
+            _VsrcColumn([self._vsources_by_point[p][k]
+                         for p in range(self.n_points)])
+            for k in range(len(self._vsources))]
+        # Voltage-source structure stamps (branch KCL + voltage rows)
+        # are value-independent: fold them into one shared addition.
+        self._G_sources = np.zeros((self.size, self.size))
+        sys_view = ctx0.sys_view(self._G_sources, np.zeros(self.size))
+        for el in self._vsources:
+            a, b = el._idx
+            br = el._branch[0]
+            sys_view.stamp_branch_kcl(a, b, br)
+            sys_view.stamp_branch_voltage_row(br, a, b)
+        self._vsrc_branch = np.array(
+            [el._branch[0] for el in self._vsources], dtype=np.intp)
+
+        self._caps = _BatchCapacitors(
+            [[el for el in ctx.reactive_elements
+              if isinstance(el, Capacitor)] for ctx in self.contexts],
+            self.size)
+        self._mosfets = _BatchMosfets(self.contexts)
+
+        # Per-(dt, method) shared stamp cache: the companion
+        # conductances and source structure rows do not depend on the
+        # solution or the point, so each distinct step size is
+        # assembled once.
+        self._shared_g_cache: "dict[tuple[float, str], np.ndarray]" = {}
+        # Column-padded state scratch for the MOSFET gathers (last
+        # column stays zero = ground).
+        self._xpad_cols = np.zeros((self.n_points, self.size + 1))
+        self._tol_cache: "dict[tuple[float, float], np.ndarray]" = {}
+
+    # -- assembly ----------------------------------------------------------
+
+    def _breakpoints(self, t0: float, t1: float) -> np.ndarray:
+        ref = self.contexts[0].breakpoints(t0, t1)
+        for ctx in self.contexts[1:]:
+            other = ctx.breakpoints(t0, t1)
+            if other.shape != ref.shape or not np.array_equal(other, ref):
+                raise AnalysisError(
+                    "batched circuits must share source timing "
+                    "(identical breakpoints); sweep values, not "
+                    "frequencies or duties, across a batch")
+        return ref
+
+    def _source_rhs(self, I_t: np.ndarray, t: float) -> None:
+        """Per-point source values into the transposed RHS ``(S, P)``."""
+        for k, el in enumerate(self._vsources):
+            I_t[self._vsrc_branch[k]] += self._vsrc_cols[k](t)
+        for k, el in enumerate(self._isources):
+            a, b = el._idx
+            for p in range(self.n_points):
+                el_p = self._isources_by_point[p][k]
+                i = el_p._fn(t) if hasattr(el_p, "_fn") else el_p.current
+                if a >= 0:
+                    I_t[a, p] -= i
+                if b >= 0:
+                    I_t[b, p] += i
+
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        """Transpose states to ``(S+1, P)`` with a zero ground row."""
+        x_t = np.zeros((self.size + 1, self.n_points))
+        x_t[:-1] = x.T
+        return x_t
+
+    def _tol_cols(self, abstol: float, itol: float) -> np.ndarray:
+        """Per-column Newton tolerance: ``abstol`` on node voltages,
+        ``itol`` on branch currents (cached)."""
+        key = (abstol, itol)
+        cached = self._tol_cache.get(key)
+        if cached is None:
+            cached = np.full(self.size, itol)
+            cached[:self.n_nodes] = abstol
+            self._tol_cache[key] = cached
+        return cached
+
+    # -- Newton -----------------------------------------------------------
+
+    def _solve_newton(self, x0: np.ndarray, t: float, dt: float,
+                      method: str, *, max_iter: int = 80,
+                      vlimit: float = 1.0, abstol: float = 1e-6,
+                      reltol: float = 1e-4, itol: float = 1e-9) -> np.ndarray:
+        """Damped Newton at one time point, vectorised over points.
+
+        Block-diagonal structure keeps every point's iterate sequence
+        identical to the scalar engine's: updates, clamping and the
+        convergence test apply per point, and a converged point's state
+        is frozen while the rest keep iterating.
+        """
+        key = (dt, method)
+        G_base = self._shared_g_cache.get(key)
+        if G_base is None:
+            # Source structure rows are exact +/-1 additions into cells
+            # the static stamps never touch; the cap companions then
+            # accumulate in scalar element order (see add_geq_stack).
+            G_base = self._G_static + self._G_sources[None, :, :]
+            self._caps.add_geq_stack(G_base, dt, method)
+            self._shared_g_cache[key] = G_base
+        I_t_base = self._I_static.T.copy()          # (S, P)
+        # Scalar assembly order: sources first, then reactive companions.
+        self._source_rhs(I_t_base, t)
+        self._caps.stamp_rhs(I_t_base, dt, method)
+
+        x = x0.copy()                                # (P, S)
+        n = self.n_nodes
+        has_nonlinear = self._mosfets.m > 0
+        # Indices of points still iterating.  The stacked system is
+        # block-diagonal, so dropping a converged point's rows neither
+        # changes the others' iterates nor its own frozen solution —
+        # stragglers iterate on an ever-smaller stack.
+        work = np.arange(self.n_points)
+
+        for _iteration in range(max_iter):
+            full = work.size == self.n_points
+            # Fancy indexing already copies, so subsets skip the
+            # explicit copy.
+            G = G_base.copy() if full else G_base[work]
+            I_t = I_t_base.copy() if full else I_t_base[:, work]
+            x_work = x if full else x[work]
+            if has_nonlinear:
+                xpad = self._xpad_cols[:work.size]
+                xpad[:, :-1] = x_work
+                self._mosfets.stamp(G, I_t, xpad,
+                                    rows=None if full else work)
+            try:
+                x_new = _batched_solve(G, I_t.T)
+            except np.linalg.LinAlgError as exc:
+                raise SingularMatrixError(
+                    f"singular MNA matrix in batch: {exc}",
+                    analysis="batch-transient", time=t) from None
+            if not np.isfinite(x_new).all():
+                # The direct gufunc signals singular matrices with NaNs
+                # rather than raising; both land here.
+                raise ConvergenceError(
+                    "solution diverged to non-finite values "
+                    "(or singular MNA matrix)",
+                    analysis="batch-transient", time=t)
+            if not has_nonlinear:
+                return x_new
+            dx = x_new - x_work
+            dv = dx[:, :n]
+            abs_dv = np.abs(dv)
+            if abs_dv.max() > vlimit:
+                clamped = (abs_dv > vlimit).any(axis=1)
+            else:
+                clamped = np.zeros(work.size, dtype=bool)
+            if clamped.any():
+                rows = work[clamped]
+                x[rows, :n] += np.clip(dv[clamped], -vlimit, vlimit)
+                x[rows, n:] += dx[clamped, n:]
+            stepped = ~clamped
+            if stepped.any():
+                x[work[stepped]] = x_new[stepped]
+                # One fused pass: per-column tolerance (abstol on node
+                # voltages, itol on branch currents) — elementwise equal
+                # to the scalar engine's separate v/i tests.
+                ok = stepped & (
+                    np.abs(dx) <=
+                    self._tol_cols(abstol, itol)
+                    + reltol * np.abs(x_new)).all(axis=1)
+                if ok.all():
+                    return x
+                if ok.any():
+                    work = work[~ok]
+        raise ConvergenceError(
+            f"batched Newton failed to converge in {max_iter} iterations "
+            f"({work.size} of {self.n_points} points open)",
+            analysis="batch-transient", time=t)
+
+    # -- integration -------------------------------------------------------
+
+    def run(self, tstop: float, dt: float, *, tstart: float = 0.0,
+            method: str = "trap", x0: Optional[np.ndarray] = None,
+            max_retries: int = 10) -> BatchTransientResult:
+        """Integrate every point from ``tstart`` to ``tstop`` in lock-step.
+
+        ``x0`` is the stacked initial state ``(P, S)``; ``None`` solves
+        each point's DC operating point at ``tstart`` first (scalar, so
+        the starting states match per-point runs exactly).
+        """
+        if tstop <= tstart:
+            raise AnalysisError(
+                f"tstop ({tstop}) must exceed tstart ({tstart})")
+        if dt <= 0:
+            raise AnalysisError("dt must be positive")
+        if method not in ("trap", "be"):
+            raise AnalysisError(f"unknown integration method {method!r}")
+
+        if x0 is not None:
+            x = np.asarray(x0, dtype=float).copy()
+            if x.shape != (self.n_points, self.size):
+                raise AnalysisError(
+                    f"x0 must be ({self.n_points}, {self.size}), "
+                    f"got {x.shape}")
+        else:
+            x = np.stack([
+                operating_point(c, t=tstart, ctx=ctx).x
+                for c, ctx in zip(self.circuits, self.contexts)])
+        self._caps.init_state(self._padded(x))
+
+        breakpoints = self._breakpoints(tstart, tstop)
+        bp_iter: List[float] = [b for b in breakpoints if tstart < b < tstop]
+        bp_iter.append(tstop)
+
+        times: List[float] = [tstart]
+        states: List[np.ndarray] = [x.copy()]
+        t_cur = tstart
+        be_countdown = BE_STEPS_AFTER_BREAKPOINT
+        eps = dt * 1e-9
+
+        # One errstate frame for the whole run: the direct solve gufunc
+        # flags singular systems via NaNs, which the Newton loop checks.
+        errstate = np.errstate(invalid="ignore", divide="ignore",
+                               over="ignore")
+        with errstate:
+            return self._integrate(tstop, dt, method, x, times, states,
+                                   t_cur, be_countdown, eps, bp_iter,
+                                   max_retries)
+
+    def _integrate(self, tstop, dt, method, x, times, states, t_cur,
+                   be_countdown, eps, bp_iter, max_retries
+                   ) -> BatchTransientResult:
+        bp_pos = 0
+        while t_cur < tstop - eps:
+            while bp_pos < len(bp_iter) and bp_iter[bp_pos] <= t_cur + eps:
+                bp_pos += 1
+            next_bp = bp_iter[bp_pos] if bp_pos < len(bp_iter) else tstop
+            h = min(dt, next_bp - t_cur)
+            step_method = "be" if (method == "be" or be_countdown > 0) \
+                else "trap"
+
+            x_next = None
+            h_try = h
+            for _attempt in range(max_retries):
+                try:
+                    x_next = self._solve_newton(x, t_cur + h_try, h_try,
+                                                step_method)
+                    break
+                except ConvergenceError:
+                    # One straggler halves the step for the whole batch;
+                    # correctness is preserved, strict per-point identity
+                    # with the scalar engine is not (see module docs).
+                    h_try *= 0.5
+                    step_method = "be"
+                    if h_try < MIN_STEP:
+                        break
+            if x_next is None:
+                raise ConvergenceError(
+                    "batched transient step failed even at minimum step "
+                    "size", analysis="batch-transient", time=t_cur)
+
+            t_cur += h_try
+            self._caps.accept_step(self._padded(x_next), h_try, step_method)
+            x = x_next
+            times.append(t_cur)
+            states.append(x.copy())
+            if abs(t_cur - next_bp) <= eps:
+                be_countdown = BE_STEPS_AFTER_BREAKPOINT
+            elif be_countdown > 0:
+                be_countdown -= 1
+
+        return BatchTransientResult(self.circuits, np.asarray(times),
+                                    np.stack(states, axis=0))
+
+
+class BatchPssResult:
+    """Periodic steady states of a circuit batch.
+
+    Every reduction mirrors :class:`~repro.circuit.pss.PssResult`, one
+    value per point; :meth:`point` recovers a scalar result object.
+    Waves are stored per point (``(t, X)`` pairs): points captured at
+    different shooting iterations may sit on different time grids when
+    a Newton step-halving refined one iteration's stepping.
+    """
+
+    def __init__(self, solver: BatchTransientSolver, period: float,
+                 waves: "List[tuple]", iterations: np.ndarray,
+                 residuals: np.ndarray):
+        self._solver = solver
+        self.period = period
+        self._waves = waves             # per point: (t (T,), X (T, S))
+        self.iterations = iterations    # (P,)
+        self.residuals = residuals      # (P,)
+
+    @property
+    def n_points(self) -> int:
+        return len(self._waves)
+
+    def averages(self, node: str) -> np.ndarray:
+        """Period-average node voltage per point, shape ``(P,)``."""
+        idx = self._solver.circuits[0].node_index(node)
+        if idx < 0:
+            return np.zeros(self.n_points)
+        return np.array([
+            Waveform(t, X[:, idx]).average() for t, X in self._waves])
+
+    def ripples(self, node: str) -> np.ndarray:
+        idx = self._solver.circuits[0].node_index(node)
+        if idx < 0:
+            return np.zeros(self.n_points)
+        return np.array([
+            Waveform(t, X[:, idx]).peak_to_peak()
+            for t, X in self._waves])
+
+    def point(self, p: int) -> PssResult:
+        t, X = self._waves[p]
+        waves = TransientResult(self._solver.circuits[p], t, X)
+        return PssResult(self._solver.circuits[p], self.period, waves,
+                         int(self.iterations[p]),
+                         float(self.residuals[p]))
+
+
+def shooting_batch(circuits: Sequence[Circuit], period: float, *,
+                   steps_per_period: int = 200,
+                   observe: Optional[Sequence[str]] = None,
+                   x0: Optional[np.ndarray] = None,
+                   warmup_periods: int = 2, max_iterations: int = 15,
+                   tol: float = 1e-4, fd_delta: float = 5e-3,
+                   method: str = "trap",
+                   update_limit: float = 2.0) -> BatchPssResult:
+    """Newton-shooting PSS for a whole batch of sweep points at once.
+
+    The batched period map is block-diagonal across points, so each
+    point's shooting iterates equal the scalar
+    :func:`~repro.circuit.pss.shooting` sequence; a point's waves are
+    captured at the iteration where *its* residual first drops under
+    ``tol`` (exactly the scalar return), and its state is frozen while
+    the remaining points keep iterating.  Defaults mirror the scalar
+    engine's.
+    """
+    if period <= 0:
+        raise AnalysisError("period must be positive")
+    solver = BatchTransientSolver(circuits)
+    circuit0 = solver.circuits[0]
+    observe_names = list(observe) if observe \
+        else _default_observe(circuit0)
+    if not observe_names:
+        raise AnalysisError(
+            "shooting needs at least one observed node; none carry "
+            "explicit capacitors and none were given")
+    obs_idx = np.array([circuit0.node_index(n) for n in observe_names])
+    if np.any(obs_idx < 0):
+        raise AnalysisError("cannot observe the ground node")
+    dt = period / steps_per_period
+    n_points = solver.n_points
+    n_obs = len(obs_idx)
+
+    def run_period(x_start: np.ndarray) -> BatchTransientResult:
+        return solver.run(period, dt, x0=x_start, method=method)
+
+    if x0 is None:
+        x = np.stack([
+            operating_point(c, t=0.0, ctx=ctx).x
+            for c, ctx in zip(solver.circuits, solver.contexts)])
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+    for _ in range(max(warmup_periods, 0)):
+        x = run_period(x).final_x
+
+    # Converged points leave the working batch entirely (the solver is
+    # rebuilt on the survivors), so stragglers never drag the whole
+    # sweep through extra full-width period runs.  ``order`` maps
+    # working-batch rows back to the caller's point indices.
+    full_solver = solver
+    order = np.arange(n_points)
+    iterations = np.zeros(n_points, dtype=int)
+    residuals = np.full(n_points, np.inf)
+    waves: "List[Optional[tuple]]" = [None] * n_points
+
+    for iteration in range(1, max_iterations + 1):
+        base = run_period(x)
+        fx = base.final_x
+        r = fx[:, obs_idx] - x[:, obs_idx]          # (B, n_obs)
+        res = np.max(np.abs(r), axis=1)
+        residuals[order] = res
+        done = res < tol
+        x_start = base.X[0]
+        if done.any():
+            for i in np.nonzero(done)[0]:
+                waves[order[i]] = (base.t, base.X[:, i, :].copy())
+            iterations[order[done]] = iteration
+            if done.all():
+                return BatchPssResult(full_solver, period, waves,
+                                      iterations, residuals)
+            keep = np.nonzero(~done)[0]
+            order = order[keep]
+            solver = BatchTransientSolver(
+                [solver.circuits[int(k)] for k in keep])
+
+            def run_period(x_start: np.ndarray) -> BatchTransientResult:
+                return solver.run(period, dt, x0=x_start, method=method)
+
+            x, fx, r = x[keep], fx[keep], r[keep]
+            x_start = x_start[keep]
+        # Finite-difference Jacobian of the period map, per point.  One
+        # batched run per observed node perturbs every surviving point
+        # at once.
+        A = np.zeros((x.shape[0], n_obs, n_obs))
+        for j in range(n_obs):
+            x_pert = x.copy()
+            x_pert[:, obs_idx[j]] += fd_delta
+            fx_pert = run_period(x_pert).final_x
+            A[:, :, j] = (fx_pert[:, obs_idx] - fx[:, obs_idx]) / fd_delta
+        # Solve (I - A) dx = r per point; singular/non-finite points
+        # fall back to fixed-point iteration like the scalar engine.
+        eye = np.eye(n_obs)
+        dx_obs = np.empty((x.shape[0], n_obs))
+        for p in range(x.shape[0]):
+            try:
+                dx_p = np.linalg.solve(eye - A[p], r[p])
+            except np.linalg.LinAlgError:
+                dx_p = r[p]
+            if not np.all(np.isfinite(dx_p)):
+                dx_p = r[p]
+            dx_obs[p] = dx_p
+        dx_obs = np.clip(dx_obs, -update_limit, update_limit)
+        x_next = fx.copy()
+        x_next[:, obs_idx] = x_start[:, obs_idx] + dx_obs
+        x = x_next
+
+    raise ConvergenceError(
+        f"batched shooting did not converge in {max_iterations} "
+        f"iterations ({x.shape[0]} of {n_points} points open, "
+        f"worst residual {float(np.max(residuals[order])):.3g} V)",
+        analysis="pss")

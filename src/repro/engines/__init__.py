@@ -1,0 +1,35 @@
+"""Registry-backed simulation engines (behavioural / rc / spice).
+
+The front door for fidelity selection everywhere in the library::
+
+    from repro.engines import CellStimulus, get_engine
+
+    eng = get_engine("rc")                      # single validation point
+    out = eng.sweep_supply(CellDesign(), CellStimulus(duty=0.5),
+                           [1.0, 2.5, 4.0])
+    eng.capabilities().batched_monte_carlo      # drives dispatch
+
+``describe()`` powers ``python -m repro list --engines`` and
+``GET /engines``; :mod:`repro.engines.fidelity` cross-validates the
+three implementations on shared operating points.
+"""
+
+from .base import (
+    ENGINES,
+    CellStimulus,
+    Engine,
+    EngineCapabilities,
+    describe,
+    engine,
+    engine_ids,
+    get_engine,
+    require_capability,
+)
+from .fidelity import ConsistencyReport, consistency_report
+
+__all__ = [
+    "ENGINES", "CellStimulus", "Engine", "EngineCapabilities",
+    "describe", "engine", "engine_ids", "get_engine",
+    "require_capability",
+    "ConsistencyReport", "consistency_report",
+]

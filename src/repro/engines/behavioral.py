@@ -1,0 +1,53 @@
+"""Closed-form behavioural engine (paper Eq. 1 ideal cell math)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.cells import CellDesign
+from .base import CellStimulus, Engine, EngineCapabilities, engine
+
+_CAPS = EngineCapabilities(
+    level="behavioral",
+    batched_supply_sweep=True,
+    batched_monte_carlo=True,
+    frequency_dependent=False,
+    models_mismatch=False,
+    dynamic_supply=False,
+    serving_margins=True,
+    cost_rank=1,
+)
+
+
+@engine("behavioral", title="Closed-form PWM math (ideal cell)")
+class BehavioralEngine(Engine):
+    """Ideal transcoding: ``Vout = Vdd * (1 - duty)``, instantly.
+
+    Frequency- and device-independent by construction — the reference
+    every other fidelity is measured against, and the engine behind the
+    ratiometric training/serving hot paths.
+    """
+
+    def evaluate(self, design: CellDesign, stimulus: CellStimulus,
+                 **options: Any) -> float:
+        return stimulus.vdd * (1.0 - stimulus.duty)
+
+    def sweep_supply(self, design: CellDesign, stimulus: CellStimulus,
+                     vdd_values: Sequence[float],
+                     **options: Any) -> np.ndarray:
+        vdds = self.check_vdd_grid(vdd_values)
+        return vdds * (1.0 - stimulus.duty)
+
+    def monte_carlo(self, design: CellDesign, stimulus: CellStimulus,
+                    n_trials: int, *, seed: Optional[int] = None,
+                    **options: Any) -> np.ndarray:
+        # Mismatch perturbs device resistances, which the ideal math
+        # does not see: every trial lands on the nominal value (the
+        # capabilities flag models_mismatch=False records this).
+        n = self.check_trials(n_trials)
+        return np.full(n, self.evaluate(design, stimulus))
+
+    def capabilities(self) -> EngineCapabilities:
+        return _CAPS

@@ -1,0 +1,103 @@
+"""Switch-level engine: exact periodic RC solves of the cell.
+
+The transcoding inverter seen from its output node is a single
+:class:`~repro.core.rc_model.RcLeg` — pulled to ``Vdd`` through the PMOS
+while the PWM input is low (fraction ``1 - duty``, starting at phase
+``duty``), to ground through the NMOS otherwise.  Supply sweeps and
+Monte-Carlo batches share that switching pattern, so both run as one
+:class:`~repro.core.rc_model.RcBatchSolver` solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.cells import CellDesign
+from ..core.rc_model import RcBatchSolver
+from ..tech.corners import MonteCarloSampler
+from ..tech.mosfet_models import on_resistance_vec
+from .base import CellStimulus, Engine, EngineCapabilities, engine
+
+_CAPS = EngineCapabilities(
+    level="switch",
+    batched_supply_sweep=True,
+    batched_monte_carlo=True,
+    frequency_dependent=True,
+    models_mismatch=True,
+    dynamic_supply=False,
+    serving_margins=True,
+    cost_rank=2,
+)
+
+
+def _loaded(design: CellDesign, stimulus: CellStimulus) -> CellDesign:
+    """Apply the stimulus' load override (pre-scale, like the benches)."""
+    if stimulus.rout is None:
+        return design
+    return replace(design, rout=stimulus.rout * design.scale)
+
+
+@engine("rc", title="Switch-level periodic RC solve")
+class RcEngine(Engine):
+    """Exact piecewise-exponential solve of the cell's output RC.
+
+    Captures loading, ripple and device on-resistance asymmetry; no
+    gate-timing effects (the transistor engine models those).
+    """
+
+    def _solve(self, design: CellDesign, stimulus: CellStimulus,
+               r_up: np.ndarray, r_down: np.ndarray,
+               v_up) -> np.ndarray:
+        duty = float(stimulus.duty)
+        solver = RcBatchSolver([1.0 - duty], [duty % 1.0], r_up, r_down,
+                               v_up=v_up, cout=stimulus.cout,
+                               period=1.0 / stimulus.frequency)
+        return solver.solve().average_voltage()
+
+    def evaluate(self, design: CellDesign, stimulus: CellStimulus,
+                 **options: Any) -> float:
+        return float(self.sweep_supply(design, stimulus,
+                                       [stimulus.vdd])[0])
+
+    def sweep_supply(self, design: CellDesign, stimulus: CellStimulus,
+                     vdd_values: Sequence[float],
+                     **options: Any) -> np.ndarray:
+        base = _loaded(design, stimulus)
+        vdds = self.check_vdd_grid(vdd_values)
+        # The device resistances depend on the supply only.
+        r_up = np.array([[base.pull_up_resistance(v)] for v in vdds])
+        r_down = np.array([[base.pull_down_resistance(v)] for v in vdds])
+        return self._solve(base, stimulus, r_up, r_down, vdds)
+
+    def monte_carlo(self, design: CellDesign, stimulus: CellStimulus,
+                    n_trials: int, *, seed: Optional[int] = None,
+                    sampler: Optional[MonteCarloSampler] = None,
+                    **options: Any) -> np.ndarray:
+        n = self.check_trials(n_trials)
+        base = _loaded(design, stimulus)
+        sampler = sampler or MonteCarloSampler(seed=seed)
+        # Draw order per trial: NMOS (delta_vt, kp) then PMOS — the
+        # scalar convention shared with exec.batch.sample_adder_mismatch.
+        widths = np.empty((n, 2))
+        widths[:, 0] = base.wn
+        widths[:, 1] = base.wp
+        lengths = np.full_like(widths, base.length)
+        delta_vt, kp_scale = sampler.sample_batch(widths, lengths)
+        vdd = float(stimulus.vdd)
+        nmos, pmos = base.nmos, base.pmos
+        vt_n = np.abs(nmos.vt0 + delta_vt[:, 0])
+        beta_n = nmos.kp * kp_scale[:, 0] * base.wn / base.length
+        r_down = on_resistance_vec(beta_n, vt_n, nmos.lam, nmos.n_sub,
+                                   vdd) + base.rout_eff
+        vt_p = np.abs(pmos.vt0 - delta_vt[:, 1])
+        beta_p = pmos.kp * kp_scale[:, 1] * base.wp / base.length
+        r_up = on_resistance_vec(beta_p, vt_p, pmos.lam, pmos.n_sub,
+                                 vdd) + base.rout_eff
+        return self._solve(base, stimulus, r_up[:, None], r_down[:, None],
+                           vdd)
+
+    def capabilities(self) -> EngineCapabilities:
+        return _CAPS

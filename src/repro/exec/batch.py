@@ -35,6 +35,32 @@ from ..core.rc_model import RcBatchSolver
 from ..tech.corners import MonteCarloSampler
 from ..tech.mosfet_models import on_resistance_vec
 
+#: Monte-Carlo execution backends accepted by the ensemble layer.
+MC_METHODS = ("auto", "loop", "vectorized")
+
+
+def resolve_monte_carlo_method(method: str, *,
+                               engine_id: str = "rc") -> str:
+    """Resolve a Monte-Carlo ``method`` against the engine registry.
+
+    ``"auto"`` asks the target engine's
+    :meth:`~repro.engines.base.Engine.capabilities` whether it can
+    batch a whole trial set into one solve (``batched_monte_carlo``):
+    capable engines run ``"vectorized"``, the rest fall back to the
+    per-trial ``"loop"``.  Explicit methods pass through unchanged;
+    unknown method names or engine ids fail with the registry's help.
+    """
+    from ..engines import get_engine
+
+    if method not in MC_METHODS:
+        raise AnalysisError(
+            f"unknown method {method!r}; use {MC_METHODS}")
+    if method != "auto":
+        get_engine(engine_id)  # still validate the engine id
+        return method
+    capable = get_engine(engine_id).capabilities().batched_monte_carlo
+    return "vectorized" if capable else "loop"
+
 
 @dataclass(frozen=True)
 class MismatchBatch:

@@ -23,10 +23,11 @@ from ..circuit.netlist import Circuit
 from ..circuit.transient import transient
 from ..core.cells import CellDesign, transcoding_inverter_subckt
 from ..reporting.figures import FigureData
+from ..engines import require_capability
 from ..signals.pwm import rail_referenced_pwm
 from ..signals.supply import ramp
 from .base import ExperimentResult
-from .spec import experiment
+from .spec import engine_param, experiment
 
 EXPERIMENT_ID = "ext_dynamic_supply"
 TITLE = "Ratiometric output during a live supply ramp (2.5 V -> 1.25 V)"
@@ -53,8 +54,16 @@ def _build(t_ramp: float) -> Circuit:
 
 
 @experiment("ext_dynamic_supply", title=TITLE,
-            tags=("extension", "supply", "transient"))
-def run(fidelity: str = "fast") -> ExperimentResult:
+            tags=("extension", "supply", "transient"),
+            params=[engine_param(
+                default="spice",
+                help="engine for the live-ramp transient (only engines "
+                     "with dynamic-supply capability qualify)")])
+def run(fidelity: str = "fast", engine: str = "spice") -> ExperimentResult:
+    # A moving rail breaks the periodicity the behavioural/RC engines
+    # assume; the registry capability check rejects them cleanly.
+    require_capability(engine, "dynamic_supply",
+                       context="live supply-ramp transients")
     n_windows = 24 if fidelity == "paper" else 14
     periods_per_window = 10 if fidelity == "paper" else 8
     period = 1.0 / FREQUENCY

@@ -1,16 +1,21 @@
-"""Extension — cross-validation of the three adder engines.
+"""Extension — cross-validation of the three engines, cell and adder.
 
 DESIGN.md's fidelity ladder is only trustworthy if the engines agree
-where they must.  This experiment runs an operand grid through the
-behavioural, RC switch-level and transistor-level engines, reports the
-pairwise deviations, and fits the calibration polynomial that closes the
-behavioural→transistor gap.
+where they must.  This experiment validates the ladder at both levels:
+the registry's cross-engine consistency harness
+(:func:`repro.engines.fidelity.consistency_report`) sweeps the Fig. 2
+cell across a shared ``(duty, vdd)`` grid through every registered
+engine, and an operand grid through the behavioural, RC switch-level
+and transistor-level *adder* engines reports the pairwise deviations
+plus the calibration polynomial that closes the behavioural→transistor
+gap.
 """
 
 from __future__ import annotations
 
 from ..analysis.calibrate import calibrate_adder, calibration_grid
 from ..core.weighted_adder import AdderConfig, WeightedAdder
+from ..engines.fidelity import consistency_report
 from ..reporting.tables import Table
 from .base import ExperimentResult
 from .spec import experiment, seed_param
@@ -47,6 +52,13 @@ def run(fidelity: str = "fast", seed: int = 0) -> ExperimentResult:
     model, residual = calibrate_adder(adder, engine="spice", seed=seed,
                                       n_random=n_random,
                                       steps_per_period=steps)
+    # Cell-level ladder check through the engine registry: every
+    # registered engine sweeps the same (duty, vdd) grid (batched MNA
+    # for 'spice'), and the pairwise divergences become metrics.
+    cell = consistency_report(fidelity=fidelity, steps_per_period=steps)
+    cell_metrics = {f"cell_worst[{pair}]_V": value
+                    for pair, value in
+                    sorted(cell.pairwise_divergence().items())}
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, fidelity=fidelity,
         table=table,
@@ -56,6 +68,7 @@ def run(fidelity: str = "fast", seed: int = 0) -> ExperimentResult:
             "calibration_coefficients": tuple(
                 round(c, 5) for c in model.coefficients),
             "calibrated_rms_residual_V": residual,
+            **cell_metrics,
         })
     result.notes.append(
         "RC tracks Eq. 2 to ~10 mV (its deviation is the PMOS/NMOS "

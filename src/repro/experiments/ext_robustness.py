@@ -26,9 +26,10 @@ from ..analysis.robustness import (
 from ..core.perceptron import DifferentialPwmPerceptron
 from ..core.training import PerceptronTrainer
 from ..digital.digital_perceptron import DigitalPerceptron
+from ..engines import require_capability
 from ..reporting.figures import FigureData
 from .base import ExperimentResult
-from .spec import Param, experiment, seed_param
+from .spec import Param, engine_param, experiment, seed_param
 
 EXPERIMENT_ID = "ext_robustness"
 TITLE = "Classification accuracy vs supply voltage (PWM vs baselines)"
@@ -45,10 +46,14 @@ FAST_VDD = (0.8, 1.0, 1.5, 2.5, 3.5)
               help="supply voltages in V "
                    "(default: fidelity-dependent grid)"),
         seed_param(7),
+        engine_param(default=None,
+                     help="engine for the PWM curve (default: 'rc' at "
+                          "paper fidelity, 'behavioral' at fast; must "
+                          "support perceptron margins)"),
     ])
 def run(fidelity: str = "fast",
         vdd_values: Optional[Sequence[float]] = None,
-        seed: int = 7) -> ExperimentResult:
+        seed: int = 7, engine: Optional[str] = None) -> ExperimentResult:
     if vdd_values is None:
         vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
     n = 40 if fidelity == "paper" else 16
@@ -58,7 +63,12 @@ def run(fidelity: str = "fast",
     trainer = PerceptronTrainer(2, seed=seed)
     trained = trainer.fit(data.X, data.y, epochs=60)
     pwm = trained.perceptron
-    engine = "rc" if fidelity == "paper" else "behavioral"
+    if engine is None:
+        engine = "rc" if fidelity == "paper" else "behavioral"
+    # Registry choke point: unknown ids and margin-incapable engines
+    # (e.g. 'spice') fail here with the registry's help text.
+    require_capability(engine, "serving_margins",
+                       context="perceptron accuracy sweeps")
 
     # Digital twin: same decision boundary on the unsigned grid.
     # w.x + b > 0 with signed w is expressed for the digital baseline as

@@ -11,30 +11,30 @@ One sweep feeds both artefacts:
 The input amplitude tracks the supply (the PWM driver runs from the same
 rail), as in the paper's setup.
 
-Execution: the default (transistor-level) sweep flattens the whole
-``(duty, vdd)`` grid and maps it over the session executor, so
-``--jobs N`` parallelises it; ``engine="rc"`` evaluates the cell at the
-switch level instead, batching each duty's *entire* supply sweep through
-one :class:`~repro.core.rc_model.RcBatchSolver` solve (no per-point
-scalar solves at all) — the serving-scale path for wide supply grids.
+Execution: every engine comes from the :mod:`repro.engines` registry
+and sweeps each duty's *entire* supply grid in one batched solve —
+``spice`` stacks the grid into one lock-step MNA shooting solve
+(:class:`~repro.circuit.batch_transient.BatchTransientSolver`,
+bit-identical to the historical per-point loop), ``rc`` runs one
+:class:`~repro.core.rc_model.RcBatchSolver` solve per duty, and
+``behavioral`` is closed form.  Unknown engine ids fail in
+:func:`repro.engines.get_engine` — the registry's single validation
+point — whether they arrive via the CLI, HTTP, or a direct call.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..analysis.elasticity import ratiometric_report
-from ..circuit.exceptions import AnalysisError
 from ..core.cells import CellDesign
-from ..core.rc_model import RcBatchSolver
+from ..engines import CellStimulus, get_engine
 from ..exec.executor import get_default_executor
 from ..reporting.figures import FigureData
 from .base import ExperimentResult
-from .spec import Param, experiment
-from .fig4_dc_transfer import measure_cell
+from .spec import Param, engine_param, experiment
 
 DUTIES = (0.25, 0.50, 0.75)
 
@@ -46,68 +46,73 @@ FREQUENCY = 500e6
 #: Fig. 6/7 load the cell with the 100 kOhm "linear" resistor.
 ROUT = 100e3
 
-SWEEP_ENGINES = ("spice", "rc")
-
-
-def _measure_supply_point(payload: "tuple[float, float, int]") -> float:
-    """One transistor-level grid point (top-level: process-pool safe)."""
-    duty, vdd, steps = payload
-    return measure_cell(duty, ROUT, vdd=vdd, frequency=FREQUENCY,
-                        steps_per_period=steps)
+COUT = 1e-12
 
 
 def supply_sweep_rc_batch(duties: Sequence[float],
                           vdd_values: Sequence[float], *,
                           rout: float = ROUT,
-                          cout: float = 1e-12,
+                          cout: float = COUT,
                           frequency: float = FREQUENCY,
                           design: Optional[CellDesign] = None
                           ) -> "dict[float, list]":
     """Switch-level supply sweep, one batched solve per duty cycle.
 
-    The transcoding inverter seen from its output node is a single
-    :class:`~repro.core.rc_model.RcLeg`: pulled to ``Vdd`` through the
-    PMOS while the PWM input is low (fraction ``1 - duty``, starting at
-    phase ``duty``), to ground through the NMOS otherwise.  Every supply
-    point shares that switching pattern, so the whole ``Vdd`` grid is
-    one ``(V, 1)`` :class:`RcBatchSolver` solve.
+    Thin wrapper over the registry's ``rc`` engine (kept as the
+    historical entry point): every supply point shares the duty's
+    switching pattern, so the whole ``Vdd`` grid is one
+    :class:`~repro.core.rc_model.RcBatchSolver` solve.
     """
+    eng = get_engine("rc")
     base = design or CellDesign()
-    base = replace(base, rout=rout * base.scale)
-    vdds = np.asarray([float(v) for v in vdd_values])
-    if vdds.ndim != 1 or vdds.size == 0:
-        raise AnalysisError("need a non-empty 1-D vdd sweep")
-    # The device resistances depend on the supply only, not the duty.
-    r_up = np.array([[base.pull_up_resistance(v)] for v in vdds])
-    r_down = np.array([[base.pull_down_resistance(v)] for v in vdds])
+    vdds = [float(v) for v in vdd_values]
     data: "dict[float, list]" = {}
     for duty in duties:
-        duty = float(duty)
-        solver = RcBatchSolver([1.0 - duty], [duty % 1.0], r_up, r_down,
-                               v_up=vdds, cout=cout,
-                               period=1.0 / frequency)
-        values = solver.solve().average_voltage()
-        data[duty] = list(zip(vdds.tolist(),
-                              [float(v) for v in values]))
+        stimulus = CellStimulus(duty=float(duty), frequency=frequency,
+                                cout=cout, rout=rout)
+        values = eng.sweep_supply(base, stimulus, vdds)
+        data[float(duty)] = list(zip(vdds, [float(v) for v in values]))
     return data
+
+
+def _measure_supply_point(payload: "tuple[str, float, float, int]") -> float:
+    """One engine grid point (top-level: process-pool safe)."""
+    engine_id, duty, vdd, steps = payload
+    stimulus = CellStimulus(duty=duty, frequency=FREQUENCY, vdd=vdd,
+                            cout=COUT, rout=ROUT)
+    return get_engine(engine_id).evaluate(CellDesign(), stimulus,
+                                          steps_per_period=steps)
 
 
 def _sweep(fidelity: str, vdd_values: Optional[Sequence[float]],
            engine: str = "spice") -> "dict[float, list]":
-    if engine not in SWEEP_ENGINES:
-        raise AnalysisError(
-            f"unknown sweep engine {engine!r}; use {SWEEP_ENGINES}")
+    # The registry is the single engine-id validation point: direct
+    # module calls fail here exactly like CLI/HTTP input does.
+    eng = get_engine(engine)
     if vdd_values is None:
         vdd_values = PAPER_VDD if fidelity == "paper" else FAST_VDD
-    if engine == "rc":
-        return supply_sweep_rc_batch(DUTIES, vdd_values)
+    vdds = [float(v) for v in vdd_values]
     steps = 150 if fidelity == "paper" else 80
-    points = [(duty, float(vdd), steps)
-              for duty in DUTIES for vdd in vdd_values]
-    vouts = get_default_executor().map(_measure_supply_point, points)
-    data: "dict[float, list]" = {duty: [] for duty in DUTIES}
-    for (duty, vdd, _steps), vout in zip(points, vouts):
-        data[duty].append((vdd, vout))
+    transistor = eng.capabilities().level == "transistor"
+    executor = get_default_executor()
+    if transistor and getattr(executor, "jobs", 1) > 1:
+        # Under --jobs N the whole flattened (duty, vdd) grid fans out
+        # over the pool in one map — full cross-duty parallelism, same
+        # values as the batched path (pinned by the engine tests).
+        points = [(engine, duty, vdd, steps)
+                  for duty in DUTIES for vdd in vdds]
+        vouts = executor.map(_measure_supply_point, points)
+        data: "dict[float, list]" = {duty: [] for duty in DUTIES}
+        for (_eid, duty, vdd, _steps), vout in zip(points, vouts):
+            data[duty].append((vdd, float(vout)))
+        return data
+    options = {"steps_per_period": steps} if transistor else {}
+    data = {}
+    for duty in DUTIES:
+        stimulus = CellStimulus(duty=duty, frequency=FREQUENCY,
+                                cout=COUT, rout=ROUT)
+        values = eng.sweep_supply(CellDesign(), stimulus, vdds, **options)
+        data[duty] = list(zip(vdds, [float(v) for v in values]))
     return data
 
 
@@ -118,9 +123,7 @@ def _sweep(fidelity: str, vdd_values: Optional[Sequence[float]],
         Param("vdd_values", "floats", default=None, minimum=0.05,
               help="supply voltages in V "
                    "(default: fidelity-dependent grid)"),
-        Param("engine", "str", default="spice", choices=SWEEP_ENGINES,
-              help="sweep engine: transistor-level 'spice' or batched "
-                   "switch-level 'rc'"),
+        engine_param(default="spice"),
     ])
 def run_fig6(fidelity: str = "fast",
              vdd_values: Optional[Sequence[float]] = None,
@@ -152,9 +155,7 @@ def run_fig6(fidelity: str = "fast",
         Param("vdd_values", "floats", default=None, minimum=0.05,
               help="supply voltages in V "
                    "(default: fidelity-dependent grid)"),
-        Param("engine", "str", default="spice", choices=SWEEP_ENGINES,
-              help="sweep engine: transistor-level 'spice' or batched "
-                   "switch-level 'rc'"),
+        engine_param(default="spice"),
     ])
 def run_fig7(fidelity: str = "fast",
              vdd_values: Optional[Sequence[float]] = None,

@@ -208,6 +208,27 @@ def seed_param(default: int, help: str = "base RNG seed "
     return Param("seed", "int", default=default, minimum=0, help=help)
 
 
+def engine_param(default: Optional[str] = "spice",
+                 help: Optional[str] = None) -> Param:
+    """The common ``engine`` parameter, choices drawn from the registry.
+
+    Like ``fidelity`` and ``seed``, ``engine`` is a first-class common
+    parameter: its legal values are the registered
+    :mod:`repro.engines` ids (never a hand-maintained tuple), so the
+    CLI parser, :meth:`RunConfig.build` and direct runner calls all
+    reject unknown engines against the same single source.  A default
+    of ``None`` means "fidelity-dependent" (the runner picks).
+    """
+    from ..engines import engine_ids
+
+    ids = tuple(engine_ids())
+    return Param(
+        "engine", "str", default=default, choices=ids,
+        help=help or ("simulation engine: one of "
+                      f"{', '.join(ids)} (registry-backed; see "
+                      "`python -m repro list --engines`)"))
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A registered experiment: identity, schema and entry points."""

@@ -164,17 +164,22 @@ class BatchInferenceEngine:
         :class:`~repro.core.rc_model.RcBatchSolver` solve per cell bank
         instead of one scalar switch-level solve per supply point.
         """
+        from ..engines import require_capability
+
+        resolved = require_capability(engine, "serving_margins",
+                                      context="supply-sweep inference")
+        level = resolved.capabilities().level
+        if level not in ("behavioral", "switch"):
+            raise AnalysisError(
+                f"no supply-sweep implementation for engine "
+                f"{engine!r} (level {level!r})")
         vdds = np.asarray(list(vdd_values), dtype=float)
         if vdds.ndim != 1 or vdds.size == 0:
             raise AnalysisError("need a non-empty 1-D vdd sweep")
-        if engine == "behavioral":
+        if level == "behavioral":
             X = np.broadcast_to(np.asarray(x, float),
                                 (vdds.size, len(x)))
             return self.predict(perceptron, X, vdd=vdds)
-        if engine != "rc":
-            raise AnalysisError(
-                f"unsupported sweep engine {engine!r}; use 'behavioral' "
-                "or 'rc'")
         if not _plain_differential(perceptron.comparator):
             raise AnalysisError(
                 "batched inference requires a plain DifferentialComparator "
@@ -230,11 +235,71 @@ class BatchInferenceEngine:
         raise AnalysisError(
             f"cannot serve model of type {type(model).__name__}")
 
+    def margins_rc(self, perceptron: DifferentialPwmPerceptron, X, *,
+                   vdd: Optional[ArrayLike] = None) -> np.ndarray:
+        """Switch-level analog margins, one exact periodic solve pair
+        per row (rows have distinct PWM patterns, so they cannot share
+        one batch solve — the cost the registry's ``cost_rank``
+        advertises)."""
+        X = check_duty_matrix(X, perceptron.n_features)
+        cfg = perceptron.config
+        supply = np.broadcast_to(
+            np.asarray(cfg.vdd if vdd is None else vdd, dtype=float),
+            (X.shape[0],))
+        # Device resistances depend only on the rail: with one shared
+        # supply (the /predict common case) compute them once, not per
+        # row.
+        uniform = bool(np.all(supply == supply[0])) if supply.size else True
+        if uniform:
+            v_shared = np.asarray([supply[0]]) if supply.size else supply
+            r_up, r_down = leg_resistance_arrays(cfg, None, v_shared)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            duties = list(row) + [1.0]
+            v = np.asarray([supply[i]])
+            if not uniform:
+                r_up, r_down = leg_resistance_arrays(cfg, None, v)
+            pos = batch_adder_values(cfg, duties, perceptron._pos_weights,
+                                     r_up, r_down, v).value
+            neg = batch_adder_values(cfg, duties, perceptron._neg_weights,
+                                     r_up, r_down, v).value
+            out[i] = pos[0] - neg[0]
+        return out
+
     def model_margins(self, model, X, *,
-                      vdd: Optional[ArrayLike] = None) -> np.ndarray:
+                      vdd: Optional[ArrayLike] = None,
+                      engine: str = "behavioral") -> np.ndarray:
         """Analog evidence per row: the output stage's differential
         margin in volts (for MLPs, of the output unit on its hidden
-        activations)."""
+        activations).
+
+        ``engine`` selects the modelling fidelity through the registry:
+        ``"behavioral"`` (the vectorised hot path) or ``"rc"`` (exact
+        switch-level solves per row).  Ids without the
+        ``serving_margins`` capability — e.g. ``"spice"`` — are
+        rejected at the registry choke point.
+        """
+        from ..engines import require_capability
+
+        resolved = require_capability(engine, "serving_margins",
+                                      context="served analog margins")
+        # Dispatch on the engine's declared modelling level, not its id,
+        # so a future serving-capable engine cannot silently fall into
+        # the wrong margin implementation.
+        level = resolved.capabilities().level
+        if level not in ("behavioral", "switch"):
+            raise AnalysisError(
+                f"no served-margin implementation for engine "
+                f"{engine!r} (level {level!r})")
+        if level == "switch":
+            if isinstance(model, PwmMlp):
+                raise AnalysisError(
+                    "switch-level margins support single differential "
+                    "perceptrons; MLPs serve behaviorally")
+            if isinstance(model, DifferentialPwmPerceptron):
+                return self.margins_rc(model, X, vdd=vdd)
+            raise AnalysisError(
+                f"cannot serve model of type {type(model).__name__}")
         if isinstance(model, PwmMlp):
             if model.output is None:
                 raise AnalysisError(

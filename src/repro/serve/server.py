@@ -10,10 +10,18 @@ JSON API (content type ``application/json`` throughout):
 ``GET /metrics``
     Request / latency / batch-size counters.
 ``POST /predict``
-    ``{"model": <name>, "inputs": [[...], ...], "vdd": <optional>}`` →
-    ``{"model", "predictions", "margins", "count"}``.  ``inputs`` may
-    also be one flat feature row; ``vdd`` a scalar supply for the whole
-    request.
+    ``{"model": <name>, "inputs": [[...], ...], "vdd": <optional>,
+    "engine": <optional>}`` →
+    ``{"model", "predictions", "margins", "count", "engine"}``.
+    ``inputs`` may also be one flat feature row; ``vdd`` a scalar
+    supply for the whole request.  ``engine`` picks the analog-margin
+    fidelity from the :mod:`repro.engines` registry (default
+    ``"behavioral"``, the micro-batched hot path; ``"rc"`` computes
+    exact switch-level margins and bypasses the batcher; ids without
+    the serving capability are rejected with the registry's help).
+``GET /engines``
+    The engine registry: ids, titles and capability flags from
+    :func:`repro.engines.describe`.
 ``GET /experiments`` / ``GET /experiments/<id>``
     The self-describing experiment registry: typed parameter schemas
     straight from :func:`repro.experiments.describe`.
@@ -274,13 +282,24 @@ class PerceptronServer:
             # json.loads accepts Infinity/NaN — reject them here.
             if not math.isfinite(vdd) or vdd <= 0:
                 raise AnalysisError("vdd must be a positive finite number")
-        margins = loaded.batcher.submit(X, vdd=vdd).result(timeout=30)
+        engine = payload.get("engine", "behavioral")
+        if not isinstance(engine, str):
+            raise AnalysisError("'engine' must be an engine id string")
+        if engine == "behavioral":
+            margins = loaded.batcher.submit(X, vdd=vdd).result(timeout=30)
+        else:
+            # Non-default fidelities skip the micro-batcher: they are
+            # per-row solves whose latency would stall the behavioural
+            # hot path's batches.  The registry validates the id.
+            margins = self.engine.model_margins(loaded.model, X, vdd=vdd,
+                                                engine=engine)
         predictions = (margins > loaded.offset).astype(int)
         return {
             "model": name,
             "predictions": [int(p) for p in predictions],
             "margins": [float(m) for m in margins],
             "count": int(X.shape[0]),
+            "engine": engine,
         }
 
     def batcher_metrics(self) -> Dict[str, Any]:
@@ -296,6 +315,12 @@ class PerceptronServer:
 
     def describe_experiments(self) -> Dict[str, Any]:
         from ..experiments import describe
+
+        return describe()
+
+    def describe_engines(self) -> Dict[str, Any]:
+        """``GET /engines``: the simulation-engine registry."""
+        from ..engines import describe
 
         return describe()
 
@@ -537,6 +562,9 @@ def _make_handler(server: "PerceptronServer"):
             elif path == "/experiments":
                 self._observed("/experiments", lambda: (
                     200, server.describe_experiments(), 0))
+            elif path == "/engines":
+                self._observed("/engines", lambda: (
+                    200, server.describe_engines(), 0))
             elif path == "/campaigns":
                 self._observed("/campaigns", lambda: (
                     200, server.list_campaigns(), 0))

@@ -1,0 +1,469 @@
+"""Engine registry, batched MNA solver, and cross-layer engine routing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    AnalysisError,
+    BatchTransientSolver,
+    Capacitor,
+    Circuit,
+    ConvergenceError,
+    Inductor,
+    PwmVoltage,
+    Resistor,
+    Vdc,
+    shooting,
+    shooting_batch,
+    transient,
+)
+from repro.core.cells import CellDesign, build_transcoding_inverter_bench
+from repro.engines import (
+    CellStimulus,
+    EngineCapabilities,
+    consistency_report,
+    describe,
+    engine_ids,
+    get_engine,
+    require_capability,
+)
+from repro.exec.batch import resolve_monte_carlo_method
+
+PERIOD = 1.0 / 500e6
+FAST_VDD = (1.0, 2.5, 4.0)
+
+
+def cell_bench(vdd: float, duty: float = 0.5) -> Circuit:
+    return build_transcoding_inverter_bench(
+        duty, vdd=vdd, frequency=500e6, cout=1e-12, rout=100e3,
+        input_amplitude=vdd)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_three_engines_registered(self):
+        assert engine_ids() == ["behavioral", "rc", "spice"]
+
+    def test_get_engine_is_singleton(self):
+        assert get_engine("rc") is get_engine("rc")
+
+    def test_partial_submodule_import_still_fills_registry(self):
+        # Regression: importing one engine module directly must not
+        # leave the registry permanently partial for this process.
+        import os
+        import subprocess
+        import sys
+
+        code = ("import repro.engines.rc\n"
+                "from repro.engines import engine_ids\n"
+                "print(engine_ids())\n")
+        env = {**os.environ,
+               "PYTHONPATH": "src" + os.pathsep
+               + os.environ.get("PYTHONPATH", "")}
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True,
+            text=True, env=env, check=True).stdout
+        assert "behavioral" in out and "spice" in out
+
+    def test_unknown_engine_message_is_the_single_validation_point(self):
+        # The regression pinned by the SWEEP_ENGINES dedup: every
+        # surface fails through get_engine with the registry's help.
+        with pytest.raises(AnalysisError, match=r"unknown engine 'warp'; "
+                           r"registered engines: behavioral, rc, spice"):
+            get_engine("warp")
+
+    def test_direct_experiment_call_fails_via_registry(self):
+        from repro.experiments.fig6_fig7_supply import run_fig6
+
+        with pytest.raises(AnalysisError,
+                           match="registered engines: behavioral, rc"):
+            run_fig6(engine="warp")
+
+    def test_param_choices_come_from_registry(self):
+        from repro.experiments import get_spec
+
+        for eid in ("fig6", "fig7", "ext_robustness",
+                    "ext_dynamic_supply"):
+            choices = get_spec(eid).param("engine").choices
+            assert choices == tuple(engine_ids())
+
+    def test_describe_document(self):
+        doc = describe()
+        assert doc["count"] == 3
+        by_id = {e["id"]: e for e in doc["engines"]}
+        assert by_id["spice"]["capabilities"]["level"] == "transistor"
+        assert by_id["behavioral"]["capabilities"]["cost_rank"] == 1
+        assert describe("rc")["id"] == "rc"
+
+    def test_require_capability(self):
+        assert require_capability("rc", "serving_margins") \
+            is get_engine("rc")
+        with pytest.raises(AnalysisError,
+                           match="does not support serving_margins"):
+            require_capability("spice", "serving_margins")
+
+    def test_capabilities_are_frozen(self):
+        caps = get_engine("rc").capabilities()
+        assert isinstance(caps, EngineCapabilities)
+        with pytest.raises(Exception):
+            caps.cost_rank = 99
+
+
+class TestStimulusValidation:
+    def test_duty_bounds(self):
+        with pytest.raises(AnalysisError):
+            CellStimulus(duty=1.2)
+
+    def test_positive_quantities(self):
+        with pytest.raises(AnalysisError):
+            CellStimulus(duty=0.5, vdd=-1.0)
+        with pytest.raises(AnalysisError):
+            CellStimulus(duty=0.5, rout=0.0)
+
+    def test_empty_sweep_rejected(self):
+        eng = get_engine("behavioral")
+        with pytest.raises(AnalysisError):
+            eng.sweep_supply(CellDesign(), CellStimulus(duty=0.5), [])
+
+    def test_trials_rejected(self):
+        eng = get_engine("behavioral")
+        with pytest.raises(AnalysisError):
+            eng.monte_carlo(CellDesign(), CellStimulus(duty=0.5), 0)
+
+
+# -- engine equivalence -----------------------------------------------------
+
+
+class TestEngineEquivalence:
+    def test_behavioral_is_ideal_transcoding(self):
+        eng = get_engine("behavioral")
+        stim = CellStimulus(duty=0.3)
+        assert eng.evaluate(CellDesign(), stim) == pytest.approx(
+            2.5 * 0.7)
+        sweep = eng.sweep_supply(CellDesign(), stim, FAST_VDD)
+        assert np.allclose(sweep, np.asarray(FAST_VDD) * 0.7)
+
+    def test_rc_engine_matches_legacy_supply_sweep(self):
+        from repro.experiments.fig6_fig7_supply import (
+            DUTIES,
+            supply_sweep_rc_batch,
+        )
+
+        legacy = supply_sweep_rc_batch(DUTIES, FAST_VDD)
+        rc = get_engine("rc")
+        for duty in DUTIES:
+            new = rc.sweep_supply(
+                CellDesign(),
+                CellStimulus(duty=duty, rout=100e3), FAST_VDD)
+            assert np.array_equal(
+                np.array([p[1] for p in legacy[duty]]), new)
+
+    def test_spice_batched_sweep_equals_scalar_loop(self):
+        spice = get_engine("spice")
+        stim = CellStimulus(duty=0.5, rout=100e3)
+        batched = spice.sweep_supply(CellDesign(), stim, FAST_VDD,
+                                     steps_per_period=60)
+        scalar = spice.sweep_supply(CellDesign(), stim, FAST_VDD,
+                                    steps_per_period=60, batched=False)
+        assert np.array_equal(batched, scalar)
+
+    def test_jobs_executor_selects_per_point_loop(self):
+        # Regression: with a multi-worker session executor installed
+        # (the CLI's --jobs N), the spice sweep auto-selects the
+        # executor-parallel per-point loop — same values either way.
+        from repro.exec.executor import ProcessExecutor, use_executor
+
+        spice = get_engine("spice")
+        stim = CellStimulus(duty=0.5, rout=100e3)
+        batched = spice.sweep_supply(CellDesign(), stim, FAST_VDD,
+                                     steps_per_period=60)
+        with use_executor(ProcessExecutor(2)):
+            pooled = spice.sweep_supply(CellDesign(), stim, FAST_VDD,
+                                        steps_per_period=60)
+        assert np.array_equal(batched, pooled)
+
+    def test_engines_agree_on_shared_points(self):
+        report = consistency_report(duties=(0.5,), vdd_values=(2.5,),
+                                    steps_per_period=60)
+        # The ladder: rc within ~15 mV of ideal, spice within ~60 mV.
+        assert report.divergence("rc", "behavioral") < 0.02
+        assert report.divergence("spice", "behavioral") < 0.06
+
+    def test_monte_carlo_determinism_and_mismatch(self):
+        stim = CellStimulus(duty=0.5, rout=100e3)
+        rc = get_engine("rc")
+        a = rc.monte_carlo(CellDesign(), stim, 8, seed=3)
+        b = rc.monte_carlo(CellDesign(), stim, 8, seed=3)
+        assert np.array_equal(a, b)
+        assert np.std(a) > 0          # mismatch moves the output
+        beh = get_engine("behavioral").monte_carlo(
+            CellDesign(), stim, 8, seed=3)
+        assert np.ptp(beh) == 0.0     # ideal math cannot see mismatch
+
+    def test_spice_monte_carlo_batches(self):
+        stim = CellStimulus(duty=0.5, rout=100e3)
+        values = get_engine("spice").monte_carlo(
+            CellDesign(), stim, 3, seed=5, steps_per_period=50)
+        assert values.shape == (3,)
+        assert np.std(values) > 0
+
+
+# -- batched transient / shooting ------------------------------------------
+
+
+class TestBatchTransient:
+    def test_linear_rc_batch_matches_scalar(self):
+        def make(v):
+            c = Circuit("rc")
+            c.add(Vdc("V1", "in", "0", v))
+            c.add(Resistor("R1", "in", "out", "1k"))
+            c.add(Capacitor("C1", "out", "0", "1u"))
+            return c
+
+        scal = [transient(make(v), 5e-3, 1e-5, ic={"out": 0.0})
+                for v in (1.0, 2.0)]
+        bat = BatchTransientSolver([make(v) for v in (1.0, 2.0)]).run(
+            5e-3, 1e-5, x0=np.stack([s.X[0] for s in scal]))
+        for p, s in enumerate(scal):
+            assert np.array_equal(bat.X[:, p, :], s.X)
+
+    def test_cell_bench_batch_is_bit_identical(self):
+        vdds = (1.0, 2.5, 4.0)
+        scal = [transient(cell_bench(v), PERIOD, PERIOD / 60)
+                for v in vdds]
+        bat = BatchTransientSolver(
+            [cell_bench(v) for v in vdds]).run(PERIOD, PERIOD / 60)
+        assert np.array_equal(bat.t, scal[0].t)
+        for p, s in enumerate(scal):
+            assert np.array_equal(bat.X[:, p, :], s.X)
+
+    def test_point_view_is_a_transient_result(self):
+        bat = BatchTransientSolver(
+            [cell_bench(v) for v in (1.0, 2.0)]).run(PERIOD, PERIOD / 50)
+        wave = bat.point(1).node("out")
+        assert len(wave) == len(bat.t)
+
+    def test_structure_mismatch_rejected(self):
+        a = cell_bench(1.0)
+        b = Circuit("other")
+        b.add(Vdc("V1", "x", "0", 1.0))
+        b.add(Resistor("R1", "x", "0", "1k"))
+        with pytest.raises(AnalysisError, match="share element structure"):
+            BatchTransientSolver([a, b])
+
+    def test_timing_mismatch_rejected(self):
+        # Same structure, different duty -> different breakpoints.
+        with pytest.raises(AnalysisError, match="share source timing"):
+            BatchTransientSolver(
+                [cell_bench(2.5, duty=0.3),
+                 cell_bench(2.5, duty=0.7)]).run(PERIOD, PERIOD / 50)
+
+    def test_inductor_rejected(self):
+        def make():
+            c = Circuit("rl")
+            c.add(Vdc("V1", "in", "0", 1.0))
+            c.add(Inductor("L1", "in", "out", "1u"))
+            c.add(Resistor("R1", "out", "0", "1k"))
+            return c
+
+        with pytest.raises(AnalysisError, match="inductors"):
+            BatchTransientSolver([make(), make()])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(AnalysisError):
+            BatchTransientSolver([])
+
+    def test_capacitor_free_batch_runs(self):
+        # Regression: a purely resistive batch must integrate, not
+        # trip over uninitialised capacitor state.
+        def make(v):
+            c = Circuit("divider")
+            c.add(Vdc("V1", "in", "0", v))
+            c.add(Resistor("R1", "in", "out", "1k"))
+            c.add(Resistor("R2", "out", "0", "1k"))
+            return c
+
+        bat = BatchTransientSolver([make(v) for v in (1.0, 2.0)]).run(
+            1e-6, 1e-7)
+        assert np.allclose(bat.node("out")[-1], [0.5, 1.0])
+
+    def test_bad_x0_shape_rejected(self):
+        solver = BatchTransientSolver([cell_bench(1.0)])
+        with pytest.raises(AnalysisError, match="x0 must be"):
+            solver.run(PERIOD, PERIOD / 50, x0=np.zeros((3, 3)))
+
+
+class TestShootingBatch:
+    def test_matches_scalar_shooting_bitwise(self):
+        vdds = (1.0, 2.5, 4.0)
+        scal = np.array([
+            shooting(cell_bench(v), PERIOD, observe=["out"],
+                     steps_per_period=60).average("out") for v in vdds])
+        batch = shooting_batch([cell_bench(v) for v in vdds], PERIOD,
+                               observe=["out"], steps_per_period=60)
+        assert np.array_equal(scal, batch.averages("out"))
+        assert batch.n_points == 3
+
+    def test_point_recovers_scalar_result_object(self):
+        batch = shooting_batch([cell_bench(2.5)], PERIOD,
+                               observe=["out"], steps_per_period=60)
+        pss = batch.point(0)
+        assert pss.average("out") == batch.averages("out")[0]
+        assert pss.iterations >= 1
+
+    def test_max_iterations_respected(self):
+        with pytest.raises(ConvergenceError, match="did not converge"):
+            shooting_batch([cell_bench(2.5)], PERIOD, observe=["out"],
+                           steps_per_period=50, max_iterations=1,
+                           tol=0.0, warmup_periods=0)
+
+    def test_needs_observed_node(self):
+        c = Circuit("r_only")
+        c.add(PwmVoltage("V1", "in", "0", v_high=1.0, frequency=1e6,
+                         duty=0.5))
+        c.add(Resistor("R1", "in", "0", "1k"))
+        with pytest.raises(AnalysisError, match="observed node"):
+            shooting_batch([c], 1e-6)
+
+
+# -- capability-driven dispatch across layers -------------------------------
+
+
+class TestCapabilityDispatch:
+    def test_monte_carlo_method_resolution(self):
+        assert resolve_monte_carlo_method("auto", engine_id="rc") == \
+            "vectorized"
+        assert resolve_monte_carlo_method("loop", engine_id="rc") == "loop"
+        with pytest.raises(AnalysisError, match="unknown method"):
+            resolve_monte_carlo_method("turbo")
+        with pytest.raises(AnalysisError, match="unknown engine"):
+            resolve_monte_carlo_method("auto", engine_id="warp")
+
+    def test_dynamic_supply_requires_capability(self):
+        from repro.experiments.ext_dynamic_supply import run
+
+        with pytest.raises(AnalysisError,
+                           match="does not support dynamic_supply"):
+            run(engine="rc")
+
+    def test_robustness_rejects_marginless_engine(self):
+        from repro.experiments.ext_robustness import run
+
+        with pytest.raises(AnalysisError,
+                           match="does not support serving_margins"):
+            run(engine="spice")
+
+    def test_run_config_validates_engine_at_choke_point(self):
+        from repro.experiments import RunConfig
+
+        with pytest.raises(AnalysisError, match="must be one of"):
+            RunConfig.build("fig6", "fast", {"engine": "warp"})
+        config = RunConfig.build("fig6", "fast", {"engine": "rc"})
+        assert config.param_dict()["engine"] == "rc"
+
+
+# -- serving engine knob ----------------------------------------------------
+
+
+class TestServingEngineKnob:
+    @pytest.fixture(scope="class")
+    def model(self):
+        from repro.analysis.datasets import make_blobs
+        from repro.core.training import PerceptronTrainer
+
+        data = make_blobs(n_per_class=10, n_features=2, separation=0.35,
+                          spread=0.09, seed=7)
+        trainer = PerceptronTrainer(2, seed=7)
+        return trainer.fit(data.X, data.y, epochs=30).perceptron, data
+
+    def test_rc_margins_agree_with_rc_supply_sweep(self, model):
+        from repro.serve.engine import BatchInferenceEngine
+
+        perceptron, data = model
+        engine = BatchInferenceEngine()
+        x = data.X[0]
+        vdds = [1.5, 2.5, 3.5]
+        sweep_preds = engine.predict_supply_sweep(perceptron, x, vdds,
+                                                  engine="rc")
+        margins = np.array([
+            engine.model_margins(perceptron, [list(x)], vdd=v,
+                                 engine="rc")[0] for v in vdds])
+        assert np.array_equal(
+            (margins > perceptron.comparator.offset).astype(int),
+            sweep_preds)
+
+    def test_rc_and_behavioral_predictions_agree_on_blobs(self, model):
+        from repro.serve.engine import BatchInferenceEngine
+
+        perceptron, data = model
+        engine = BatchInferenceEngine()
+        beh = engine.model_margins(perceptron, data.X)
+        rc = engine.model_margins(perceptron, data.X, engine="rc")
+        offset = perceptron.comparator.offset
+        assert np.array_equal(beh > offset, rc > offset)
+
+    def test_spice_margins_rejected(self, model):
+        from repro.serve.engine import BatchInferenceEngine
+
+        perceptron, _ = model
+        with pytest.raises(AnalysisError,
+                           match="does not support serving_margins"):
+            BatchInferenceEngine().model_margins(perceptron, [[0.5, 0.5]],
+                                                 engine="spice")
+
+
+# -- consistency harness ----------------------------------------------------
+
+
+class TestConsistencyHarness:
+    def test_report_shape_and_document(self):
+        report = consistency_report(duties=(0.25, 0.75),
+                                    vdd_values=(1.0, 2.5),
+                                    steps_per_period=50)
+        assert set(report.outputs) == {"behavioral", "rc", "spice"}
+        assert report.outputs["rc"].shape == (2, 2)
+        doc = report.to_dict()
+        assert set(doc["pairwise_divergence_V"]) == {
+            "rc_vs_behavioral", "spice_vs_behavioral", "spice_vs_rc"}
+        assert doc["duties"] == [0.25, 0.75]
+
+    def test_unknown_engine_in_divergence(self):
+        report = consistency_report(duties=(0.5,), vdd_values=(2.5,),
+                                    engines=("behavioral", "rc"))
+        with pytest.raises(AnalysisError, match="not in this report"):
+            report.divergence("behavioral", "spice")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            consistency_report(duties=(), vdd_values=(2.5,))
+
+
+# -- CLI surface ------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_engines(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list", "--engines"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("behavioral", "rc", "spice"):
+            assert eid in out
+
+    def test_list_engines_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["list", "--engines", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 3
+
+    def test_run_fig6_engine_rc(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "fig6", "--engine", "rc", "--no-charts",
+                     "--no-cache"]) == 0
+        assert "fig6" in capsys.readouterr().out

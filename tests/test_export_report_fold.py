@@ -44,6 +44,59 @@ class TestSpiceExport:
         assert "W=3.2e-07" in deck
         assert "IC=1" in deck
 
+    @staticmethod
+    def parse_deck(deck: str):
+        """Minimal SPICE card reader: element cards -> (letter, nodes).
+
+        Node counts per element letter follow the standard card
+        layouts the exporter emits (R/C/L/V/I: 2, M/E/G/S: 4).
+        """
+        nodes_per_letter = {"R": 2, "C": 2, "L": 2, "V": 2, "I": 2,
+                            "M": 4, "E": 4, "G": 4, "S": 4}
+        elements = []
+        nodes = set()
+        for line in deck.splitlines():
+            line = line.strip()
+            if not line or line.startswith(("*", ".")):
+                continue
+            fields = line.split()
+            letter = fields[0][0].upper()
+            assert letter in nodes_per_letter, f"unknown card {line!r}"
+            card_nodes = fields[1:1 + nodes_per_letter[letter]]
+            elements.append((letter, tuple(card_nodes)))
+            nodes.update(card_nodes)
+        return elements, nodes
+
+    def test_roundtrip_counts_match_netlist(self):
+        # Export, re-parse the card text, and check the deck describes
+        # exactly the circuit: same element count per type, same
+        # non-ground node set.
+        circuit = self.make_cell()
+        circuit.compile()
+        elements, nodes = self.parse_deck(to_spice(circuit))
+        assert len(elements) == len(circuit.elements)
+        letters = sorted(letter for letter, _ in elements)
+        assert letters == ["C", "M", "R", "V", "V"]
+        # SPICE spells ground as 0; every other node must round-trip.
+        assert nodes - {"0"} == {"vdd", "in", "out"}
+
+    def test_roundtrip_counts_match_adder_netlist(self):
+        # The full 54-transistor bench: subcircuit expansion must be
+        # reflected card for card (6 MOSFETs per AND cell + sources,
+        # per-cell resistors and the shared Cout).
+        adder = WeightedAdder(AdderConfig())
+        circuit = adder.build_circuit((0.2, 0.5, 0.8), (1, 2, 3))
+        circuit.compile()
+        elements, nodes = self.parse_deck(to_spice(circuit))
+        assert len(elements) == len(circuit.elements)
+        counts = {}
+        for letter, _ in elements:
+            counts[letter] = counts.get(letter, 0) + 1
+        assert counts["M"] == adder.config.transistor_count
+        expected_nodes = {n for n in circuit.node_names}
+        spice_nodes = {n.replace(".", "_") for n in expected_nodes}
+        assert nodes - {"0"} == spice_nodes
+
     def test_ground_aliases_map_to_zero(self):
         c = Circuit()
         c.add(Resistor("R1", "a", "gnd", "1k"))

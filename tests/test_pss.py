@@ -7,6 +7,8 @@ from repro.circuit import (
     AnalysisError,
     Capacitor,
     Circuit,
+    CircuitError,
+    ConvergenceError,
     PwmVoltage,
     Resistor,
     Vdc,
@@ -84,6 +86,51 @@ class TestShootingValidation:
         pss = shooting(rc_pwm_circuit(0.5), period=1e-6, observe=["out"],
                        steps_per_period=100)
         assert pss.average("out") == pytest.approx(0.5, abs=0.01)
+
+
+class TestShootingNonConvergence:
+    """Shooting failure must surface as a typed, bounded error."""
+
+    def test_unreachable_tolerance_raises_typed_error(self):
+        # tol=0 can never be met; the engine must stop at
+        # max_iterations with ConvergenceError — never a raw
+        # numpy.linalg.LinAlgError or an unbounded loop.
+        with pytest.raises(ConvergenceError) as excinfo:
+            shooting(rc_pwm_circuit(0.5), period=1e-6,
+                     steps_per_period=40, max_iterations=3, tol=0.0)
+        assert "3 iterations" in str(excinfo.value)
+        assert not isinstance(excinfo.value, np.linalg.LinAlgError)
+        assert isinstance(excinfo.value, CircuitError)
+        assert excinfo.value.analysis == "pss"
+
+    def test_max_iterations_bounds_the_period_runs(self, monkeypatch):
+        # Each iteration costs one base run plus one finite-difference
+        # run per observed node; max_iterations=2 with one observed
+        # node and no warmup is exactly 4 transient calls.
+        import repro.circuit.pss as pss_module
+
+        calls = []
+        real = pss_module.transient
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pss_module, "transient", counting)
+        with pytest.raises(ConvergenceError):
+            shooting(rc_pwm_circuit(0.5), period=1e-6,
+                     steps_per_period=40, max_iterations=2, tol=0.0,
+                     warmup_periods=0, observe=["out"])
+        assert len(calls) == 4
+
+    def test_singular_period_map_falls_back_not_raises(self):
+        # A duty-0 source makes the observed node an undriven RC to
+        # ground: the shooting Jacobian is benign here, but the
+        # (I - A) solve path must never leak LinAlgError for any
+        # converged-or-not outcome.
+        ckt = rc_pwm_circuit(0.0)
+        pss = shooting(ckt, period=1e-6, steps_per_period=40)
+        assert pss.average("out") == pytest.approx(0.0, abs=1e-6)
 
 
 class TestTranscodingInverterPss:
