@@ -196,7 +196,7 @@ def pwm_accuracy_under_supply(perceptron, X: np.ndarray, y: np.ndarray,
     from ..serve.engine import BatchInferenceEngine
 
     # Registry choke point: unknown ids and engines that cannot produce
-    # perceptron margins (e.g. 'spice') fail with the registry's help.
+    # perceptron margins fail with the registry's help.
     require_capability(engine, "serving_margins",
                        context="perceptron accuracy sweeps")
     X = np.asarray(X, dtype=float)

@@ -23,6 +23,7 @@ from .batch_transient import (
     BatchTransientResult,
     BatchTransientSolver,
     shooting_batch,
+    shooting_jacobian_batched,
 )
 from .dc import OpPoint, dc_sweep, operating_point
 from .elements import (
@@ -64,6 +65,7 @@ from .measure import (
 from .mna import MnaContext
 from .netlist import Circuit, SubCircuit
 from .pss import PssResult, settle_average, shooting
+from .sparse import HAS_SCIPY, SOLVERS, check_solver, choose_backend
 from .spice_export import to_spice, write_spice
 from .sweep import SweepResult, run_sweep, sweep, sweep1d
 from .transient import TransientResult, transient
@@ -83,8 +85,9 @@ __all__ = [
     "ac_analysis", "AcResult", "AcPoint",
     "transient", "TransientResult",
     "BatchTransientSolver", "BatchTransientResult", "shooting_batch",
-    "BatchPssResult",
+    "BatchPssResult", "shooting_jacobian_batched",
     "shooting", "settle_average", "PssResult",
+    "HAS_SCIPY", "SOLVERS", "check_solver", "choose_backend",
     "sweep", "sweep1d", "run_sweep", "SweepResult",
     "to_spice", "write_spice",
     # measurements

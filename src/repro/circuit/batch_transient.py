@@ -42,10 +42,17 @@ from .exceptions import AnalysisError, ConvergenceError, SingularMatrixError
 from .mna import MnaContext
 from .netlist import Circuit
 from .pss import PssResult, _default_observe
+from .sparse import (
+    check_solver,
+    choose_backend,
+    matrix_fill,
+    sparse_solve_batch,
+)
 from .transient import (
     BE_STEPS_AFTER_BREAKPOINT,
     MIN_STEP,
     TransientResult,
+    transient,
 )
 from .waveform import Waveform
 
@@ -398,11 +405,17 @@ class BatchTransientSolver:
     Python state the vectorised layer does not model.
     """
 
-    def __init__(self, circuits: Sequence[Circuit]):
+    def __init__(self, circuits: Sequence[Circuit], *,
+                 solver: str = "auto"):
         self.circuits = list(circuits)
         if not self.circuits:
             raise AnalysisError("need at least one circuit to batch")
-        self.contexts = [MnaContext(c) for c in self.circuits]
+        self.solver = check_solver(solver)
+        #: Concrete linear-solve backend, decided lazily from the first
+        #: assembled stack (see :mod:`repro.circuit.sparse`).
+        self._backend: Optional[str] = None
+        self.contexts = [MnaContext(c, solver=solver)
+                         for c in self.circuits]
         ctx0 = self.contexts[0]
         self.size = ctx0.size
         self.n_nodes = ctx0.n_nodes
@@ -570,8 +583,14 @@ class BatchTransientSolver:
                 xpad[:, :-1] = x_work
                 self._mosfets.stamp(G, I_t, xpad,
                                     rows=None if full else work)
+            if self._backend is None:
+                self._backend = choose_backend(
+                    self.size, matrix_fill(G[0]), self.solver)
             try:
-                x_new = _batched_solve(G, I_t.T)
+                if self._backend == "sparse":
+                    x_new = sparse_solve_batch(G, I_t.T)
+                else:
+                    x_new = _batched_solve(G, I_t.T)
             except np.linalg.LinAlgError as exc:
                 raise SingularMatrixError(
                     f"singular MNA matrix in batch: {exc}",
@@ -765,7 +784,8 @@ def shooting_batch(circuits: Sequence[Circuit], period: float, *,
                    warmup_periods: int = 2, max_iterations: int = 15,
                    tol: float = 1e-4, fd_delta: float = 5e-3,
                    method: str = "trap",
-                   update_limit: float = 2.0) -> BatchPssResult:
+                   update_limit: float = 2.0,
+                   solver: str = "auto") -> BatchPssResult:
     """Newton-shooting PSS for a whole batch of sweep points at once.
 
     The batched period map is block-diagonal across points, so each
@@ -778,7 +798,8 @@ def shooting_batch(circuits: Sequence[Circuit], period: float, *,
     """
     if period <= 0:
         raise AnalysisError("period must be positive")
-    solver = BatchTransientSolver(circuits)
+    solver_kind = check_solver(solver)
+    solver = BatchTransientSolver(circuits, solver=solver_kind)
     circuit0 = solver.circuits[0]
     observe_names = list(observe) if observe \
         else _default_observe(circuit0)
@@ -833,7 +854,8 @@ def shooting_batch(circuits: Sequence[Circuit], period: float, *,
             keep = np.nonzero(~done)[0]
             order = order[keep]
             solver = BatchTransientSolver(
-                [solver.circuits[int(k)] for k in keep])
+                [solver.circuits[int(k)] for k in keep],
+                solver=solver_kind)
 
             def run_period(x_start: np.ndarray) -> BatchTransientResult:
                 return solver.run(period, dt, x0=x_start, method=method)
@@ -871,3 +893,91 @@ def shooting_batch(circuits: Sequence[Circuit], period: float, *,
         f"iterations ({x.shape[0]} of {n_points} points open, "
         f"worst residual {float(np.max(residuals[order])):.3g} V)",
         analysis="pss")
+
+
+def shooting_jacobian_batched(circuit: Circuit, period: float, *,
+                              steps_per_period: int = 200,
+                              observe: Optional[Sequence[str]] = None,
+                              x0: Optional[np.ndarray] = None,
+                              warmup_periods: int = 2,
+                              max_iterations: int = 15,
+                              tol: float = 1e-4, fd_delta: float = 5e-3,
+                              method: str = "trap",
+                              update_limit: float = 2.0,
+                              solver: str = "auto") -> PssResult:
+    """Newton-shooting PSS of **one** circuit with batched Jacobian runs.
+
+    :func:`shooting_batch` batches across sweep *points*; single-point
+    paths (the multifreq sweeps, the perceptron-adder transients) cannot
+    use it — their circuits differ in source timing.  But every shooting
+    iteration of a single circuit already contains ``1 + n_obs``
+    independent period integrations: the base run plus one
+    finite-difference probe per observed node, all of the *same* circuit
+    and differing only in the starting state.  This function stacks them
+    into one lock-step :class:`BatchTransientSolver` run per iteration,
+    collapsing the per-iteration Python stepping overhead by
+    ``1 + n_obs``.
+
+    The stacked system is block-diagonal across the batch, so the base
+    trajectory's iterates are unaffected by the speculative probe
+    points: residuals, Jacobians and updates equal the scalar
+    :func:`~repro.circuit.pss.shooting` sequence bit for bit (the probes
+    are run speculatively *before* the residual test, which only wastes
+    work on the final iteration).  Warmup periods run through the scalar
+    engine — identical by construction.
+    """
+    if period <= 0:
+        raise AnalysisError("period must be positive")
+    circuit.compile()
+    observe_names = list(observe) if observe else _default_observe(circuit)
+    if not observe_names:
+        raise AnalysisError(
+            "shooting needs at least one observed node; none carry "
+            "explicit capacitors and none were given")
+    obs_idx = np.array([circuit.node_index(n) for n in observe_names])
+    if np.any(obs_idx < 0):
+        raise AnalysisError("cannot observe the ground node")
+    dt = period / steps_per_period
+    n_obs = len(obs_idx)
+    # All batch points are the same circuit object: the batch layer never
+    # mutates element state (capacitor companions live in its own
+    # arrays), so the shared structure check is trivially satisfied.
+    batch_solver = BatchTransientSolver([circuit] * (1 + n_obs),
+                                        solver=solver)
+    ctx = batch_solver.contexts[0]
+
+    x = operating_point(circuit, t=0.0, ctx=ctx).x.copy() if x0 is None \
+        else np.asarray(x0, dtype=float).copy()
+    for _ in range(max(warmup_periods, 0)):
+        x = transient(circuit, period, dt, x0=x, method=method,
+                      ctx=ctx).final_x
+
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        starts = np.repeat(x[None, :], 1 + n_obs, axis=0)
+        for j in range(n_obs):
+            starts[1 + j, obs_idx[j]] += fd_delta
+        batch = batch_solver.run(period, dt, x0=starts, method=method)
+        fx_all = batch.final_x                       # (1+n_obs, S)
+        fx = fx_all[0]
+        r = fx[obs_idx] - x[obs_idx]
+        residual = float(np.max(np.abs(r)))
+        if residual < tol:
+            return PssResult(circuit, period, batch.point(0), iteration,
+                             residual)
+        A = np.empty((n_obs, n_obs))
+        for j in range(n_obs):
+            A[:, j] = (fx_all[1 + j][obs_idx] - fx[obs_idx]) / fd_delta
+        try:
+            dx_obs = np.linalg.solve(np.eye(n_obs) - A, r)
+        except np.linalg.LinAlgError:
+            dx_obs = r  # fall back to fixed-point iteration
+        if not np.all(np.isfinite(dx_obs)):
+            dx_obs = r
+        dx_obs = np.clip(dx_obs, -update_limit, update_limit)
+        x = fx.copy()
+        x[obs_idx] = batch.X[0][0][obs_idx] + dx_obs
+
+    raise ConvergenceError(
+        f"shooting did not converge in {max_iterations} iterations "
+        f"(residual {residual:.3g} V)", analysis="pss")

@@ -18,6 +18,7 @@ from .elements.base import NONLINEAR, REACTIVE, SOURCE, STATIC, MnaSystem
 from .elements.mosfet import GMIN_DS, Mosfet
 from .exceptions import ConvergenceError, SingularMatrixError
 from .netlist import Circuit
+from .sparse import check_solver, choose_backend, matrix_fill, sparse_solve
 
 #: Default conductance from every node to ground, for matrix regularity.
 DEFAULT_GMIN = 1e-12
@@ -85,10 +86,16 @@ class _MosfetGroup:
 class MnaContext:
     """Reusable solver workspace for one compiled circuit."""
 
-    def __init__(self, circuit: Circuit, *, gmin: float = DEFAULT_GMIN):
+    def __init__(self, circuit: Circuit, *, gmin: float = DEFAULT_GMIN,
+                 solver: str = "auto"):
         circuit.compile()
         self.circuit = circuit
         self.gmin = gmin
+        self.solver = check_solver(solver)
+        #: Concrete backend ("dense"/"sparse"), decided lazily from the
+        #: first fully assembled matrix (its fill is what the crossover
+        #: heuristic needs, and it is unknown before stamping).
+        self._backend: Optional[str] = None
         self.n_nodes = circuit.n_nodes
         self.size = circuit.size
         cats = circuit.by_category
@@ -166,8 +173,14 @@ class MnaContext:
                     self.mosfet_group.stamp(G, I, x_padded)
                 for el in self.other_nonlinear:
                     el.stamp_nonlinear(self.sys_view(G, I), x, t)
+            if self._backend is None:
+                self._backend = choose_backend(
+                    self.size, matrix_fill(G), self.solver)
             try:
-                x_new = np.linalg.solve(G, I)
+                if self._backend == "sparse":
+                    x_new = sparse_solve(G, I)
+                else:
+                    x_new = np.linalg.solve(G, I)
             except np.linalg.LinAlgError as exc:
                 raise SingularMatrixError(
                     f"singular MNA matrix: {exc}", analysis=analysis, time=t

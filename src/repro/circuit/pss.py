@@ -81,7 +81,8 @@ def shooting(circuit: Circuit, period: float, *, steps_per_period: int = 200,
              max_iterations: int = 15, tol: float = 1e-4,
              fd_delta: float = 5e-3, method: str = "trap",
              update_limit: float = 2.0,
-             ctx: Optional[MnaContext] = None) -> PssResult:
+             ctx: Optional[MnaContext] = None,
+             solver: str = "auto") -> PssResult:
     """Find the periodic steady state with Newton shooting.
 
     Parameters
@@ -106,7 +107,7 @@ def shooting(circuit: Circuit, period: float, *, steps_per_period: int = 200,
     if period <= 0:
         raise AnalysisError("period must be positive")
     circuit.compile()
-    ctx = ctx or MnaContext(circuit)
+    ctx = ctx or MnaContext(circuit, solver=solver)
     observe_names = list(observe) if observe else _default_observe(circuit)
     if not observe_names:
         raise AnalysisError(

@@ -77,7 +77,8 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
               ic: Optional[Mapping[str, float]] = None, uic: bool = False,
               x0: Optional[np.ndarray] = None,
               ctx: Optional[MnaContext] = None,
-              max_retries: int = 10) -> TransientResult:
+              max_retries: int = 10,
+              solver: str = "auto") -> TransientResult:
     """Integrate the circuit from ``tstart`` to ``tstop``.
 
     Parameters
@@ -93,6 +94,10 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
     x0:
         Full initial solution vector (overrides the operating point, used
         by the PSS engine for warm restarts).
+    solver:
+        Linear-solve backend for the MNA systems ("auto"/"dense"/
+        "sparse", see :mod:`repro.circuit.sparse`).  Ignored when an
+        explicit ``ctx`` is supplied (the context owns the choice).
     """
     if tstop <= tstart:
         raise AnalysisError(f"tstop ({tstop}) must exceed tstart ({tstart})")
@@ -100,7 +105,7 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         raise AnalysisError("dt must be positive")
     if method not in ("trap", "be"):
         raise AnalysisError(f"unknown integration method {method!r}")
-    ctx = ctx or MnaContext(circuit)
+    ctx = ctx or MnaContext(circuit, solver=solver)
 
     # -- initial state ----------------------------------------------------
     if x0 is not None:

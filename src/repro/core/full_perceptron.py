@@ -13,14 +13,13 @@ from typing import Optional, Sequence
 
 from ..circuit.exceptions import AnalysisError
 from ..circuit.netlist import Circuit
-from ..circuit.pss import shooting
 from .comparator_circuit import (
     ComparatorDesign,
     comparator_subckt,
     reference_divider_subckt,
 )
 from .encoding import max_weight
-from .weighted_adder import AdderConfig, WeightedAdder
+from .weighted_adder import AdderConfig, WeightedAdder, adder_pss
 
 
 @dataclass(frozen=True)
@@ -78,7 +77,8 @@ def evaluate_full_perceptron(duties: Sequence[float],
                              config: Optional[AdderConfig] = None,
                              vdd: Optional[float] = None,
                              frequency: Optional[float] = None,
-                             steps_per_period: int = 100) -> FullPerceptronResult:
+                             steps_per_period: int = 100,
+                             solver: str = "auto") -> FullPerceptronResult:
     """Transistor-level PSS of the whole perceptron; the decision is the
     comparator output's period average thresholded at mid-rail."""
     config = config or AdderConfig()
@@ -88,11 +88,13 @@ def evaluate_full_perceptron(duties: Sequence[float],
         duties, weights, theta, config=config, vdd=supply, frequency=freq)
     # The comparator's internal nodes are slow too (microamp currents
     # into femtofarad caps give multi-period time constants near
-    # balance), so shooting must treat them as state as well.
-    pss = shooting(circuit, 1.0 / freq,
-                   observe=["out", "decision", "vref", "XCMP.d2",
-                            "XCMP.d1", "XCMP.tail", "XCMP.outb"],
-                   steps_per_period=steps_per_period)
+    # balance), so shooting must treat them as state as well.  Seven
+    # observed nodes means each shooting iteration runs eight period
+    # integrations — stacked into one lock-step solve by adder_pss.
+    pss = adder_pss(circuit, 1.0 / freq,
+                    observe=["out", "decision", "vref", "XCMP.d2",
+                             "XCMP.d1", "XCMP.tail", "XCMP.outb"],
+                    steps_per_period=steps_per_period, solver=solver)
     v_out = pss.average("decision")
     return FullPerceptronResult(
         decision=int(v_out > supply / 2.0),

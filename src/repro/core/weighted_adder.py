@@ -21,7 +21,7 @@ from ..circuit.elements.passives import Capacitor
 from ..circuit.elements.sources import PwmVoltage, Vdc, VProfile
 from ..circuit.exceptions import AnalysisError
 from ..circuit.netlist import Circuit
-from ..circuit.pss import shooting
+from ..circuit.pss import PssResult, shooting
 from ..tech.mosfet_models import on_resistance
 from .behavioral import BehavioralAdder, CalibrationModel, eq2_output
 from .cells import CellDesign, and_cell_subckt
@@ -29,6 +29,32 @@ from .encoding import check_duties, check_weights, max_weight, weight_to_bits
 from .rc_model import RcLeg, RcSwitchSolver
 
 ENGINES = ("behavioral", "rc", "spice")
+
+
+def adder_pss(circuit: Circuit, period: float, *,
+              observe: Sequence[str], steps_per_period: int,
+              solver: str = "auto") -> PssResult:
+    """Shooting PSS with the Jacobian probe runs batched.
+
+    The batched path stacks the base period run and the per-node
+    finite-difference probes of each shooting iteration into one
+    lock-step solve — bit-identical to scalar
+    :func:`~repro.circuit.pss.shooting` (pinned by the equivalence
+    tests).  Circuits the batch layer cannot model (inductors,
+    switches), and the rare batch where one probe's step halving drags
+    the stack into non-convergence, fall back to the scalar engine
+    transparently.
+    """
+    from ..circuit.batch_transient import shooting_jacobian_batched
+    from ..circuit.exceptions import ConvergenceError
+
+    try:
+        return shooting_jacobian_batched(
+            circuit, period, observe=observe,
+            steps_per_period=steps_per_period, solver=solver)
+    except (AnalysisError, ConvergenceError):
+        return shooting(circuit, period, observe=observe,
+                        steps_per_period=steps_per_period, solver=solver)
 
 #: Resolution used when computing the common period of multi-frequency
 #: inputs, seconds (1 fs).
@@ -245,7 +271,8 @@ class WeightedAdder:
                  phases: Optional[Sequence[float]] = None,
                  input_amplitude: Optional[float] = None,
                  steps_per_period: int = 150,
-                 cell_overrides: Optional[Dict[int, CellDesign]] = None) -> AdderResult:
+                 cell_overrides: Optional[Dict[int, CellDesign]] = None,
+                 solver: str = "auto") -> AdderResult:
         """Average output voltage via the selected engine.
 
         ``frequencies`` (one per input) is supported by the behavioural
@@ -285,8 +312,8 @@ class WeightedAdder:
                                      input_amplitude=input_amplitude)
         period = (common_period(frequencies) if frequencies is not None
                   else 1.0 / freq)
-        pss = shooting(circuit, period, observe=["out"],
-                       steps_per_period=steps_per_period)
+        pss = adder_pss(circuit, period, observe=["out"],
+                        steps_per_period=steps_per_period, solver=solver)
         return AdderResult(value=pss.average("out"), engine=engine,
                            ripple=pss.ripple("out"),
                            power=pss.supply_power("VDD"),

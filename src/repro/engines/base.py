@@ -77,6 +77,7 @@ class EngineCapabilities:
     frequency_dependent: bool      #: output depends on PWM frequency
     models_mismatch: bool          #: device mismatch perturbs the output
     dynamic_supply: bool           #: supports time-varying rails
+    batched_waveforms: bool        #: whole waveform family in one solve
     serving_margins: bool          #: usable for /predict analog margins
     cost_rank: int                 #: 1 = cheapest, higher = slower
 
@@ -202,19 +203,29 @@ def get_engine(engine_id: str) -> Engine:
 
 
 def require_capability(engine_id: str, capability: str, *,
-                       context: str = "") -> Engine:
+                       context: str = "",
+                       experiment_id: str = "") -> Engine:
     """Resolve an engine and demand one capability flag.
 
-    Raises :class:`AnalysisError` naming the engines that *do* support
-    the capability, so callers get an actionable message.
+    Raises :class:`AnalysisError` naming the offending engine, the
+    experiment that rejected it (when given) and the engines that *do*
+    support the capability, so callers get an actionable message.
     """
-    eng = get_engine(engine_id)
+    try:
+        eng = get_engine(engine_id)
+    except AnalysisError as exc:
+        if experiment_id:
+            raise AnalysisError(
+                f"experiment {experiment_id!r}: {exc}") from None
+        raise
     if not getattr(eng.capabilities(), capability):
         supported = [eid for eid, e in ENGINES.items()
                      if getattr(e.capabilities(), capability)]
+        who = f"experiment {experiment_id!r}: " if experiment_id else ""
         where = f" for {context}" if context else ""
         raise AnalysisError(
-            f"engine {engine_id!r} does not support {capability}{where}; "
+            f"{who}engine {engine_id!r} does not support "
+            f"{capability}{where}; "
             f"use one of: {', '.join(supported)}")
     return eng
 

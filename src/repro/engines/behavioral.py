@@ -16,6 +16,7 @@ _CAPS = EngineCapabilities(
     frequency_dependent=False,
     models_mismatch=False,
     dynamic_supply=False,
+    batched_waveforms=False,
     serving_margins=True,
     cost_rank=1,
 )

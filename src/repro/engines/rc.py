@@ -28,6 +28,7 @@ _CAPS = EngineCapabilities(
     frequency_dependent=True,
     models_mismatch=True,
     dynamic_supply=False,
+    batched_waveforms=False,
     serving_margins=True,
     cost_rank=2,
 )

@@ -31,7 +31,8 @@ _CAPS = EngineCapabilities(
     frequency_dependent=True,
     models_mismatch=True,
     dynamic_supply=True,
-    serving_margins=False,
+    batched_waveforms=True,
+    serving_margins=True,
     cost_rank=3,
 )
 
@@ -50,10 +51,10 @@ def _bench(design: CellDesign, stimulus: CellStimulus, *,
 
 def _measure_scalar(payload: "tuple") -> float:
     """One scalar PSS point (top-level: process-pool safe)."""
-    design, stimulus, vdd, steps = payload
+    design, stimulus, vdd, steps, solver = payload
     pss = shooting(_bench(design, stimulus, vdd=vdd),
                    1.0 / stimulus.frequency, observe=["out"],
-                   steps_per_period=steps)
+                   steps_per_period=steps, solver=solver)
     return pss.average("out")
 
 
@@ -68,14 +69,16 @@ class SpiceEngine(Engine):
 
     def evaluate(self, design: CellDesign, stimulus: CellStimulus, *,
                  steps_per_period: int = DEFAULT_STEPS,
+                 solver: str = "auto",
                  **options: Any) -> float:
         return _measure_scalar((design, stimulus, stimulus.vdd,
-                                steps_per_period))
+                                steps_per_period, solver))
 
     def sweep_supply(self, design: CellDesign, stimulus: CellStimulus,
                      vdd_values: Sequence[float], *,
                      steps_per_period: int = DEFAULT_STEPS,
                      batched: Optional[bool] = None,
+                     solver: str = "auto",
                      **options: Any) -> np.ndarray:
         """Supply sweep; ``batched=None`` picks the execution path.
 
@@ -92,20 +95,22 @@ class SpiceEngine(Engine):
         if not batched:
             # Reference per-point loop (the historical path) on the
             # session executor.
-            points = [(design, stimulus, float(v), steps_per_period)
-                      for v in vdds]
+            points = [(design, stimulus, float(v), steps_per_period,
+                       solver) for v in vdds]
             values = get_default_executor().map(_measure_scalar, points)
             return np.asarray([float(v) for v in values])
         circuits = [_bench(design, stimulus, vdd=float(v)) for v in vdds]
         pss = shooting_batch(circuits, 1.0 / stimulus.frequency,
                              observe=["out"],
-                             steps_per_period=steps_per_period)
+                             steps_per_period=steps_per_period,
+                             solver=solver)
         return pss.averages("out")
 
     def monte_carlo(self, design: CellDesign, stimulus: CellStimulus,
                     n_trials: int, *, seed: Optional[int] = None,
                     sampler: Optional[MonteCarloSampler] = None,
                     steps_per_period: int = DEFAULT_STEPS,
+                    solver: str = "auto",
                     **options: Any) -> np.ndarray:
         n = self.check_trials(n_trials)
         sampler = sampler or MonteCarloSampler(seed=seed)
@@ -119,7 +124,8 @@ class SpiceEngine(Engine):
             circuits.append(_bench(perturbed, stimulus, vdd=stimulus.vdd))
         pss = shooting_batch(circuits, 1.0 / stimulus.frequency,
                              observe=["out"],
-                             steps_per_period=steps_per_period)
+                             steps_per_period=steps_per_period,
+                             solver=solver)
         return pss.averages("out")
 
     def capabilities(self) -> EngineCapabilities:

@@ -62,6 +62,30 @@ def resolve_monte_carlo_method(method: str, *,
     return "vectorized" if capable else "loop"
 
 
+def resolve_solver(solver: str, *, engine_id: str = "spice") -> str:
+    """Resolve an MNA ``solver`` knob against the engine registry.
+
+    The knob only means something for engines that assemble MNA systems
+    (``level == "transistor"``): for those the spelling is validated by
+    :func:`repro.circuit.sparse.check_solver` and passed through.  For
+    behavioural/switch-level engines an explicit non-default backend is
+    an error (there is no matrix to pick a backend for), while the
+    default ``"auto"`` passes silently so generic callers need no
+    per-engine special cases.
+    """
+    from ..circuit.sparse import check_solver
+    from ..engines import get_engine
+
+    resolved = check_solver(solver)
+    level = get_engine(engine_id).capabilities().level
+    if level != "transistor" and resolved != "auto":
+        raise AnalysisError(
+            f"solver {resolved!r} only applies to transistor-level "
+            f"engines; engine {engine_id!r} (level {level!r}) has no "
+            "MNA system to solve")
+    return resolved
+
+
 @dataclass(frozen=True)
 class MismatchBatch:
     """Per-trial, per-cell device mismatch for one cell bank.

@@ -13,7 +13,7 @@ from ..core.full_perceptron import evaluate_full_perceptron
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
 from .base import ExperimentResult
-from .spec import experiment
+from .spec import experiment, solver_param
 
 EXPERIMENT_ID = "ext_full_system"
 TITLE = "Full Fig. 1 perceptron (adder + comparator) at transistor level"
@@ -28,8 +28,9 @@ THETA = 9.0
 
 
 @experiment("ext_full_system", title=TITLE,
-            tags=("extension", "transistor-level", "perceptron"))
-def run(fidelity: str = "fast") -> ExperimentResult:
+            tags=("extension", "transistor-level", "perceptron"),
+            params=[solver_param()])
+def run(fidelity: str = "fast", solver: str = "auto") -> ExperimentResult:
     vdd_points = (2.5,) if fidelity == "fast" else (1.5, 2.5, 4.0)
     steps = 80 if fidelity == "fast" else 120
 
@@ -44,7 +45,7 @@ def run(fidelity: str = "fast") -> ExperimentResult:
         for vdd in vdd_points:
             result = evaluate_full_perceptron(
                 duties, weights, THETA, vdd=float(vdd),
-                steps_per_period=steps)
+                steps_per_period=steps, solver=solver)
             table.add_row(
                 "/".join(f"{d:.1f}" for d in duties),
                 "/".join(str(w) for w in weights),

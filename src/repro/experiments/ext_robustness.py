@@ -66,9 +66,10 @@ def run(fidelity: str = "fast",
     if engine is None:
         engine = "rc" if fidelity == "paper" else "behavioral"
     # Registry choke point: unknown ids and margin-incapable engines
-    # (e.g. 'spice') fail here with the registry's help text.
+    # fail here with the registry's help text, naming this experiment.
     require_capability(engine, "serving_margins",
-                       context="perceptron accuracy sweeps")
+                       context="perceptron accuracy sweeps",
+                       experiment_id=EXPERIMENT_ID)
 
     # Digital twin: same decision boundary on the unsigned grid.
     # w.x + b > 0 with signed w is expressed for the digital baseline as

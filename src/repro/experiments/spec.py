@@ -229,6 +229,24 @@ def engine_param(default: Optional[str] = "spice",
                       "`python -m repro list --engines`)"))
 
 
+def solver_param(default: str = "auto", help: Optional[str] = None) -> Param:
+    """The common ``solver`` parameter (MNA linear-solve backend).
+
+    Choices come from :data:`repro.circuit.sparse.SOLVERS` — the same
+    single source the MNA layer validates against — so the CLI parser,
+    :meth:`RunConfig.build` and direct runner calls reject unknown
+    backends identically.
+    """
+    from ..circuit.sparse import SOLVERS
+
+    return Param(
+        "solver", "str", default=default, choices=SOLVERS,
+        help=help or ("MNA linear-solve backend: 'auto' keeps the "
+                      "paper's small cells on dense LAPACK and switches "
+                      "to scipy.sparse LU past the size/fill crossover "
+                      "(see repro.circuit.sparse)"))
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A registered experiment: identity, schema and entry points."""

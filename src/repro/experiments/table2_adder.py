@@ -18,7 +18,7 @@ from typing import List, Tuple
 from ..core.weighted_adder import AdderConfig, WeightedAdder
 from ..reporting.tables import Table
 from .base import ExperimentResult
-from .spec import experiment
+from .spec import experiment, solver_param
 
 EXPERIMENT_ID = "table2"
 TITLE = "3x3 weighted adder: theoretical vs simulated output"
@@ -43,8 +43,9 @@ PAPER_ROWS: "List[Table2Row]" = [
 ]
 
 
-@experiment("table2", title=TITLE, tags=("paper", "table", "adder"))
-def run(fidelity: str = "fast") -> ExperimentResult:
+@experiment("table2", title=TITLE, tags=("paper", "table", "adder"),
+            params=[solver_param()])
+def run(fidelity: str = "fast", solver: str = "auto") -> ExperimentResult:
     adder = WeightedAdder(AdderConfig())  # Cout=10pF default, Table I cell
     engine = "spice" if fidelity == "paper" else "rc"
     steps = 120 if fidelity == "paper" else 0
@@ -58,7 +59,11 @@ def run(fidelity: str = "fast") -> ExperimentResult:
     metrics = {}
     for i, row in enumerate(PAPER_ROWS):
         theory = adder.theoretical_output(row.duties, row.weights)
-        kwargs = {"steps_per_period": steps} if engine == "spice" else {}
+        # The transistor path runs its shooting Jacobian probes as one
+        # batched lock-step solve; the solver knob picks the linear
+        # backend (the RC engine has no MNA system to pick for).
+        kwargs = ({"steps_per_period": steps, "solver": solver}
+                  if engine == "spice" else {})
         sim = adder.evaluate(row.duties, row.weights, engine=engine,
                              **kwargs)
         table.add_row(f"{row.duties[0]:.0%}", row.weights[0],

@@ -24,7 +24,12 @@ For the switch-level engine, a whole supply sweep of one sample shares
 its PWM switching pattern, so it batches through
 :class:`~repro.core.rc_model.RcBatchSolver` — one vectorised periodic
 solve per sample instead of one scalar solve per ``(sample, vdd)``
-point (:meth:`BatchInferenceEngine.predict_supply_sweep`).
+point (:meth:`BatchInferenceEngine.predict_supply_sweep`).  The same
+timing-sharing argument holds at transistor level: the sweep stacks
+into one :func:`~repro.circuit.batch_transient.shooting_batch` per
+adder bank, and per-row served margins run the Jacobian-batched
+shooting PSS (:meth:`BatchInferenceEngine.margins_spice`) — spice-backed
+``/predict`` is slow but served, no longer rejected.
 """
 
 from __future__ import annotations
@@ -156,20 +161,28 @@ class BatchInferenceEngine:
     def predict_supply_sweep(self, perceptron: DifferentialPwmPerceptron,
                              x: Sequence[float],
                              vdd_values: Sequence[float], *,
-                             engine: str = "behavioral") -> np.ndarray:
+                             engine: str = "behavioral",
+                             steps_per_period: int = 60,
+                             solver: str = "auto") -> np.ndarray:
         """One sample across a supply sweep, shape ``(len(vdd_values),)``.
 
         With ``engine="rc"`` the whole sweep shares the sample's PWM
         switching pattern, so it runs as **one**
         :class:`~repro.core.rc_model.RcBatchSolver` solve per cell bank
-        instead of one scalar switch-level solve per supply point.
+        instead of one scalar switch-level solve per supply point.  The
+        transistor engine exploits the same sharing: all supply points
+        stack into one lock-step
+        :func:`~repro.circuit.batch_transient.shooting_batch` per adder
+        bank (``steps_per_period``/``solver`` apply only there).
         """
         from ..engines import require_capability
+        from ..exec.batch import resolve_solver
 
         resolved = require_capability(engine, "serving_margins",
                                       context="supply-sweep inference")
+        solver = resolve_solver(solver, engine_id=engine)
         level = resolved.capabilities().level
-        if level not in ("behavioral", "switch"):
+        if level not in ("behavioral", "switch", "transistor"):
             raise AnalysisError(
                 f"no supply-sweep implementation for engine "
                 f"{engine!r} (level {level!r})")
@@ -186,6 +199,21 @@ class BatchInferenceEngine:
                 "(hysteresis carries state across samples)")
         cfg = perceptron.config
         duties = list(x) + [1.0]
+        if level == "transistor":
+            from ..circuit.batch_transient import shooting_batch
+
+            period = 1.0 / cfg.frequency
+            banks = []
+            for weights in (perceptron._pos_weights,
+                            perceptron._neg_weights):
+                circuits = [perceptron.pos_adder.build_circuit(
+                    duties, weights, vdd=float(v)) for v in vdds]
+                pss = shooting_batch(circuits, period, observe=["out"],
+                                     steps_per_period=steps_per_period,
+                                     solver=solver)
+                banks.append(pss.averages("out"))
+            margins = banks[0] - banks[1]
+            return (margins > perceptron.comparator.offset).astype(int)
         r_up, r_down = leg_resistance_arrays(cfg, None, vdds)
         pos = batch_adder_values(cfg, duties, perceptron._pos_weights,
                                  r_up, r_down, vdds).value
@@ -266,37 +294,80 @@ class BatchInferenceEngine:
             out[i] = pos[0] - neg[0]
         return out
 
+    def margins_spice(self, perceptron: DifferentialPwmPerceptron, X, *,
+                      vdd: Optional[ArrayLike] = None,
+                      steps_per_period: int = 60,
+                      solver: str = "auto") -> np.ndarray:
+        """Transistor-level analog margins, one shooting-PSS pair per
+        row.
+
+        Rows have distinct PWM patterns and the pos/neg banks distinct
+        bit wiring, so neither can share one stacked solve; the batching
+        lever is inside each PSS, whose finite-difference Jacobian
+        probes run as one lock-step solve
+        (:func:`~repro.circuit.batch_transient.shooting_jacobian_batched`
+        via :func:`~repro.core.weighted_adder.adder_pss`).  The default
+        ``steps_per_period`` trades step resolution for serving latency
+        (the experiments' fast fidelity); ``solver`` picks the MNA
+        linear backend.
+        """
+        X = check_duty_matrix(X, perceptron.n_features)
+        cfg = perceptron.config
+        supply = np.broadcast_to(
+            np.asarray(cfg.vdd if vdd is None else vdd, dtype=float),
+            (X.shape[0],))
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            duties = list(row) + [1.0]
+            v = float(supply[i])
+            pos = perceptron.pos_adder.evaluate(
+                duties, perceptron._pos_weights, engine="spice", vdd=v,
+                steps_per_period=steps_per_period, solver=solver).value
+            neg = perceptron.neg_adder.evaluate(
+                duties, perceptron._neg_weights, engine="spice", vdd=v,
+                steps_per_period=steps_per_period, solver=solver).value
+            out[i] = pos - neg
+        return out
+
     def model_margins(self, model, X, *,
                       vdd: Optional[ArrayLike] = None,
-                      engine: str = "behavioral") -> np.ndarray:
+                      engine: str = "behavioral",
+                      solver: str = "auto") -> np.ndarray:
         """Analog evidence per row: the output stage's differential
         margin in volts (for MLPs, of the output unit on its hidden
         activations).
 
         ``engine`` selects the modelling fidelity through the registry:
-        ``"behavioral"`` (the vectorised hot path) or ``"rc"`` (exact
-        switch-level solves per row).  Ids without the
-        ``serving_margins`` capability — e.g. ``"spice"`` — are
-        rejected at the registry choke point.
+        ``"behavioral"`` (the vectorised hot path), ``"rc"`` (exact
+        switch-level solves per row) or ``"spice"`` (per-row transistor
+        PSS with batched Jacobian probes).  Ids without the
+        ``serving_margins`` capability are rejected at the registry
+        choke point; ``solver`` picks the MNA backend and is only legal
+        for transistor-level engines.
         """
         from ..engines import require_capability
+        from ..exec.batch import resolve_solver
 
         resolved = require_capability(engine, "serving_margins",
                                       context="served analog margins")
+        solver = resolve_solver(solver, engine_id=engine)
         # Dispatch on the engine's declared modelling level, not its id,
         # so a future serving-capable engine cannot silently fall into
         # the wrong margin implementation.
         level = resolved.capabilities().level
-        if level not in ("behavioral", "switch"):
+        if level not in ("behavioral", "switch", "transistor"):
             raise AnalysisError(
                 f"no served-margin implementation for engine "
                 f"{engine!r} (level {level!r})")
-        if level == "switch":
+        if level in ("switch", "transistor"):
             if isinstance(model, PwmMlp):
                 raise AnalysisError(
-                    "switch-level margins support single differential "
+                    f"{level}-level margins support single differential "
                     "perceptrons; MLPs serve behaviorally")
             if isinstance(model, DifferentialPwmPerceptron):
+                if level == "transistor":
+                    return self.margins_spice(model, X, vdd=vdd,
+                                              solver=solver)
                 return self.margins_rc(model, X, vdd=vdd)
             raise AnalysisError(
                 f"cannot serve model of type {type(model).__name__}")

@@ -11,14 +11,17 @@ JSON API (content type ``application/json`` throughout):
     Request / latency / batch-size counters.
 ``POST /predict``
     ``{"model": <name>, "inputs": [[...], ...], "vdd": <optional>,
-    "engine": <optional>}`` →
-    ``{"model", "predictions", "margins", "count", "engine"}``.
+    "engine": <optional>, "solver": <optional>}`` →
+    ``{"model", "predictions", "margins", "count", "engine", "solver"}``.
     ``inputs`` may also be one flat feature row; ``vdd`` a scalar
     supply for the whole request.  ``engine`` picks the analog-margin
     fidelity from the :mod:`repro.engines` registry (default
     ``"behavioral"``, the micro-batched hot path; ``"rc"`` computes
-    exact switch-level margins and bypasses the batcher; ids without
-    the serving capability are rejected with the registry's help).
+    exact switch-level margins and ``"spice"`` full transistor-level
+    shooting-PSS margins, both bypassing the batcher; ids without the
+    serving capability are rejected with the registry's help).
+    ``solver`` picks the MNA linear backend (``auto``/``dense``/
+    ``sparse``) and is only legal with transistor-level engines.
 ``GET /engines``
     The engine registry: ids, titles and capability flags from
     :func:`repro.engines.describe`.
@@ -64,6 +67,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..circuit.exceptions import AnalysisError
+from ..exec.batch import resolve_solver
 from .artifacts import ModelStore, deserialize_model
 from .engine import (
     BatchInferenceEngine,
@@ -285,14 +289,22 @@ class PerceptronServer:
         engine = payload.get("engine", "behavioral")
         if not isinstance(engine, str):
             raise AnalysisError("'engine' must be an engine id string")
+        solver = payload.get("solver", "auto")
+        if not isinstance(solver, str):
+            raise AnalysisError("'solver' must be an MNA backend string")
         if engine == "behavioral":
+            # The hot path has no MNA system; reject a non-default
+            # backend with the same registry-backed error the slow
+            # paths raise instead of silently ignoring it.
+            resolve_solver(solver, engine_id=engine)
             margins = loaded.batcher.submit(X, vdd=vdd).result(timeout=30)
         else:
             # Non-default fidelities skip the micro-batcher: they are
             # per-row solves whose latency would stall the behavioural
             # hot path's batches.  The registry validates the id.
             margins = self.engine.model_margins(loaded.model, X, vdd=vdd,
-                                                engine=engine)
+                                                engine=engine,
+                                                solver=solver)
         predictions = (margins > loaded.offset).astype(int)
         return {
             "model": name,
@@ -300,6 +312,7 @@ class PerceptronServer:
             "margins": [float(m) for m in margins],
             "count": int(X.shape[0]),
             "engine": engine,
+            "solver": solver,
         }
 
     def batcher_metrics(self) -> Dict[str, Any]:

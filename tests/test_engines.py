@@ -100,9 +100,24 @@ class TestRegistry:
     def test_require_capability(self):
         assert require_capability("rc", "serving_margins") \
             is get_engine("rc")
-        with pytest.raises(AnalysisError,
-                           match="does not support serving_margins"):
-            require_capability("spice", "serving_margins")
+        # spice gained serving_margins with the transistor-level
+        # /predict path; live supply ramps remain spice-only.
+        assert require_capability("spice", "serving_margins") \
+            is get_engine("spice")
+        with pytest.raises(
+                AnalysisError,
+                match="engine 'behavioral' does not support "
+                      "dynamic_supply"):
+            require_capability("behavioral", "dynamic_supply")
+
+    def test_require_capability_names_experiment(self):
+        with pytest.raises(
+                AnalysisError,
+                match="experiment 'ext_foo': engine 'rc' does not "
+                      "support dynamic_supply for live ramps"):
+            require_capability("rc", "dynamic_supply",
+                               context="live ramps",
+                               experiment_id="ext_foo")
 
     def test_capabilities_are_frozen(self):
         caps = get_engine("rc").capabilities()
@@ -348,12 +363,14 @@ class TestCapabilityDispatch:
                            match="does not support dynamic_supply"):
             run(engine="rc")
 
-    def test_robustness_rejects_marginless_engine(self):
+    def test_robustness_validates_engine_at_gate(self):
+        # Every registered engine now serves margins (spice included),
+        # so the gate's remaining job is id validation with the
+        # registry's help text.
         from repro.experiments.ext_robustness import run
 
-        with pytest.raises(AnalysisError,
-                           match="does not support serving_margins"):
-            run(engine="spice")
+        with pytest.raises(AnalysisError, match="unknown engine 'warp'"):
+            run(engine="warp")
 
     def test_run_config_validates_engine_at_choke_point(self):
         from repro.experiments import RunConfig
@@ -404,14 +421,18 @@ class TestServingEngineKnob:
         offset = perceptron.comparator.offset
         assert np.array_equal(beh > offset, rc > offset)
 
-    def test_spice_margins_rejected(self, model):
+    def test_spice_margins_served(self, model):
         from repro.serve.engine import BatchInferenceEngine
 
         perceptron, _ = model
-        with pytest.raises(AnalysisError,
-                           match="does not support serving_margins"):
-            BatchInferenceEngine().model_margins(perceptron, [[0.5, 0.5]],
-                                                 engine="spice")
+        engine = BatchInferenceEngine()
+        row = [[0.9, 0.2]]
+        spice = engine.model_margins(perceptron, row, engine="spice")
+        beh = engine.model_margins(perceptron, row)
+        assert spice.shape == (1,) and np.isfinite(spice).all()
+        # Same physics, higher fidelity: the transistor margin tracks
+        # the behavioural one to tens of millivolts on this model.
+        assert abs(spice[0] - beh[0]) < 0.05
 
 
 # -- consistency harness ----------------------------------------------------
