@@ -1,0 +1,127 @@
+"""Benchmark the telemetry layer's overhead on the table2 PSS path.
+
+Two questions, one workload — the table2 adder evaluated through the
+transistor-level engine (shooting PSS over the batched MNA path), the
+hottest instrumented code in the repository:
+
+* **disabled overhead** — the zero-cost-when-disabled contract.  Every
+  hot function is a thin wrapper (``telemetry.active()`` + ``None``
+  check) around an untouched ``_impl``; timing the wrapper against a
+  direct ``_impl`` call measures exactly what instrumentation costs
+  when telemetry is off.  The floor assertion holds it **under 3%**.
+* **enabled overhead** — what a traced + counted run costs relative to
+  a disabled one (spans, counters and histogram observations on every
+  Newton solve).
+
+Writes ``benchmarks/BENCH_telemetry.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.core.weighted_adder import AdderConfig, WeightedAdder
+
+OUT = Path(__file__).parent / "BENCH_telemetry.json"
+
+#: Timing repetitions; the minimum is reported (least-noise estimator).
+REPEATS = 5
+
+#: Disabled instrumentation must stay under this relative overhead.
+DISABLED_OVERHEAD_LIMIT_PCT = 3.0
+
+DUTIES = (0.2, 0.6, 0.8)
+WEIGHTS = (5, 6, 7)
+STEPS_PER_PERIOD = 30
+
+
+def _best_of(fn, repeats: int = REPEATS) -> "tuple[float, object]":
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _run_wrapped(adder: WeightedAdder):
+    return adder.evaluate(DUTIES, WEIGHTS, engine="spice",
+                          steps_per_period=STEPS_PER_PERIOD)
+
+
+def _run_impl(adder: WeightedAdder):
+    """The same solve through the raw ``_impl`` entry points (as if the
+    telemetry wrappers had never been added)."""
+    return adder._evaluate_impl(
+        DUTIES, WEIGHTS, engine="spice", vdd=None, frequency=None,
+        frequencies=None, phases=None, input_amplitude=None,
+        steps_per_period=STEPS_PER_PERIOD, cell_overrides=None,
+        solver="auto")
+
+
+def bench_overhead() -> dict:
+    telemetry.disable()
+    adder = WeightedAdder(AdderConfig())
+    _run_wrapped(adder)  # warm caches before timing
+
+    t_impl, ref = _best_of(lambda: _run_impl(adder))
+    t_disabled, disabled = _best_of(lambda: _run_wrapped(adder))
+
+    telemetry.enable()
+    try:
+        t_enabled, enabled = _best_of(lambda: _run_wrapped(adder))
+        rt = telemetry.active()
+        trace_events = len(rt.tracer.events())
+        counters = len(rt.registry.flat_values())
+    finally:
+        telemetry.disable()
+
+    disabled_pct = 100.0 * (t_disabled - t_impl) / t_impl
+    enabled_pct = 100.0 * (t_enabled - t_disabled) / t_disabled
+    return {
+        "workload": "table2 adder, engine=spice shooting PSS, "
+                    f"steps_per_period={STEPS_PER_PERIOD}",
+        "impl_seconds": round(t_impl, 4),
+        "disabled_seconds": round(t_disabled, 4),
+        "enabled_seconds": round(t_enabled, 4),
+        "disabled_overhead_percent": round(disabled_pct, 2),
+        "enabled_overhead_percent": round(enabled_pct, 2),
+        "disabled_overhead_limit_percent": DISABLED_OVERHEAD_LIMIT_PCT,
+        "trace_events_per_enabled_run": trace_events,
+        "metric_series_per_enabled_run": counters,
+        "results_identical": (disabled.value == ref.value
+                              and enabled.value == ref.value),
+    }
+
+
+def main() -> None:
+    result = bench_overhead()
+    payload = {
+        "description": "telemetry overhead on the table2 shooting-PSS "
+                       "path: wrapper-vs-impl when disabled (the "
+                       "zero-cost contract) and enabled-vs-disabled "
+                       "(spans + counters on every Newton solve)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": [result],
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    assert result["results_identical"], \
+        "telemetry perturbed the solve — instrumentation must observe only"
+    assert result["disabled_overhead_percent"] < \
+        DISABLED_OVERHEAD_LIMIT_PCT, (
+            f"disabled telemetry costs "
+            f"{result['disabled_overhead_percent']}% "
+            f"(limit {DISABLED_OVERHEAD_LIMIT_PCT}%)")
+
+
+if __name__ == "__main__":
+    main()

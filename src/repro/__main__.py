@@ -112,6 +112,48 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                         help="result-cache directory (default "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-pwm); "
                              "also enables caching at fast fidelity")
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable tracing/metrics instrumentation and "
+                             "attach a run profile to each result "
+                             "(equivalent to REPRO_TELEMETRY=1)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write the span trace as JSONL here after "
+                             "the run (implies --telemetry)")
+
+
+def _enable_telemetry(args) -> None:
+    """Turn the telemetry runtime on when the flags ask for it.
+
+    ``campaign status --telemetry`` is excluded: there the flag only
+    selects the shard-timing section of the status document — status
+    never executes experiments, so starting the runtime would be noise.
+    """
+    if getattr(args, "campaign_command", None) == "status":
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if getattr(args, "telemetry", False) or trace_out is not None:
+        from . import telemetry
+
+        telemetry.enable(
+            trace_path=str(trace_out) if trace_out is not None else None)
+
+
+def _finish_telemetry() -> None:
+    """Export a pending ``--trace-out`` trace (before interpreter exit,
+    so the CLI's summary line lands next to the run's output)."""
+    from . import telemetry
+
+    rt = telemetry.active()
+    if rt is not None and rt.trace_path:
+        target = rt.trace_path
+        n = rt.export_trace()
+        print(f"telemetry: wrote {n} trace events to {target}",
+              file=sys.stderr)
 
 
 # -- schema-derived experiment options ------------------------------------
@@ -125,7 +167,7 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
 #: may never collide with these (guarded at parser-build time).
 _RESERVED_DESTS = {"command", "experiment_id", "fidelity", "help",
                    "no_charts", "csv", "jobs", "no_cache", "cache_dir",
-                   "report", "set"}
+                   "report", "set", "telemetry", "trace_out"}
 
 
 def _param_type(param: Param):
@@ -279,10 +321,16 @@ def _cmd_campaign(args) -> int:
               f"{summary.executed} executed, {summary.skipped} resumed "
               f"from cache ({summary.in_shard} of {summary.total} "
               f"configs in this shard)")
+        if summary.telemetry is not None:
+            agg = summary.telemetry
+            print(f"telemetry: {agg['runs']} profiled run(s), "
+                  f"{agg['duration_seconds']:.3f}s total", file=sys.stderr)
+        _finish_telemetry()
         return 0
 
     if args.campaign_command == "status":
-        status = campaign_status(spec, cache, n_shards=args.shards)
+        status = campaign_status(spec, cache, n_shards=args.shards,
+                                 with_telemetry=args.telemetry)
         if args.json:
             print(json.dumps(status, indent=2, sort_keys=True))
             return 0
@@ -292,6 +340,14 @@ def _cmd_campaign(args) -> int:
         for bucket in status["shards"]:
             print(f"  shard {bucket['shard']}: "
                   f"{bucket['done']}/{bucket['total']} done")
+        for timing in status.get("telemetry", []):
+            shard = timing["shard"]
+            if isinstance(shard, (list, tuple)) and len(shard) == 2:
+                shard = f"{shard[0]}/{shard[1]}"
+            print(f"  shard {shard} timing: "
+                  f"{timing['fresh']} fresh in "
+                  f"{timing['fresh_seconds']:.3f}s "
+                  f"(mean {timing['mean_seconds_per_fresh']:.3f}s)")
         for label in status["missing_labels"]:
             print(f"  missing: {label}")
         if status["missing_labels_truncated"]:
@@ -547,6 +603,7 @@ def main(argv: "list[str] | None" = None) -> int:
                           help="process-pool workers for the points "
                                "inside each experiment (-1 = one per "
                                "CPU; default serial)")
+    _add_telemetry_flags(camp_run)
 
     camp_status = camp_sub.add_parser(
         "status", help="show done/missing configs per shard")
@@ -555,6 +612,10 @@ def main(argv: "list[str] | None" = None) -> int:
                              help="break the counts down over N shards")
     camp_status.add_argument("--json", action="store_true",
                              help="dump the full status document")
+    camp_status.add_argument("--telemetry", action="store_true",
+                             help="include per-shard timing telemetry "
+                                  "(from the shard manifests) in the "
+                                  "status")
 
     camp_report = camp_sub.add_parser(
         "report", help="aggregate all finished configs into one table")
@@ -609,9 +670,14 @@ def main(argv: "list[str] | None" = None) -> int:
                          help="directory of campaign spec JSONs served "
                               "as /campaigns (default $REPRO_CAMPAIGN_DIR "
                               "or ./campaigns)")
+    serve_p.add_argument("--telemetry", action="store_true",
+                         help="enable tracing/metrics instrumentation; "
+                              "/metrics then also exposes solver-level "
+                              "counters in its Prometheus view")
     _add_store_flag(serve_p)
 
     args = parser.parse_args(argv)
+    _enable_telemetry(args)
 
     if args.command in ("export-model", "predict", "serve"):
         if args.store is None:
@@ -641,6 +707,11 @@ def main(argv: "list[str] | None" = None) -> int:
         result = _run_cached(config, args.jobs, cache, explicit)
         print(result.render(charts=not args.no_charts))
         _export(result, args.csv)
+        if result.profile is not None:
+            print("telemetry: profile "
+                  + json.dumps(result.profile, sort_keys=True),
+                  file=sys.stderr)
+        _finish_telemetry()
         return 0
 
     overrides = _parse_overrides(all_p, getattr(args, "set", None))
@@ -657,6 +728,7 @@ def main(argv: "list[str] | None" = None) -> int:
         write_markdown_report(results, args.report,
                               title="PWM perceptron reproduction report")
         print(f"report written to {args.report}")
+    _finish_telemetry()
     return 0
 
 

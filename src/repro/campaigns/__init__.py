@@ -32,6 +32,7 @@ from .runner import (
     parse_shard,
     read_manifests,
     shard_index,
+    shard_timings,
 )
 from .spec import AxisSpec, CampaignSpec, find_campaigns, load_campaign
 
@@ -39,5 +40,6 @@ __all__ = [
     "AxisSpec", "CampaignSpec", "load_campaign", "find_campaigns",
     "CampaignRunner", "PlanEntry", "RunSummary",
     "campaign_status", "parse_shard", "read_manifests", "shard_index",
+    "shard_timings",
     "collect_results", "metric_names", "results_document", "results_table",
 ]

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..circuit.exceptions import AnalysisError
 from ..exec.cache import ResultCache
 from ..experiments.registry import run_config
@@ -91,6 +92,8 @@ class RunSummary:
     in_shard: int            #: configs assigned to this shard
     executed: int            #: freshly run this call
     skipped: int             #: already in the cache (resume hits)
+    #: Aggregated per-run telemetry profiles (None with telemetry off).
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 class CampaignRunner:
@@ -146,25 +149,42 @@ class CampaignRunner:
         entry and whether it was freshly executed (``True``) or
         resumed from the cache (``False``).
         """
+        rt = telemetry.active()
         entries = self.shard_entries()
         executed = skipped = 0
+        profiles: List[Dict[str, Any]] = []
         manifest = _ShardManifest(self.spec, self.cache.root, self.shard,
                                   total=len(self.configs),
                                   in_shard=len(entries))
         for entry in entries:
             fresh = not entry.cached
+            t0 = time.perf_counter()
             if fresh:
-                run_config(entry.config, jobs=self.jobs, cache=self.cache)
+                result = run_config(entry.config, jobs=self.jobs,
+                                    cache=self.cache)
                 executed += 1
+                profile = getattr(result, "profile", None)
+                if profile is not None:
+                    profiles.append(profile)
             else:
                 skipped += 1
-            manifest.record(entry, fresh)
+            seconds = time.perf_counter() - t0
+            if rt is not None:
+                rt.count("repro_campaign_configs_total",
+                         result="fresh" if fresh else "cached")
+            manifest.record(entry, fresh, seconds)
             if progress is not None:
                 progress(entry, fresh)
         manifest.finish()
+        aggregated = None
+        if rt is not None:
+            from ..telemetry.profile import aggregate_profiles
+
+            aggregated = aggregate_profiles(profiles)
         return RunSummary(campaign=self.spec.name, shard=self.shard,
                           total=len(self.configs), in_shard=len(entries),
-                          executed=executed, skipped=skipped)
+                          executed=executed, skipped=skipped,
+                          telemetry=aggregated)
 
 
 class _ShardManifest:
@@ -203,10 +223,12 @@ class _ShardManifest:
         # (its information lives on in the cache entries themselves).
         self.log_path.write_text("")
 
-    def record(self, entry: PlanEntry, fresh: bool) -> None:
+    def record(self, entry: PlanEntry, fresh: bool,
+               seconds: float = 0.0) -> None:
         line = json.dumps({"key": entry.config.key(),
                            "position": entry.position,
-                           "fresh": fresh})
+                           "fresh": fresh,
+                           "seconds": round(seconds, 6)})
         with self.log_path.open("a") as handle:
             handle.write(line + "\n")
 
@@ -256,6 +278,7 @@ def read_manifests(spec: CampaignSpec,
                 completed[record["key"]] = {
                     "position": record.get("position"),
                     "fresh": record.get("fresh"),
+                    "seconds": record.get("seconds", 0.0),
                 }
         doc["completed"] = completed
         manifests.append(doc)
@@ -267,8 +290,41 @@ def read_manifests(spec: CampaignSpec,
 MISSING_LABEL_CAP = 20
 
 
+def shard_timings(spec: CampaignSpec,
+                  cache_root: Path) -> List[Dict[str, Any]]:
+    """Per-shard wall-time summary from the manifest journals.
+
+    Advisory (journals are observability, not ground truth): for each
+    readable shard manifest, sums the per-config ``seconds`` recorded
+    by :meth:`_ShardManifest.record`, split into fresh executions and
+    cache resumes — the ``campaign status --telemetry`` payload.
+    """
+    timings = []
+    for doc in read_manifests(spec, cache_root):
+        completed = doc.get("completed", {})
+        fresh = [c for c in completed.values() if c.get("fresh")]
+        cached = [c for c in completed.values() if not c.get("fresh")]
+        fresh_seconds = sum(float(c.get("seconds") or 0.0)
+                            for c in fresh)
+        timings.append({
+            "shard": doc.get("shard"),
+            "status": doc.get("status"),
+            "configs": len(completed),
+            "fresh": len(fresh),
+            "cached": len(cached),
+            "fresh_seconds": round(fresh_seconds, 6),
+            "mean_seconds_per_fresh": round(
+                fresh_seconds / len(fresh), 6) if fresh else 0.0,
+            "wall_seconds": round(
+                float(doc.get("updated_at", 0.0))
+                - float(doc.get("started_at", 0.0)), 3),
+        })
+    return timings
+
+
 def campaign_status(spec: CampaignSpec, cache: ResultCache, *,
-                    n_shards: int = 1) -> Dict[str, Any]:
+                    n_shards: int = 1,
+                    with_telemetry: bool = False) -> Dict[str, Any]:
     """Ground-truth campaign progress (cache probes, not manifests).
 
     ``n_shards`` picks the partition to break the counts down by — the
@@ -276,6 +332,8 @@ def campaign_status(spec: CampaignSpec, cache: ResultCache, *,
     ``missing_labels`` carries at most :data:`MISSING_LABEL_CAP`
     entries (``missing`` is always the full count), and each manifest
     is summarised with ``completed_count`` instead of its full journal.
+    ``with_telemetry`` adds the :func:`shard_timings` summary under a
+    ``"telemetry"`` key (``campaign status --telemetry``).
     """
     configs = spec.expand()
     per_shard = [{"shard": f"{i + 1}/{n_shards}", "total": 0, "done": 0}
@@ -297,7 +355,7 @@ def campaign_status(spec: CampaignSpec, cache: ResultCache, *,
         manifests.append(summary)
     stale = [doc for doc in manifests
              if doc.get("spec_key") not in (None, spec.key())]
-    return {
+    doc: Dict[str, Any] = {
         "campaign": spec.name,
         "experiment": spec.experiment_id,
         "fidelity": spec.fidelity,
@@ -311,3 +369,6 @@ def campaign_status(spec: CampaignSpec, cache: ResultCache, *,
         "manifests": manifests,
         "stale_manifests": len(stale),
     }
+    if with_telemetry:
+        doc["telemetry"] = shard_timings(spec, cache.root)
+    return doc

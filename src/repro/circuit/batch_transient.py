@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..tech.mosfet_models import ids_full_vec
 from .dc import operating_point
 from .elements.base import SOURCE
@@ -76,6 +77,14 @@ def _batched_solve(G: np.ndarray, I: np.ndarray) -> np.ndarray:
     if _gufunc_solve is not None:
         return _gufunc_solve(G, I[:, :, None])[:, :, 0]
     return np.linalg.solve(G, I[:, :, None])[:, :, 0]
+
+
+def _note_batch_newton(rt, iterations: int,
+                       backend: Optional[str]) -> None:
+    """Record one converged batched Newton solve (telemetry on only)."""
+    rt.count("repro_mna_newton_solves_total")
+    rt.count("repro_mna_newton_iterations_total", iterations,
+             backend=backend or "dense")
 
 
 def _structure_signature(ctx: MnaContext) -> "list[tuple]":
@@ -548,6 +557,21 @@ class BatchTransientSolver:
         convergence test apply per point, and a converged point's state
         is frozen while the rest keep iterating.
         """
+        rt = telemetry.active()
+        if rt is None:
+            return self._solve_newton_impl(
+                x0, t, dt, method, max_iter=max_iter, vlimit=vlimit,
+                abstol=abstol, reltol=reltol, itol=itol, rt=None)
+        with rt.tracer.span("mna.newton",
+                            {"analysis": "batch-transient",
+                             "points": self.n_points, "size": self.size}):
+            return self._solve_newton_impl(
+                x0, t, dt, method, max_iter=max_iter, vlimit=vlimit,
+                abstol=abstol, reltol=reltol, itol=itol, rt=rt)
+
+    def _solve_newton_impl(self, x0: np.ndarray, t: float, dt: float,
+                           method: str, *, max_iter, vlimit, abstol,
+                           reltol, itol, rt) -> np.ndarray:
         key = (dt, method)
         G_base = self._shared_g_cache.get(key)
         if G_base is None:
@@ -586,6 +610,9 @@ class BatchTransientSolver:
             if self._backend is None:
                 self._backend = choose_backend(
                     self.size, matrix_fill(G[0]), self.solver)
+                if rt is not None:
+                    rt.count("repro_mna_backend_decisions_total",
+                             solver=self.solver, backend=self._backend)
             try:
                 if self._backend == "sparse":
                     x_new = sparse_solve_batch(G, I_t.T)
@@ -603,6 +630,8 @@ class BatchTransientSolver:
                     "(or singular MNA matrix)",
                     analysis="batch-transient", time=t)
             if not has_nonlinear:
+                if rt is not None:
+                    _note_batch_newton(rt, _iteration + 1, self._backend)
                 return x_new
             dx = x_new - x_work
             dv = dx[:, :n]
@@ -626,9 +655,15 @@ class BatchTransientSolver:
                     self._tol_cols(abstol, itol)
                     + reltol * np.abs(x_new)).all(axis=1)
                 if ok.all():
+                    if rt is not None:
+                        _note_batch_newton(rt, _iteration + 1,
+                                           self._backend)
                     return x
                 if ok.any():
                     work = work[~ok]
+        if rt is not None:
+            rt.count("repro_mna_convergence_failures_total",
+                     analysis="batch-transient")
         raise ConvergenceError(
             f"batched Newton failed to converge in {max_iter} iterations "
             f"({work.size} of {self.n_points} points open)",
@@ -679,7 +714,9 @@ class BatchTransientSolver:
         # flags singular systems via NaNs, which the Newton loop checks.
         errstate = np.errstate(invalid="ignore", divide="ignore",
                                over="ignore")
-        with errstate:
+        with errstate, telemetry.span("mna.transient.batch",
+                                      points=self.n_points,
+                                      size=self.size):
             return self._integrate(tstop, dt, method, x, times, states,
                                    t_cur, be_countdown, eps, bp_iter,
                                    max_retries)
@@ -796,6 +833,36 @@ def shooting_batch(circuits: Sequence[Circuit], period: float, *,
     the remaining points keep iterating.  Defaults mirror the scalar
     engine's.
     """
+    rt = telemetry.active()
+    if rt is None:
+        return _shooting_batch_impl(
+            circuits, period, steps_per_period=steps_per_period,
+            observe=observe, x0=x0, warmup_periods=warmup_periods,
+            max_iterations=max_iterations, tol=tol, fd_delta=fd_delta,
+            method=method, update_limit=update_limit, solver=solver)
+    with rt.tracer.span("pss.shooting_batch",
+                        {"points": len(circuits)}) as sp:
+        try:
+            result = _shooting_batch_impl(
+                circuits, period, steps_per_period=steps_per_period,
+                observe=observe, x0=x0, warmup_periods=warmup_periods,
+                max_iterations=max_iterations, tol=tol,
+                fd_delta=fd_delta, method=method,
+                update_limit=update_limit, solver=solver)
+        except ConvergenceError:
+            rt.count("repro_pss_convergence_failures_total")
+            raise
+        sp.set_tag("iterations", int(result.iterations.max()))
+        rt.count("repro_pss_solves_total", result.n_points)
+        rt.count("repro_pss_iterations_total",
+                 int(result.iterations.sum()))
+        return result
+
+
+def _shooting_batch_impl(circuits, period, *, steps_per_period, observe,
+                         x0, warmup_periods, max_iterations, tol,
+                         fd_delta, method, update_limit,
+                         solver) -> BatchPssResult:
     if period <= 0:
         raise AnalysisError("period must be positive")
     solver_kind = check_solver(solver)
@@ -926,6 +993,35 @@ def shooting_jacobian_batched(circuit: Circuit, period: float, *,
     work on the final iteration).  Warmup periods run through the scalar
     engine — identical by construction.
     """
+    rt = telemetry.active()
+    if rt is None:
+        return _shooting_jacobian_impl(
+            circuit, period, steps_per_period=steps_per_period,
+            observe=observe, x0=x0, warmup_periods=warmup_periods,
+            max_iterations=max_iterations, tol=tol, fd_delta=fd_delta,
+            method=method, update_limit=update_limit, solver=solver)
+    with rt.tracer.span("pss.shooting_jacobian",
+                        {"circuit": circuit.name}) as sp:
+        try:
+            result = _shooting_jacobian_impl(
+                circuit, period, steps_per_period=steps_per_period,
+                observe=observe, x0=x0, warmup_periods=warmup_periods,
+                max_iterations=max_iterations, tol=tol,
+                fd_delta=fd_delta, method=method,
+                update_limit=update_limit, solver=solver)
+        except ConvergenceError:
+            rt.count("repro_pss_convergence_failures_total")
+            raise
+        sp.set_tag("iterations", result.iterations)
+        rt.count("repro_pss_solves_total")
+        rt.count("repro_pss_iterations_total", result.iterations)
+        return result
+
+
+def _shooting_jacobian_impl(circuit, period, *, steps_per_period,
+                            observe, x0, warmup_periods, max_iterations,
+                            tol, fd_delta, method, update_limit,
+                            solver) -> PssResult:
     if period <= 0:
         raise AnalysisError("period must be positive")
     circuit.compile()

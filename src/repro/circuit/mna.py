@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..tech.mosfet_models import ids_full_vec
 from .elements.base import NONLINEAR, REACTIVE, SOURCE, STATIC, MnaSystem
 from .elements.mosfet import GMIN_DS, Mosfet
@@ -22,6 +23,13 @@ from .sparse import check_solver, choose_backend, matrix_fill, sparse_solve
 
 #: Default conductance from every node to ground, for matrix regularity.
 DEFAULT_GMIN = 1e-12
+
+
+def _note_newton(rt, iterations: int, backend: Optional[str]) -> None:
+    """Record one converged Newton solve (telemetry enabled only)."""
+    rt.count("repro_mna_newton_solves_total")
+    rt.count("repro_mna_newton_iterations_total", iterations,
+             backend=backend or "dense")
 
 
 class _MosfetGroup:
@@ -156,6 +164,25 @@ class MnaContext:
         Returns the converged solution vector; raises
         :class:`ConvergenceError` when the damped Newton iteration fails.
         """
+        rt = telemetry.active()
+        if rt is None:
+            return self._solve_newton_impl(
+                x0, t, mode=mode, dt=dt, method=method,
+                source_scale=source_scale, gshunt=gshunt,
+                max_iter=max_iter, vlimit=vlimit, abstol=abstol,
+                reltol=reltol, itol=itol, analysis=analysis, rt=None)
+        with rt.tracer.span("mna.newton",
+                            {"analysis": analysis, "mode": mode,
+                             "size": self.size}):
+            return self._solve_newton_impl(
+                x0, t, mode=mode, dt=dt, method=method,
+                source_scale=source_scale, gshunt=gshunt,
+                max_iter=max_iter, vlimit=vlimit, abstol=abstol,
+                reltol=reltol, itol=itol, analysis=analysis, rt=rt)
+
+    def _solve_newton_impl(self, x0, t, *, mode, dt, method, source_scale,
+                           gshunt, max_iter, vlimit, abstol, reltol, itol,
+                           analysis, rt) -> np.ndarray:
         G_base, I_base = self._base_for_point(
             t, mode=mode, dt=dt, method=method,
             source_scale=source_scale, gshunt=gshunt)
@@ -176,6 +203,9 @@ class MnaContext:
             if self._backend is None:
                 self._backend = choose_backend(
                     self.size, matrix_fill(G), self.solver)
+                if rt is not None:
+                    rt.count("repro_mna_backend_decisions_total",
+                             solver=self.solver, backend=self._backend)
             try:
                 if self._backend == "sparse":
                     x_new = sparse_solve(G, I)
@@ -190,6 +220,8 @@ class MnaContext:
                                        analysis=analysis, time=t)
             dx = x_new - x
             if not has_nonlinear:
+                if rt is not None:
+                    _note_newton(rt, _iteration + 1, self._backend)
                 return x_new
             dv = dx[:n]
             clamped = np.abs(dv) > vlimit
@@ -205,7 +237,12 @@ class MnaContext:
                 np.abs(dx[n:]) <= itol + reltol * np.abs(x_new[n:])
             ) if self.size > n else True
             if v_ok and i_ok:
+                if rt is not None:
+                    _note_newton(rt, _iteration + 1, self._backend)
                 return x
+        if rt is not None:
+            rt.count("repro_mna_convergence_failures_total",
+                     analysis=analysis)
         raise ConvergenceError(
             f"Newton failed to converge in {max_iter} iterations",
             analysis=analysis, time=t)

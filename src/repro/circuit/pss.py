@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .dc import operating_point
 from .elements.passives import Capacitor
 from .exceptions import AnalysisError, ConvergenceError
@@ -104,6 +105,35 @@ def shooting(circuit: Circuit, period: float, *, steps_per_period: int = 200,
         finite-difference noise; clamping keeps the update physical and
         the iteration falls back to (fast) fixed-point behaviour there.
     """
+    rt = telemetry.active()
+    if rt is None:
+        return _shooting_impl(
+            circuit, period, steps_per_period=steps_per_period,
+            observe=observe, x0=x0, warmup_periods=warmup_periods,
+            max_iterations=max_iterations, tol=tol, fd_delta=fd_delta,
+            method=method, update_limit=update_limit, ctx=ctx,
+            solver=solver)
+    with rt.tracer.span("pss.shooting",
+                        {"circuit": circuit.name}) as sp:
+        try:
+            result = _shooting_impl(
+                circuit, period, steps_per_period=steps_per_period,
+                observe=observe, x0=x0, warmup_periods=warmup_periods,
+                max_iterations=max_iterations, tol=tol, fd_delta=fd_delta,
+                method=method, update_limit=update_limit, ctx=ctx,
+                solver=solver)
+        except ConvergenceError:
+            rt.count("repro_pss_convergence_failures_total")
+            raise
+        sp.set_tag("iterations", result.iterations)
+        rt.count("repro_pss_solves_total")
+        rt.count("repro_pss_iterations_total", result.iterations)
+        return result
+
+
+def _shooting_impl(circuit, period, *, steps_per_period, observe, x0,
+                   warmup_periods, max_iterations, tol, fd_delta, method,
+                   update_limit, ctx, solver) -> PssResult:
     if period <= 0:
         raise AnalysisError("period must be positive")
     circuit.compile()

@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from .exceptions import AnalysisError
 
 try:
@@ -118,6 +119,7 @@ def sparse_solve(G: np.ndarray, I: np.ndarray) -> np.ndarray:
     """
     if not HAS_SCIPY:  # pragma: no cover - guarded by check_solver
         raise AnalysisError("sparse solve requires scipy")
+    telemetry.count("repro_mna_lu_factorizations_total", backend="sparse")
     try:
         lu = splu(csc_matrix(G))
         return lu.solve(I)
@@ -135,6 +137,8 @@ def sparse_solve_batch(G_stack: np.ndarray, I_stack: np.ndarray) -> np.ndarray:
     """
     if not HAS_SCIPY:  # pragma: no cover - guarded by check_solver
         raise AnalysisError("sparse solve requires scipy")
+    telemetry.count("repro_mna_lu_factorizations_total",
+                    G_stack.shape[0], backend="sparse")
     out = np.empty_like(I_stack)
     try:
         for p in range(G_stack.shape[0]):

@@ -12,6 +12,7 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from .. import telemetry
 from .dc import operating_point
 from .exceptions import AnalysisError, ConvergenceError
 from .mna import MnaContext
@@ -99,6 +100,24 @@ def transient(circuit: Circuit, tstop: float, dt: float, *,
         "sparse", see :mod:`repro.circuit.sparse`).  Ignored when an
         explicit ``ctx`` is supplied (the context owns the choice).
     """
+    rt = telemetry.active()
+    if rt is None:
+        return _transient_impl(circuit, tstop, dt, tstart=tstart,
+                               method=method, ic=ic, uic=uic, x0=x0,
+                               ctx=ctx, max_retries=max_retries,
+                               solver=solver)
+    with rt.tracer.span("mna.transient",
+                        {"circuit": circuit.name, "method": method}) as sp:
+        result = _transient_impl(circuit, tstop, dt, tstart=tstart,
+                                 method=method, ic=ic, uic=uic, x0=x0,
+                                 ctx=ctx, max_retries=max_retries,
+                                 solver=solver)
+        sp.set_tag("steps", len(result.t) - 1)
+        return result
+
+
+def _transient_impl(circuit, tstop, dt, *, tstart, method, ic, uic, x0,
+                    ctx, max_retries, solver) -> TransientResult:
     if tstop <= tstart:
         raise AnalysisError(f"tstop ({tstop}) must exceed tstart ({tstart})")
     if dt <= 0:

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.exceptions import AnalysisError
 from ..circuit.waveform import Waveform
 
@@ -272,6 +273,15 @@ class RcBatchSolver:
         return ordered
 
     def solve(self) -> RcBatchSolution:
+        rt = telemetry.active()
+        if rt is None:
+            return self._solve_impl()
+        with rt.tracer.span("rc.solve",
+                            {"kind": "batch",
+                             "points": int(self.r_up.shape[0])}):
+            return self._solve_impl()
+
+    def _solve_impl(self) -> RcBatchSolution:
         fractions = self._interval_fractions()
         g_up_legs = 1.0 / self.r_up      # (B, L)
         g_down_legs = 1.0 / self.r_down  # (B, L)
@@ -343,6 +353,14 @@ class RcSwitchSolver:
         return ordered
 
     def solve(self) -> RcSolution:
+        rt = telemetry.active()
+        if rt is None:
+            return self._solve_impl()
+        with rt.tracer.span("rc.solve",
+                            {"kind": "switch", "legs": len(self.legs)}):
+            return self._solve_impl()
+
+    def _solve_impl(self) -> RcSolution:
         fractions = self._interval_fractions()
         intervals: List[_Interval] = []
         for f0, f1 in zip(fractions[:-1], fractions[1:]):

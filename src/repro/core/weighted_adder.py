@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.elements.passives import Capacitor
 from ..circuit.elements.sources import PwmVoltage, Vdc, VProfile
 from ..circuit.exceptions import AnalysisError
@@ -280,6 +281,26 @@ class WeightedAdder:
         transistor engine (which runs PSS over the least common period);
         the RC engine requires a shared period.
         """
+        rt = telemetry.active()
+        if rt is None:
+            return self._evaluate_impl(
+                duties, weights, engine=engine, vdd=vdd,
+                frequency=frequency, frequencies=frequencies,
+                phases=phases, input_amplitude=input_amplitude,
+                steps_per_period=steps_per_period,
+                cell_overrides=cell_overrides, solver=solver)
+        with rt.tracer.span("adder.evaluate", {"engine": engine}):
+            return self._evaluate_impl(
+                duties, weights, engine=engine, vdd=vdd,
+                frequency=frequency, frequencies=frequencies,
+                phases=phases, input_amplitude=input_amplitude,
+                steps_per_period=steps_per_period,
+                cell_overrides=cell_overrides, solver=solver)
+
+    def _evaluate_impl(self, duties, weights, *, engine, vdd, frequency,
+                       frequencies, phases, input_amplitude,
+                       steps_per_period, cell_overrides,
+                       solver) -> AdderResult:
         if engine not in ENGINES:
             raise AnalysisError(f"unknown engine {engine!r}; use {ENGINES}")
         cfg = self.config

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.exceptions import AnalysisError
 from ..core.cells import CellDesign
 
@@ -151,6 +152,44 @@ class Engine(ABC):
 ENGINES: "Dict[str, Engine]" = {}
 
 
+#: Engine operations wrapped with telemetry at registration.
+_INSTRUMENTED_OPS = ("evaluate", "sweep_supply", "monte_carlo")
+
+
+def _instrument_engine(eng: Engine) -> Engine:
+    """Wrap the singleton's public ops with spans + latency metrics.
+
+    One central wrap point instead of per-engine edits: every
+    registered engine gets ``engine.<op>`` spans, a
+    ``repro_engine_calls_total{engine,op}`` counter and a
+    ``repro_engine_latency_seconds{engine,op}`` histogram.  The wrapper
+    costs one ``active()`` check per call when telemetry is disabled.
+    """
+    import time
+
+    def wrap(op: str, orig):
+        def wrapped(*args, **kwargs):
+            rt = telemetry.active()
+            if rt is None:
+                return orig(*args, **kwargs)
+            t0 = time.perf_counter()
+            with rt.tracer.span(f"engine.{op}", {"engine": eng.id}):
+                result = orig(*args, **kwargs)
+            rt.count("repro_engine_calls_total", engine=eng.id, op=op)
+            rt.observe("repro_engine_latency_seconds",
+                       time.perf_counter() - t0, engine=eng.id, op=op)
+            return result
+
+        wrapped.__name__ = orig.__name__
+        wrapped.__doc__ = orig.__doc__
+        wrapped.__wrapped__ = orig
+        return wrapped
+
+    for op in _INSTRUMENTED_OPS:
+        setattr(eng, op, wrap(op, getattr(eng, op)))
+    return eng
+
+
 def engine(id: str, *, title: str):
     """Register an :class:`Engine` subclass under ``id``.
 
@@ -163,7 +202,7 @@ def engine(id: str, *, title: str):
             raise AnalysisError(f"engine id {id!r} registered twice")
         cls.id = id
         cls.title = title
-        ENGINES[id] = cls()
+        ENGINES[id] = _instrument_engine(cls())
         return cls
 
     return decorate

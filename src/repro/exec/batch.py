@@ -62,7 +62,8 @@ def resolve_monte_carlo_method(method: str, *,
     return "vectorized" if capable else "loop"
 
 
-def resolve_solver(solver: str, *, engine_id: str = "spice") -> str:
+def resolve_solver(solver: str, *, engine_id: str = "spice",
+                   experiment_id: str = "") -> str:
     """Resolve an MNA ``solver`` knob against the engine registry.
 
     The knob only means something for engines that assemble MNA systems
@@ -72,15 +73,25 @@ def resolve_solver(solver: str, *, engine_id: str = "spice") -> str:
     an error (there is no matrix to pick a backend for), while the
     default ``"auto"`` passes silently so generic callers need no
     per-engine special cases.
+
+    ``experiment_id`` names the offending experiment in rejections, the
+    same error surface as
+    :func:`repro.engines.base.require_capability`.
     """
     from ..circuit.sparse import check_solver
     from ..engines import get_engine
 
-    resolved = check_solver(solver)
-    level = get_engine(engine_id).capabilities().level
+    who = f"experiment {experiment_id!r}: " if experiment_id else ""
+    try:
+        resolved = check_solver(solver)
+        level = get_engine(engine_id).capabilities().level
+    except AnalysisError as exc:
+        if who:
+            raise AnalysisError(f"{who}{exc}") from None
+        raise
     if level != "transistor" and resolved != "auto":
         raise AnalysisError(
-            f"solver {resolved!r} only applies to transistor-level "
+            f"{who}solver {resolved!r} only applies to transistor-level "
             f"engines; engine {engine_id!r} (level {level!r}) has no "
             "MNA system to solve")
     return resolved

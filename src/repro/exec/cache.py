@@ -141,14 +141,24 @@ class ResultCache:
         legacy hit is re-written under the canonical key so the old
         entry keeps serving after the migration.
         """
+        from .. import telemetry
+
         path = self.path_for_config(config)
         result = self._load(path)
         if result is not None or legacy_params is None:
+            telemetry.count(
+                "repro_exec_cache_lookups_total",
+                result="hit" if result is not None else "miss")
             return result
         legacy = self._load(self.path_for(config.experiment_id,
                                           config.fidelity, legacy_params))
-        if legacy is not None:
-            self.put_config(legacy, config)
+        telemetry.count(
+            "repro_exec_cache_lookups_total",
+            result="hit" if legacy is not None else "miss")
+        return legacy if legacy is None else self._migrate(legacy, config)
+
+    def _migrate(self, legacy, config):
+        self.put_config(legacy, config)
         return legacy
 
     def put_config(self, result, config) -> Path:

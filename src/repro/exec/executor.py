@@ -81,7 +81,19 @@ class ProcessExecutor:
         self.jobs = int(jobs)
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        from .. import telemetry
+
         items = list(items)
+        rt = telemetry.active()
+        if rt is None:
+            return self._map_impl(fn, items)
+        with rt.tracer.span("exec.pool_map",
+                            {"jobs": self.jobs, "items": len(items)}):
+            rt.count("repro_exec_pool_items_total", len(items))
+            return self._map_impl(fn, items)
+
+    def _map_impl(self, fn: Callable[[Any], Any],
+                  items: List[Any]) -> List[Any]:
         if self.jobs == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         try:

@@ -39,6 +39,13 @@ class ExperimentResult:
     figures: List[FigureData] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Telemetry run profile (:class:`repro.telemetry.profile.RunProfile`
+    #: document) attached by :func:`repro.experiments.run_config` when
+    #: telemetry is enabled.  Deliberately excluded from ``to_dict()``
+    #: (and from equality): cached results and golden artifacts must be
+    #: byte-identical whether or not telemetry was on.
+    profile: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False)
 
     def render(self, *, charts: bool = True) -> str:
         """Human-readable report."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from .. import telemetry
 from ..circuit.exceptions import AnalysisError
 from ..exec.cache import ResultCache
 from ..exec.executor import get_executor, use_executor
@@ -92,15 +93,33 @@ def run_config(config: RunConfig, *, jobs: Optional[int] = None,
         hit = cache.get_config(config, legacy_params=legacy_params)
         if hit is not None:
             return hit
-    kwargs = config.param_dict()
-    if jobs is None:
-        result = spec.runner(fidelity=config.fidelity, **kwargs)
+    rt = telemetry.active()
+    if rt is None:
+        result = _execute(spec, config, jobs)
     else:
-        with use_executor(get_executor(jobs)):
-            result = spec.runner(fidelity=config.fidelity, **kwargs)
+        # Every fresh execution is one "experiment" root span plus a
+        # RunProfile window; the profile rides on the result as a plain
+        # attribute (never serialised — goldens/caches stay identical).
+        from ..telemetry.profile import RunProfile
+
+        with rt.tracer.span("experiment",
+                            {"experiment": config.experiment_id,
+                             "fidelity": config.fidelity}):
+            with RunProfile(rt, experiment_id=config.experiment_id,
+                            fidelity=config.fidelity) as prof:
+                result = _execute(spec, config, jobs)
+        result.profile = prof.document()
     if cache is not None:
         cache.put_config(result, config)
     return result
+
+
+def _execute(spec, config: RunConfig, jobs: Optional[int]):
+    kwargs = config.param_dict()
+    if jobs is None:
+        return spec.runner(fidelity=config.fidelity, **kwargs)
+    with use_executor(get_executor(jobs)):
+        return spec.runner(fidelity=config.fidelity, **kwargs)
 
 
 #: One deprecation notice per process — the shim is called in loops.

@@ -48,21 +48,31 @@ class BatchStats:
     rows: int = 0
     max_batch_rows: int = 0
     queue_wait_seconds: float = 0.0
+    fill_ratio_sum: float = 0.0
 
-    def record(self, rows: int, oldest_wait: float) -> None:
+    def record(self, rows: int, oldest_wait: float, *,
+               capacity: int = 0) -> None:
         self.batches += 1
         self.rows += rows
         self.max_batch_rows = max(self.max_batch_rows, rows)
         self.queue_wait_seconds += oldest_wait
+        if capacity > 0:
+            # A flush may slightly exceed max_batch (requests are never
+            # split), so clamp: fill ratio reads as "fraction of the
+            # configured batch the flush actually used".
+            self.fill_ratio_sum += min(1.0, rows / capacity)
 
     def snapshot(self) -> dict:
         mean = self.rows / self.batches if self.batches else 0.0
         wait = (self.queue_wait_seconds / self.batches
                 if self.batches else 0.0)
+        fill = (self.fill_ratio_sum / self.batches
+                if self.batches else 0.0)
         return {"batches": self.batches, "rows": self.rows,
                 "mean_batch_rows": round(mean, 3),
                 "max_batch_rows": self.max_batch_rows,
-                "mean_queue_wait_ms": round(1e3 * wait, 3)}
+                "mean_queue_wait_ms": round(1e3 * wait, 3),
+                "mean_fill_ratio": round(fill, 3)}
 
 
 class MicroBatcher:
@@ -187,7 +197,8 @@ class MicroBatcher:
                 for r in batch])
         with self._lock:
             self.stats.record(features.shape[0],
-                              now - min(r.enqueued_at for r in batch))
+                              now - min(r.enqueued_at for r in batch),
+                              capacity=self.max_batch)
         try:
             predictions = np.asarray(self._handler(features, vdds))
         except Exception as exc:  # propagate to this batch's callers

@@ -8,7 +8,15 @@ JSON API (content type ``application/json`` throughout):
     Artifact metadata from the backing
     :class:`~repro.serve.artifacts.ModelStore`.
 ``GET /metrics``
-    Request / latency / batch-size counters.
+    Request / latency / batch-size counters.  Content-negotiated:
+    the default is the JSON snapshot; ``Accept: text/plain`` (what
+    Prometheus sends) or ``?format=prometheus`` returns the text
+    exposition format 0.0.4 rendered from the backing
+    :class:`repro.telemetry.metrics.Registry` — including the
+    ``repro_predict_latency_seconds`` histogram and, when the process
+    runs with telemetry enabled (``REPRO_TELEMETRY=1`` or ``serve
+    --telemetry``), every solver-level counter recorded under the
+    shared registry.
 ``POST /predict``
     ``{"model": <name>, "inputs": [[...], ...], "vdd": <optional>,
     "engine": <optional>, "solver": <optional>}`` →
@@ -66,8 +74,10 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.exceptions import AnalysisError
 from ..exec.batch import resolve_solver
+from ..telemetry.metrics import Registry
 from .artifacts import ModelStore, deserialize_model
 from .engine import (
     BatchInferenceEngine,
@@ -82,41 +92,79 @@ class NotFoundError(AnalysisError):
 
 
 class ServingMetrics:
-    """Thread-safe request/latency counters for ``/metrics``."""
+    """Thread-safe request/latency counters for ``/metrics``.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.requests_total: Dict[str, int] = {}
-        self.errors_total = 0
-        self.predictions_total = 0
-        self.latency_seconds_sum = 0.0
-        self.latency_seconds_max = 0.0
+    Backed by :class:`repro.telemetry.metrics.Registry` instruments
+    that share one re-entrant lock: :meth:`observe` applies its whole
+    multi-instrument update inside ``registry.lock`` and
+    :meth:`snapshot` reads every instrument under the same lock, so a
+    scrape can never see a request whose latency (or error flag) has
+    not landed yet — the read-vs-observe race the ad-hoc counters used
+    to have.  When the process-wide telemetry runtime is enabled the
+    server shares its registry, so one Prometheus scrape also exposes
+    the solver-level counters (Newton iterations, backend decisions,
+    cache hits, ...) next to the serving metrics.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None):
+        self.registry = registry if registry is not None else Registry()
         self.started_at = time.time()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_requests_total", "HTTP requests served, by endpoint.",
+            labelnames=("endpoint",))
+        self._errors = reg.counter(
+            "repro_errors_total", "Requests answered with status >= 400.")
+        self._predictions = reg.counter(
+            "repro_predictions_total",
+            "Prediction rows returned by /predict.")
+        self._latency = reg.histogram(
+            "repro_request_latency_seconds",
+            "Wall-clock request latency, by endpoint.",
+            labelnames=("endpoint",))
+        self._predict_latency = reg.histogram(
+            "repro_predict_latency_seconds",
+            "Wall-clock latency of /predict requests.")
+        self._latency_max = reg.gauge(
+            "repro_request_latency_seconds_max",
+            "Largest single-request latency observed.")
+        self._uptime = reg.gauge(
+            "repro_uptime_seconds", "Seconds since server start.")
 
     def observe(self, endpoint: str, seconds: float, *, rows: int = 0,
                 error: bool = False) -> None:
-        with self._lock:
-            self.requests_total[endpoint] = \
-                self.requests_total.get(endpoint, 0) + 1
-            self.predictions_total += rows
-            self.errors_total += int(error)
-            self.latency_seconds_sum += seconds
-            self.latency_seconds_max = max(self.latency_seconds_max,
-                                           seconds)
+        with self.registry.lock:
+            self._requests.inc(endpoint=endpoint)
+            if rows:
+                self._predictions.inc(rows)
+            if error:
+                self._errors.inc()
+            self._latency.observe(seconds, endpoint=endpoint)
+            if endpoint == "/predict":
+                self._predict_latency.observe(seconds)
+            if seconds > self._latency_max.value():
+                self._latency_max.set(seconds)
 
     def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            n = sum(self.requests_total.values())
+        with self.registry.lock:
+            requests = {key[0]: int(value) for key, value in
+                        self._requests.values_by_label().items()}
+            n = sum(requests.values())
             return {
                 "uptime_seconds": round(time.time() - self.started_at, 3),
-                "requests_total": dict(self.requests_total),
-                "errors_total": self.errors_total,
-                "predictions_total": self.predictions_total,
+                "requests_total": requests,
+                "errors_total": int(self._errors.value()),
+                "predictions_total": int(self._predictions.value()),
                 "latency_ms_mean": round(
-                    1e3 * self.latency_seconds_sum / n, 3) if n else 0.0,
+                    1e3 * self._latency.total_sum() / n, 3) if n else 0.0,
                 "latency_ms_max": round(
-                    1e3 * self.latency_seconds_max, 3),
+                    1e3 * self._latency_max.value(), 3),
             }
+
+    def prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        self._uptime.set(time.time() - self.started_at)
+        return self.registry.prometheus_text()
 
 
 class _LoadedModel:
@@ -170,7 +218,9 @@ class PerceptronServer:
         self.store = store
         self.campaign_dir = campaign_dir
         self.engine = BatchInferenceEngine()
-        self.metrics = ServingMetrics()
+        rt = telemetry.active()
+        self.metrics = ServingMetrics(
+            registry=rt.registry if rt is not None else None)
         self.max_batch = max_batch
         self.max_latency = max_latency
         self._models: Dict[str, _LoadedModel] = {}
@@ -319,6 +369,29 @@ class PerceptronServer:
         with self._models_lock:
             return {name: loaded.batcher.stats.snapshot()
                     for name, loaded in self._models.items()}
+
+    def prometheus_metrics(self) -> str:
+        """``GET /metrics`` as Prometheus text (refreshes gauges)."""
+        self._refresh_batcher_gauges()
+        return self.metrics.prometheus_text()
+
+    def _refresh_batcher_gauges(self) -> None:
+        """Mirror per-model batcher aggregates into gauges at scrape
+        time, so the text exposition carries the same figures as the
+        JSON snapshot's ``batchers`` block (cheap: O(models) sets per
+        scrape instead of instrumenting the batcher's hot flush path).
+        """
+        reg = self.metrics.registry
+        gauges = {
+            key: reg.gauge(f"repro_batcher_{key}",
+                           f"MicroBatcher {key}, per model.",
+                           labelnames=("model",))
+            for key in ("batches", "rows", "mean_batch_rows",
+                        "max_batch_rows", "mean_queue_wait_ms",
+                        "mean_fill_ratio")}
+        for name, stats in self.batcher_metrics().items():
+            for key, gauge in gauges.items():
+                gauge.set(stats[key], model=name)
 
     # -- experiments as a served resource ----------------------------------
     #
@@ -538,6 +611,44 @@ def _make_handler(server: "PerceptronServer"):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _metrics_prometheus(self) -> None:
+            t0 = time.perf_counter()
+            status, text = 200, ""
+            try:
+                text = server.prometheus_metrics()
+            except Exception as exc:  # pragma: no cover - defensive
+                status = 500
+                text = f"# scrape failed: {type(exc).__name__}: {exc}\n"
+            finally:
+                # Recorded after rendering: this scrape shows up in the
+                # next one, exactly like the JSON snapshot path.
+                server.metrics.observe(
+                    "/metrics", time.perf_counter() - t0,
+                    error=status >= 400)
+                self._reply_text(status, text)
+
+        def _wants_prometheus(self) -> bool:
+            """Content negotiation for ``/metrics``: Prometheus asks
+            with ``Accept: text/plain`` (or OpenMetrics); humans and
+            tests can force it with ``?format=prometheus``."""
+            query = self.path.partition("?")[2]
+            if "format=prometheus" in query:
+                return True
+            if "format=json" in query:
+                return False
+            accept = self.headers.get("Accept", "")
+            return ("text/plain" in accept
+                    or "openmetrics" in accept)
+
         def _observed(self, endpoint: str, fn) -> None:
             t0 = time.perf_counter()
             status, payload, rows = 500, {"error": "internal error"}, 0
@@ -586,6 +697,10 @@ def _make_handler(server: "PerceptronServer"):
                 self._observed("/experiments", lambda: (
                     200, server.describe_experiment(experiment_id), 0))
             elif path == "/metrics":
+                if self._wants_prometheus():
+                    self._metrics_prometheus()
+                    return
+
                 def metrics() -> Tuple[int, Dict[str, Any], int]:
                     payload = server.metrics.snapshot()
                     payload["batchers"] = server.batcher_metrics()

@@ -1,0 +1,111 @@
+"""Structured per-run profiles from counter deltas and span windows.
+
+A :class:`RunProfile` brackets one ``RunConfig`` execution: it snapshots
+the registry's flat counter map on entry and exit, and remembers which
+trace events fell inside the window.  The resulting
+:meth:`~RunProfile.document` is a small JSON-able dict —
+
+``{"experiment_id", "fidelity", "duration_seconds", "counters",
+"spans", "trace_events", "batch_points_max"}``
+
+— where ``counters`` holds only the *deltas* attributable to this run
+(solver-backend decisions from ``choose_backend``, Newton iterations,
+cache hits/misses, …) and ``spans`` aggregates ``{count,
+seconds}`` per span name (stage timings: assembly/solve/newton).
+
+The profile is attached to ``ExperimentResult.profile`` as a plain
+attribute — deliberately *not* part of ``to_dict()`` so cached results
+and golden artifacts stay byte-identical whether or not telemetry is
+enabled.  Campaign runners aggregate the same documents per shard.
+
+Profiles are not re-entrant across threads: one profile brackets one
+run on the calling thread (concurrent runs on other threads would bleed
+counter deltas into each other — acceptable for the CLI/campaign use).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class RunProfile:
+    """Context manager capturing one run's telemetry window."""
+
+    def __init__(self, runtime, *, experiment_id: str = "",
+                 fidelity: str = ""):
+        self.runtime = runtime
+        self.experiment_id = experiment_id
+        self.fidelity = fidelity
+        self._before: Dict[str, float] = {}
+        self._events_before = 0
+        self._t0 = 0.0
+        self.duration_seconds = 0.0
+        self.counters: Dict[str, float] = {}
+        self.spans: Dict[str, Dict[str, float]] = {}
+        self.trace_events = 0
+        self.batch_points_max = 0
+
+    def __enter__(self) -> "RunProfile":
+        self._before = self.runtime.registry.flat_values()
+        self._events_before = len(self.runtime.tracer.events())
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_seconds = time.perf_counter() - self._t0
+        after = self.runtime.registry.flat_values()
+        self.counters = {
+            name: value - self._before.get(name, 0.0)
+            for name, value in after.items()
+            if value != self._before.get(name, 0.0)
+        }
+        window = self.runtime.tracer.events()[self._events_before:]
+        self.trace_events = len(window)
+        for event in window:
+            agg = self.spans.setdefault(event["name"],
+                                        {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += event["dur"]
+            points = event["tags"].get("points")
+            if isinstance(points, (int, float)):
+                self.batch_points_max = max(self.batch_points_max,
+                                            int(points))
+
+    def document(self) -> Dict[str, Any]:
+        spans = {name: {"count": agg["count"],
+                        "seconds": round(agg["seconds"], 6)}
+                 for name, agg in sorted(self.spans.items())}
+        return {
+            "experiment_id": self.experiment_id,
+            "fidelity": self.fidelity,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "spans": spans,
+            "trace_events": self.trace_events,
+            "batch_points_max": self.batch_points_max,
+        }
+
+
+def aggregate_profiles(
+        documents: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-run profile documents into one campaign-level summary."""
+    counters: Dict[str, float] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    total = 0.0
+    for doc in documents:
+        total += doc.get("duration_seconds", 0.0)
+        for name, value in doc.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, agg in doc.get("spans", {}).items():
+            merged = spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            merged["count"] += agg.get("count", 0)
+            merged["seconds"] += agg.get("seconds", 0.0)
+    return {
+        "runs": len(documents),
+        "duration_seconds": round(total, 6),
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "spans": {k: {"count": v["count"],
+                      "seconds": round(v["seconds"], 6)}
+                  for k, v in sorted(spans.items())},
+    }

@@ -1,0 +1,158 @@
+"""Thread-safe nested spans with JSONL export.
+
+A :class:`Tracer` hands out context-manager spans; each thread keeps
+its own span stack so parent/child links are correct under the serve
+plane's request threads and the campaign runner's workers.  Closing a
+span appends one event to a bounded in-memory buffer:
+
+``{"name", "tags", "ts", "dur", "id", "parent", "thread"}``
+
+``ts`` is wall-clock seconds (``time.time``), ``dur`` comes from
+``perf_counter`` so durations are monotonic.  The buffer is bounded
+(default 200k events) — once full, further events are counted in
+:attr:`Tracer.dropped` instead of growing memory without bound.
+
+:func:`export_jsonl` writes one event per line; replaying the timeline
+is then a ten-line script (sort by ``ts``, indent by ``parent`` links).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One open span; close it (``with`` / ``__exit__``) to record."""
+
+    __slots__ = ("tracer", "name", "tags", "span_id", "parent_id",
+                 "_t0_wall", "_t0_perf")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 tags: Optional[Dict[str, Any]]):
+        self.tracer = tracer
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._t0_wall = 0.0
+        self._t0_perf = 0.0
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        with tracer._lock:
+            self.span_id = tracer._next_id
+            tracer._next_id += 1
+        stack.append(self)
+        self._t0_wall = time.time()
+        self._t0_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0_perf
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:            # unbalanced exits: drop descendants
+            del stack[stack.index(self):]
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        self.tracer._record(self, dur)
+
+
+class Tracer:
+    """Process-local span registry with a bounded event buffer."""
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max_events
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._next_id = 1
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str,
+             tags: Optional[Dict[str, Any]] = None) -> Span:
+        return Span(self, name, tags)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _record(self, span: Span, dur: float) -> None:
+        event = {
+            "name": span.name,
+            "tags": span.tags,
+            "ts": span._t0_wall,
+            "dur": dur,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "thread": threading.get_ident(),
+        }
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+            else:
+                self._events.append(event)
+
+    # -- read / export -----------------------------------------------------
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON event per line; returns the event count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, default=str) + "\n")
+        return len(events)
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a trace file back into event dicts (inverse of export)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def span_depths(events: List[Dict[str, Any]]) -> Dict[int, int]:
+    """Nesting depth per span id (roots are depth 1)."""
+    parents = {e["id"]: e["parent"] for e in events}
+    depths: Dict[int, int] = {}
+
+    def depth(span_id: int) -> int:
+        if span_id in depths:
+            return depths[span_id]
+        parent = parents.get(span_id)
+        d = 1 if parent is None or parent not in parents else depth(parent) + 1
+        depths[span_id] = d
+        return d
+
+    for span_id in parents:
+        depth(span_id)
+    return depths
