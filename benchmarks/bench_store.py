@@ -1,0 +1,208 @@
+"""Benchmark the SQLite result store against the flat-JSON cache.
+
+Populates one Monte-Carlo campaign (a few hundred millisecond-scale
+configs) into both backends, then measures the operations the store
+exists for:
+
+* **indexed axis query** — ``StoreQuery.where("seed", "<", k)`` (JSON1
+  expression index) vs the flat cache's only option: open and parse
+  every entry file and filter in Python;
+* **bulk collection** — ``collect_results`` through the store's
+  batched ``get_configs`` vs one flat-cache probe per config (the
+  ``campaign report`` hot path);
+* **concurrent writer throughput** — N processes hammering one store
+  database (WAL mode) vs the same processes writing flat cache files.
+
+Verifies the store-backed aggregate document is byte-identical to the
+flat-cache one, and writes ``benchmarks/BENCH_store.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT = Path(__file__).parent / "BENCH_store.json"
+
+N_CONFIGS = 200
+QUERY_REPEATS = 20
+N_WRITERS = 4
+WRITES_PER_WRITER = 50
+
+SPEC = {
+    "name": "bench-store",
+    "experiment": "ext_montecarlo",
+    "fidelity": "fast",
+    "axes": [{"param": "seed",
+              "range": {"start": 0, "count": N_CONFIGS}}],
+}
+
+_WRITER = """
+import sys, time
+from repro.experiments import RunConfig, run_config
+from repro.store import ResultStore
+from repro.exec.cache import ResultCache
+
+backend, root, worker, n = (sys.argv[1], sys.argv[2], int(sys.argv[3]),
+                            int(sys.argv[4]))
+sink = ResultStore(root) if backend == "store" else ResultCache(root)
+seed0 = 10_000 + worker * n
+result = run_config(RunConfig.build("ext_montecarlo", "fast",
+                                    {"seed": seed0}))
+t0 = time.perf_counter()
+for k in range(n):
+    config = RunConfig.build("ext_montecarlo", "fast",
+                             {"seed": seed0 + k})
+    sink.put_config(result, config)
+print(time.perf_counter() - t0)
+"""
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _flat_scan(cache, experiment: str, param: str, below) -> list:
+    """What an axis filter costs without an index: parse every file."""
+    rows = []
+    for path in sorted(cache.root.glob(f"{experiment}/*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        params = payload.get("params", {})
+        value = params.get(param)
+        if isinstance(value, (int, float)) and value < below:
+            rows.append((path.name, params,
+                         payload["result"].get("metrics", {})))
+    return rows
+
+
+def _time(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _writer_throughput(backend: str, root: Path, env: dict) -> float:
+    t0 = time.perf_counter()
+    procs = [subprocess.Popen(
+        [sys.executable, "-c", _WRITER, backend, str(root), str(i),
+         str(WRITES_PER_WRITER)],
+        cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE) for i in range(N_WRITERS)]
+    for proc in procs:
+        _out, err = proc.communicate(timeout=600)
+        if proc.returncode != 0:
+            raise SystemExit(f"writer failed: {err.decode()}")
+    wall = time.perf_counter() - t0
+    return N_WRITERS * WRITES_PER_WRITER / wall
+
+
+def main() -> None:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.campaigns import (CampaignRunner, CampaignSpec,
+                                 collect_results, results_document)
+    from repro.exec.cache import ResultCache
+    from repro.store import ResultStore, StoreQuery
+
+    env = _cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        spec = CampaignSpec.from_dict(SPEC)
+        flat = ResultCache(root / "flat")
+        print(f"populating {N_CONFIGS} configs in the flat cache ...",
+              file=sys.stderr)
+        CampaignRunner(spec, flat).run()
+        store = ResultStore(root / "flat",
+                            db_path=root / "store.sqlite")
+        t0 = time.perf_counter()
+        migrated = store.migrate_from_cache(flat)
+        migrate_seconds = time.perf_counter() - t0
+
+        flat_doc = json.dumps(results_document(
+            spec, collect_results(spec, flat)), sort_keys=True)
+        store_doc = json.dumps(results_document(
+            spec, collect_results(spec, store)), sort_keys=True)
+        identical = flat_doc == store_doc
+
+        below = N_CONFIGS // 10    # a selective filter (10% of rows)
+        query = StoreQuery(store, "ext_montecarlo").where(
+            "seed", "<", below)
+        query.rows()               # warm: builds the expression index
+        indexed = _time(lambda: query.rows(), QUERY_REPEATS)
+        scanned = _time(
+            lambda: _flat_scan(flat, "ext_montecarlo", "seed", below),
+            QUERY_REPEATS)
+        n_hits = len(query.rows())
+        assert n_hits == len(_flat_scan(flat, "ext_montecarlo",
+                                        "seed", below))
+
+        bulk = _time(lambda: collect_results(spec, store), 5)
+        per_file = _time(lambda: collect_results(spec, flat), 5)
+
+        store_rate = _writer_throughput("store", root / "wstore", env)
+        flat_rate = _writer_throughput("flat", root / "wflat", env)
+
+    payload = {
+        "benchmark": "SQLite result store vs flat-JSON cache",
+        "n_configs": N_CONFIGS,
+        "migrate": {"seconds": round(migrate_seconds, 4),
+                    "summary": migrated},
+        "aggregates_byte_identical": bool(identical),
+        "axis_query": {
+            "filter": f"seed < {below}",
+            "matching_rows": n_hits,
+            "store_indexed_seconds": round(indexed, 6),
+            "flat_scan_seconds": round(scanned, 6),
+            "speedup": round(scanned / indexed, 2),
+        },
+        "bulk_collect": {
+            "store_batched_seconds": round(bulk, 6),
+            "flat_per_file_seconds": round(per_file, 6),
+            "speedup": round(per_file / bulk, 2),
+        },
+        "concurrent_writers": {
+            "processes": N_WRITERS,
+            "writes_per_process": WRITES_PER_WRITER,
+            "store_rows_per_second": round(store_rate, 1),
+            "flat_files_per_second": round(flat_rate, 1),
+            "note": "includes interpreter start-up and one warm-up "
+                    "experiment run per process; the store number is "
+                    "WAL-serialised INSERT OR REPLACE, the flat number "
+                    "is tmp-file + os.replace per entry",
+        },
+        "query_repeats_median": QUERY_REPEATS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        raise SystemExit("store and flat aggregates differ")
+    if indexed >= scanned:
+        raise SystemExit("indexed query failed to beat the flat scan")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,7 @@ Commands
 ``all [--fidelity fast|paper] [--set ID.PARAM=VALUE ...] [--csv DIR]``
     Run every registered experiment; ``--set`` overrides one
     experiment's parameter (repeatable), validated against its schema.
-``campaign run|status|report SPEC.json``
+``campaign run|status|report|watch|dashboard SPEC.json``
     Orchestrate a declarative multi-config sweep
     (:mod:`repro.campaigns`): ``run`` executes (or resumes) the
     campaign — ``--shard I/N`` partitions the expanded configs by
@@ -27,8 +27,19 @@ Commands
     result cache is the checkpoint); ``status`` reports done/missing
     per shard; ``report`` aggregates every config's metrics into one
     tidy table (``--out`` markdown, ``--json`` machine-readable,
-    ``--csv`` export).  Campaign results always persist in the result
-    cache (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``).
+    ``--csv`` export); ``watch`` polls live progress with a per-shard
+    ETA and evaluates the spec's alert rules; ``dashboard`` serves the
+    same data over HTTP (:mod:`repro.store.dashboard`).  Campaign
+    results always persist in the result cache (default
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pwm``); ``--store``
+    swaps the flat-JSON cache for the SQLite result store
+    (``<cache-root>/store.sqlite``, :mod:`repro.store`).
+``store migrate|query|gc``
+    Maintain the SQLite result store: ``migrate`` ingests an existing
+    flat-JSON cache byte-identically; ``query`` filters stored results
+    by experiment/fidelity/engine and axis parameters (``--where
+    PARAM OP VALUE``, JSON1-indexed) with table/JSON/CSV/figure
+    output; ``gc`` reclaims stale (and optionally legacy) rows.
 
 Execution flags (``run`` and ``all``)
 -------------------------------------
@@ -285,11 +296,22 @@ def _default_campaign_dir() -> Path:
 # -- campaign orchestration ------------------------------------------------
 
 
-def _campaign_cache(args) -> ResultCache:
-    """Campaigns always cache — the cache *is* the resume checkpoint."""
-    if args.cache_dir is not None:
-        return ResultCache(args.cache_dir)
-    return ResultCache(default_cache_dir())
+def _campaign_cache(args):
+    """Campaigns always cache — the cache *is* the resume checkpoint.
+
+    ``--store`` (or an explicit ``--store-path``) swaps the flat-JSON
+    cache for the SQLite :class:`~repro.store.db.ResultStore`; both
+    satisfy the same get/put contract, so everything downstream is
+    backend-agnostic.
+    """
+    root = args.cache_dir if args.cache_dir is not None \
+        else default_cache_dir()
+    store_path = getattr(args, "store_path", None)
+    if getattr(args, "store", False) or store_path is not None:
+        from .store import ResultStore
+
+        return ResultStore(root, db_path=store_path)
+    return ResultCache(root)
 
 
 def _cmd_campaign(args) -> int:
@@ -355,6 +377,26 @@ def _cmd_campaign(args) -> int:
             print(f"  ... and {remainder} more missing")
         return 0
 
+    if args.campaign_command == "watch":
+        from .store.watch import watch
+
+        status = watch(spec, cache, interval=args.interval,
+                       max_polls=args.max_polls)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if status["missing"] == 0 else 1
+
+    if args.campaign_command == "dashboard":
+        from .store.dashboard import CampaignDashboard
+
+        board = CampaignDashboard(spec, cache, host=args.host,
+                                  port=args.port)
+        print(f"dashboard for campaign {spec.name!r} at {board.url} — "
+              "endpoints: / /status /alerts /results /healthz; "
+              "Ctrl-C to stop", file=sys.stderr)
+        board.run()
+        return 0
+
     # report
     collected = collect_results(spec, cache)
     table = results_table(spec, collected)
@@ -384,6 +426,67 @@ def _cmd_campaign(args) -> int:
               f"{document['total'] - document['done']} config(s) "
               "missing (re-run to fill them in)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _where_term(text: str):
+    """CLI filter VALUE -> int/float/str (what axis params can hold)."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_store(args) -> int:
+    from .store import ResultStore, StoreQuery
+
+    root = args.cache_dir if args.cache_dir is not None \
+        else default_cache_dir()
+    store = ResultStore(root, db_path=args.db)
+
+    if args.store_command == "migrate":
+        summary = store.migrate_from_cache(ResultCache(root))
+        print(f"store migrate: scanned {summary['scanned']} cache "
+              f"file(s) — {summary['migrated']} migrated "
+              f"({summary['legacy']} legacy, {summary['stale']} stale), "
+              f"{summary['skipped']} skipped")
+        print(f"  store: {store.db_path}", file=sys.stderr)
+        return 0
+
+    if args.store_command == "gc":
+        summary = store.gc(legacy=args.legacy, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"store gc: {verb} {summary['candidates']} row(s); "
+              f"{store.counts()['total']} row(s) remain")
+        return 0
+
+    # query
+    query = StoreQuery(store, args.experiment, fidelity=args.fidelity,
+                       engine=args.engine)
+    for param, op, value in args.where or []:
+        if op == "in":
+            parsed = [_where_term(v) for v in value.split(",")
+                      if v.strip()]
+        else:
+            parsed = _where_term(value)
+        query = query.where(param, op, parsed)
+    if args.figure is not None:
+        metric, axis = args.figure
+        print(query.figure(metric, axis).render_ascii())
+        return 0
+    if args.json:
+        print(json.dumps(query.tidy(), indent=2, sort_keys=True))
+        return 0
+    metrics = [m for m in (args.metrics or "").split(",") if m] or None
+    table = query.table(metrics)
+    print(table.render())
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        target = args.csv / "store_query.csv"
+        table_to_csv(table, target)
+        print(f"CSV written to {target}", file=sys.stderr)
     return 0
 
 
@@ -573,9 +676,9 @@ def main(argv: "list[str] | None" = None) -> int:
         "campaign",
         help="orchestrate a declarative multi-config sweep "
              "(sharded, resumable, aggregated)")
-    camp_sub = camp_p.add_subparsers(dest="campaign_command",
-                                     metavar="run|status|report",
-                                     required=True)
+    camp_sub = camp_p.add_subparsers(
+        dest="campaign_command",
+        metavar="run|status|report|watch|dashboard", required=True)
 
     def _add_campaign_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("spec", type=Path, metavar="SPEC.json",
@@ -585,6 +688,15 @@ def main(argv: "list[str] | None" = None) -> int:
                             "(default $REPRO_CACHE_DIR or "
                             "~/.cache/repro-pwm); the cache is the "
                             "campaign's resume checkpoint")
+        p.add_argument("--store", action="store_true",
+                       help="use the SQLite result store "
+                            "(<cache-root>/store.sqlite) instead of the "
+                            "flat-JSON cache; safe for N concurrent "
+                            "shard writers")
+        p.add_argument("--store-path", type=Path, default=None,
+                       metavar="DB",
+                       help="explicit store database file "
+                            "(implies --store)")
 
     camp_run = camp_sub.add_parser(
         "run", help="run (or resume) a campaign shard",
@@ -633,6 +745,96 @@ def main(argv: "list[str] | None" = None) -> int:
     camp_report.add_argument("--require-complete", action="store_true",
                              help="exit nonzero if any config is missing "
                                   "(CI merge gates)")
+
+    camp_watch = camp_sub.add_parser(
+        "watch", help="poll live campaign progress (with per-shard ETA "
+                      "and alert-rule evaluation)",
+        description="Poll the campaign's ground truth until every "
+                    "config is done, printing one status line per poll "
+                    "plus any newly-fired alerts from the spec's "
+                    "'alerts' rules.  Exits 0 once complete, 1 if "
+                    "--max-polls runs out first.")
+    _add_campaign_common(camp_watch)
+    camp_watch.add_argument("--interval", type=float, default=2.0,
+                            metavar="SECONDS",
+                            help="seconds between polls (default 2)")
+    camp_watch.add_argument("--max-polls", type=int, default=None,
+                            metavar="N",
+                            help="stop after N polls even if incomplete "
+                                 "(default: poll until complete)")
+    camp_watch.add_argument("--json", action="store_true",
+                            help="dump the final status document as JSON")
+
+    camp_dash = camp_sub.add_parser(
+        "dashboard", help="serve a live HTTP dashboard for a campaign",
+        description="Start a small HTTP server with JSON endpoints "
+                    "(/status /alerts /results /healthz) and an HTML "
+                    "index over the campaign's cache or store.")
+    _add_campaign_common(camp_dash)
+    camp_dash.add_argument("--host", default="127.0.0.1")
+    camp_dash.add_argument("--port", type=int, default=8085,
+                           help="TCP port (0 = pick a free port)")
+
+    store_p = sub.add_parser(
+        "store",
+        help="maintain and query the SQLite result store")
+    store_sub = store_p.add_subparsers(dest="store_command",
+                                       metavar="migrate|query|gc",
+                                       required=True)
+
+    def _add_store_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache root holding the store (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-pwm)")
+        p.add_argument("--db", type=Path, default=None, metavar="FILE",
+                       help="store database file (default "
+                            "<cache-root>/store.sqlite)")
+
+    store_migrate = store_sub.add_parser(
+        "migrate", help="ingest an existing flat-JSON cache into the "
+                        "store (byte-identical, one shot)")
+    _add_store_common(store_migrate)
+
+    store_query = store_sub.add_parser(
+        "query", help="filter stored results (indexed axis-parameter "
+                      "queries, table/JSON/CSV/figure output)")
+    _add_store_common(store_query)
+    store_query.add_argument("experiment", nargs="?", default=None,
+                             help="restrict to one experiment id "
+                                  "(default: all)")
+    store_query.add_argument("--fidelity", choices=("fast", "paper"),
+                             default=None)
+    store_query.add_argument("--engine", default=None,
+                             help="restrict to one simulation engine id")
+    store_query.add_argument("--where", action="append", nargs=3,
+                             metavar=("PARAM", "OP", "VALUE"),
+                             help="axis-parameter filter (repeatable); "
+                                  "OP is one of = != < <= > >= in "
+                                  "('in' takes a comma-separated list)")
+    store_query.add_argument("--metrics", default=None,
+                             metavar="M1,M2,...",
+                             help="metric columns to show (default: all)")
+    store_query.add_argument("--figure", nargs=2, default=None,
+                             metavar=("METRIC", "AXIS"),
+                             help="render an ASCII metric-vs-axis chart "
+                                  "(mean/min/max series) instead of "
+                                  "the table")
+    store_query.add_argument("--json", action="store_true",
+                             help="dump the tidy query document as JSON")
+    store_query.add_argument("--csv", type=Path, default=None,
+                             metavar="DIR",
+                             help="export the result table as CSV into "
+                                  "this directory")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="reclaim stale rows (and optionally legacy "
+                   "kwargs-keyed rows)")
+    _add_store_common(store_gc)
+    store_gc.add_argument("--legacy", action="store_true",
+                          help="also drop legacy kwargs-keyed rows")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be deleted, delete "
+                               "nothing")
 
     export_p = sub.add_parser(
         "export-model", help="train a model and save it to the store")
@@ -694,6 +896,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "campaign":
         try:
             return _cmd_campaign(args)
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "store":
+        try:
+            return _cmd_store(args)
         except AnalysisError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

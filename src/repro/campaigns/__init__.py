@@ -34,10 +34,17 @@ from .runner import (
     shard_index,
     shard_timings,
 )
-from .spec import AxisSpec, CampaignSpec, find_campaigns, load_campaign
+from .spec import (
+    AlertRule,
+    AxisSpec,
+    CampaignSpec,
+    find_campaigns,
+    load_campaign,
+)
 
 __all__ = [
-    "AxisSpec", "CampaignSpec", "load_campaign", "find_campaigns",
+    "AlertRule", "AxisSpec", "CampaignSpec", "load_campaign",
+    "find_campaigns",
     "CampaignRunner", "PlanEntry", "RunSummary",
     "campaign_status", "parse_shard", "read_manifests", "shard_index",
     "shard_timings",

@@ -28,9 +28,20 @@ CollectedRow = Tuple[int, RunConfig, Optional[ExperimentResult]]
 
 def collect_results(spec: CampaignSpec,
                     cache: ResultCache) -> List[CollectedRow]:
-    """Pair every expanded config with its cached result (miss = None)."""
-    return [(i, config, cache.get_config(config))
-            for i, config in enumerate(spec.expand())]
+    """Pair every expanded config with its cached result (miss = None).
+
+    Backends exposing a bulk ``get_configs`` (the SQLite
+    :class:`~repro.store.db.ResultStore`) are probed in one batched
+    query instead of one lookup per config; the flat cache keeps its
+    per-file path.  Both return the same rows in the same order.
+    """
+    configs = list(spec.expand())
+    bulk = getattr(cache, "get_configs", None)
+    if callable(bulk):
+        results = bulk(configs)
+    else:
+        results = [cache.get_config(config) for config in configs]
+    return list(zip(range(len(configs)), configs, results))
 
 
 def metric_names(collected: List[CollectedRow]) -> List[str]:

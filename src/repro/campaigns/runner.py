@@ -259,14 +259,18 @@ def read_manifests(spec: CampaignSpec,
     for path in sorted(directory.glob("shard-*.json")):
         try:
             doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             continue  # a torn write is as good as no manifest
         if not isinstance(doc, dict):
             continue
         completed: Dict[str, Any] = {}
         log_path = path.with_suffix(".log")
         try:
-            lines = log_path.read_text().splitlines()
+            # A torn tail may cut a line mid-UTF-8-sequence; decode
+            # with replacement so the intact lines before it survive
+            # (the mangled one then fails JSON parsing and is skipped).
+            lines = log_path.read_bytes().decode(
+                "utf-8", errors="replace").splitlines()
         except OSError:
             lines = []
         for line in lines:

@@ -292,6 +292,73 @@ def _as_int(value: Any, where: str) -> int:
 
 
 @dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule from a campaign spec.
+
+    ``{"alerts": [{"metric": "yield", "below": 0.9}]}`` — fires when
+    any finished config's ``metric`` crosses the threshold (``below``
+    and/or ``above``; at least one required).  ``webhook`` optionally
+    names an HTTP endpoint the alerts engine POSTs the alert document
+    to (:mod:`repro.store.dashboard`).  Alerts are observability, like
+    titles: they never affect the expanded config set or the campaign
+    :meth:`~CampaignSpec.key`.
+    """
+
+    metric: str
+    below: Optional[float] = None
+    above: Optional[float] = None
+    webhook: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], where: str) -> "AlertRule":
+        data = _require_dict(data, where)
+        _reject_unknown(data, ("metric", "below", "above", "webhook"),
+                        where)
+        metric = data.get("metric")
+        if not isinstance(metric, str) or not metric:
+            raise AnalysisError(f"{where}: missing 'metric' name")
+        thresholds = {}
+        for key in ("below", "above"):
+            value = data.get(key)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise AnalysisError(
+                    f"{where}: {key!r} must be a number, got {value!r}")
+            thresholds[key] = float(value)
+        if not thresholds:
+            raise AnalysisError(
+                f"{where}: an alert needs 'below' and/or 'above'")
+        webhook = data.get("webhook", "")
+        if not isinstance(webhook, str):
+            raise AnalysisError(
+                f"{where}: 'webhook' must be a URL string")
+        return cls(metric=metric, below=thresholds.get("below"),
+                   above=thresholds.get("above"), webhook=webhook)
+
+    def breached(self, value: Any) -> Optional[str]:
+        """``"below"``/``"above"`` when ``value`` crosses, else None."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        if self.below is not None and value < self.below:
+            return "below"
+        if self.above is not None and value > self.above:
+            return "above"
+        return None
+
+    def describe(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"metric": self.metric}
+        if self.below is not None:
+            doc["below"] = self.below
+        if self.above is not None:
+            doc["above"] = self.above
+        if self.webhook:
+            doc["webhook"] = self.webhook
+        return doc
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """A named, declarative multi-config sweep over one experiment."""
 
@@ -302,6 +369,7 @@ class CampaignSpec:
     description: str = ""
     base: Tuple[Tuple[str, Any], ...] = ()
     axes: Tuple[AxisSpec, ...] = field(default_factory=tuple)
+    alerts: Tuple[AlertRule, ...] = ()
 
     def __post_init__(self):
         if not _NAME_RE.match(self.name):
@@ -333,7 +401,8 @@ class CampaignSpec:
         data = _require_dict(data, "campaign spec")
         _reject_unknown(
             data, ("name", "experiment", "fidelity", "title",
-                   "description", "base", "axes"), "campaign spec")
+                   "description", "base", "axes", "alerts"),
+            "campaign spec")
         for key in ("name", "experiment"):
             if not isinstance(data.get(key), str) or not data[key]:
                 raise AnalysisError(
@@ -344,13 +413,18 @@ class CampaignSpec:
             raise AnalysisError("campaign 'axes' must be a list")
         axes = tuple(AxisSpec.from_dict(axis, f"axes[{i}]")
                      for i, axis in enumerate(axes_doc))
+        alerts_doc = data.get("alerts", [])
+        if not isinstance(alerts_doc, list):
+            raise AnalysisError("campaign 'alerts' must be a list")
+        alerts = tuple(AlertRule.from_dict(rule, f"alerts[{i}]")
+                       for i, rule in enumerate(alerts_doc))
         return cls(
             name=data["name"], experiment_id=data["experiment"],
             fidelity=data.get("fidelity", "fast"),
             title=str(data.get("title", "")),
             description=str(data.get("description", "")),
             base=tuple(sorted((k, _freeze(v)) for k, v in base.items())),
-            axes=axes)
+            axes=axes, alerts=alerts)
 
     @classmethod
     def load(cls, path: PathLike) -> "CampaignSpec":
@@ -410,7 +484,7 @@ class CampaignSpec:
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able echo of the spec (round-trips via a spec file)."""
-        return {
+        doc = {
             "name": self.name,
             "experiment": self.experiment_id,
             "fidelity": self.fidelity,
@@ -419,15 +493,18 @@ class CampaignSpec:
             "base": {k: _thaw(v) for k, v in self.base},
             "axes": [axis.describe() for axis in self.axes],
         }
+        if self.alerts:
+            doc["alerts"] = [rule.describe() for rule in self.alerts]
+        return doc
 
     def key(self) -> str:
         """Stable short hash of the *execution-relevant* spec content.
 
         Covers experiment, fidelity, base and axes — what determines
         the expanded config set — and deliberately excludes ``name``,
-        ``title`` and ``description``, so fixing a typo in a
-        half-finished campaign's prose does not mark its shard
-        manifests stale.
+        ``title``, ``description`` and ``alerts``, so fixing a typo in
+        a half-finished campaign's prose (or tightening a threshold
+        rule) does not mark its shard manifests stale.
         """
         doc = self.describe()
         execution = {k: doc[k]

@@ -1,0 +1,507 @@
+"""SQLite-backed persistent result store for campaigns at scale.
+
+The flat-JSON :class:`~repro.exec.cache.ResultCache` is perfect for one
+machine resuming one campaign, but it cannot answer indexed queries
+("every config where ``vdd < 0.7``") without opening every file, and a
+fleet of shard processes hammering one directory gives the filesystem
+all the coordination work.  :class:`ResultStore` promotes the cache to
+a single SQLite database:
+
+* **same contract** — ``get_config`` / ``put_config`` (and the legacy
+  kwargs-keyed ``get`` / ``put``) mirror :class:`ResultCache` exactly,
+  so the campaign runner, ``run_config`` and ``campaign_status`` take a
+  store anywhere they take a cache.  Entries are keyed by the *same*
+  version-folded canonical hash the flat cache uses for file names, so
+  a store-backed run resolves exactly the configs a flat run would.
+* **concurrent writers** — WAL journal mode plus a busy timeout: N
+  shard processes (or machines on a shared filesystem) insert rows
+  with last-full-write-wins semantics, the database's analogue of the
+  flat cache's ``os.replace`` rule.
+* **indexed queries** — ``experiment`` / ``fidelity`` / ``engine`` /
+  ``config_key`` are real indexed columns, and ``params`` holds the
+  canonical parameter JSON so :mod:`repro.store.query` can filter on
+  any axis parameter via JSON1 (``json_extract``), with expression
+  indexes created on demand per queried parameter.
+* **schema-versioned** — a ``store_meta`` table pins
+  :data:`STORE_SCHEMA_VERSION`; opening a database written by a
+  different layout fails loudly instead of misreading rows.
+* **migration** — :meth:`ResultStore.migrate_from_cache` ingests an
+  existing flat-JSON cache byte-identically (the payload text is
+  stored verbatim), so years of cached paper-fidelity runs become
+  queryable without re-running anything.
+
+The store is opt-in (``campaign run --store``); the flat cache stays
+the default.  Result payloads round-trip through the same JSON
+encoding as the flat cache, so a 2-shard store-backed campaign report
+is byte-identical to the serial flat-cache report — pinned by tests
+and the ``store-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from .. import telemetry
+from ..circuit.exceptions import AnalysisError
+from ..exec.cache import CACHE_SCHEMA_VERSION, ResultCache, default_cache_dir
+
+#: Bump when the table layout below changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Database file name inside a cache root (``campaign run --store``).
+STORE_DB_NAME = "store.sqlite"
+
+PathLike = Union[str, Path]
+
+#: Parameter names are schema-validated identifiers; anything else must
+#: never reach SQL (index names, json paths).
+_PARAM_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    entry       TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    fidelity    TEXT NOT NULL,
+    config_key  TEXT,
+    engine      TEXT,
+    kind        TEXT NOT NULL DEFAULT 'canonical',
+    stale       INTEGER NOT NULL DEFAULT 0,
+    params      TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_experiment
+    ON results(experiment, fidelity);
+CREATE INDEX IF NOT EXISTS idx_results_engine ON results(engine);
+CREATE INDEX IF NOT EXISTS idx_results_config_key ON results(config_key);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def default_store_path(root: Optional[PathLike] = None) -> Path:
+    """Database path for a cache root (default root when ``None``)."""
+    base = Path(root) if root is not None else default_cache_dir()
+    return base / STORE_DB_NAME
+
+
+class ResultStore:
+    """Drop-in, SQLite-backed sibling of :class:`ResultCache`.
+
+    ``root`` is the campaign working directory (shard manifests live
+    under it, exactly as for a flat cache); the database defaults to
+    ``<root>/store.sqlite`` (:data:`STORE_DB_NAME`).  One instance owns
+    one connection, shared across threads behind a lock; concurrent
+    *processes* each open their own instance — WAL mode serialises
+    their writes.
+
+    >>> store = ResultStore("/tmp/repro-store-doctest")
+    >>> store.get("table1", "fast", {}) is None
+    True
+    """
+
+    def __init__(self, root: PathLike, *, db_path: Optional[PathLike] = None,
+                 timeout: float = 30.0):
+        self.root = Path(root)
+        self.db_path = (Path(db_path) if db_path is not None
+                        else self.root / STORE_DB_NAME)
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        #: Flat-cache twin used purely to compute entry keys: the store
+        #: shares the cache's version-folded hash so both backends
+        #: resolve the same configs.
+        self._keys = ResultCache(self.root)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.db_path), timeout=timeout,
+                                     isolation_level=None,
+                                     check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+        self._init_schema()
+        self.has_json1 = self._probe_json1()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            self._conn.executescript(_SCHEMA_SQL)
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO store_meta(key, value) "
+                    "VALUES ('schema', ?), ('created_at', ?)",
+                    (str(STORE_SCHEMA_VERSION), repr(time.time())))
+                row = self._conn.execute(
+                    "SELECT value FROM store_meta WHERE key = 'schema'"
+                ).fetchone()
+            if row[0] != str(STORE_SCHEMA_VERSION):
+                raise AnalysisError(
+                    f"result store {self.db_path} has schema {row[0]}, "
+                    f"this build expects {STORE_SCHEMA_VERSION}; migrate "
+                    "it (store migrate from a flat cache) or move it "
+                    "aside")
+
+    def _probe_json1(self) -> bool:
+        try:
+            self._conn.execute("SELECT json_extract('{}', '$.x')")
+            return True
+        except sqlite3.OperationalError:
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<ResultStore db={str(self.db_path)!r}>"
+
+    # -- key computation (shared with the flat cache) -----------------------
+
+    def _entry_for_config(self, config) -> str:
+        path = self._keys.path_for_config(config)
+        return path.relative_to(self.root).as_posix()
+
+    def _entry_for_params(self, experiment_id: str, fidelity: str,
+                          params: Optional[Dict[str, Any]]) -> str:
+        path = self._keys.path_for(experiment_id, fidelity, params)
+        return path.relative_to(self.root).as_posix()
+
+    def path_for_config(self, config) -> str:
+        """Human-readable location of a config's entry (CLI notices)."""
+        return f"{self.db_path}#{self._entry_for_config(config)}"
+
+    # -- decode (mirrors ResultCache._load misses-not-exceptions rule) ------
+
+    def _decode(self, text: Optional[str]):
+        from ..experiments.base import ExperimentResult
+
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != CACHE_SCHEMA_VERSION \
+                or not isinstance(payload.get("result"), dict):
+            return None
+        try:
+            return ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, AttributeError,
+                AnalysisError):
+            return None
+
+    def _payload_text(self, entry: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE entry = ?",
+                (entry,)).fetchone()
+        return row[0] if row is not None else None
+
+    # -- RunConfig-keyed interface (the campaign contract) ------------------
+
+    def get_config(self, config, *,
+                   legacy_params: Optional[Dict[str, Any]] = None):
+        """Stored result for a RunConfig, or ``None`` on miss.
+
+        Mirrors :meth:`ResultCache.get_config` including the legacy
+        kwargs-hash probe-and-promote path.
+        """
+        result = self._decode(self._payload_text(
+            self._entry_for_config(config)))
+        if result is not None or legacy_params is None:
+            telemetry.count(
+                "repro_store_lookups_total",
+                result="hit" if result is not None else "miss")
+            return result
+        legacy_entry = self._entry_for_params(
+            config.experiment_id, config.fidelity, legacy_params)
+        legacy = self._decode(self._payload_text(legacy_entry))
+        telemetry.count(
+            "repro_store_lookups_total",
+            result="hit" if legacy is not None else "miss")
+        if legacy is not None:
+            self.put_config(legacy, config)
+            telemetry.count("repro_store_promotions_total")
+        return legacy
+
+    def get_configs(self, configs: Iterable[Any]) -> List[Any]:
+        """Batched :meth:`get_config` (one ``IN`` query per 400 configs).
+
+        Returns results aligned with ``configs`` (``None`` per miss) —
+        the fast path :func:`repro.campaigns.results.collect_results`
+        routes through instead of one round trip per config.
+        """
+        configs = list(configs)
+        entries = [self._entry_for_config(c) for c in configs]
+        payloads: Dict[str, str] = {}
+        with self._lock:
+            for i in range(0, len(entries), 400):
+                chunk = entries[i:i + 400]
+                marks = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT entry, payload FROM results "
+                    f"WHERE entry IN ({marks})", chunk).fetchall()
+                payloads.update(rows)
+        results = [self._decode(payloads.get(entry)) for entry in entries]
+        rt = telemetry.active()
+        if rt is not None:
+            hits = sum(1 for r in results if r is not None)
+            if hits:
+                rt.count("repro_store_lookups_total", hits, result="hit")
+            if len(results) - hits:
+                rt.count("repro_store_lookups_total", len(results) - hits,
+                         result="miss")
+        return results
+
+    def put_config(self, result, config) -> str:
+        """Store a result under the config's canonical key."""
+        params = config.canonical_dict()["params"]
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "params": params,
+            "result": result.to_dict(),
+        }
+        entry = self._entry_for_config(config)
+        self._write_row(
+            entry=entry, experiment=config.experiment_id,
+            fidelity=config.fidelity, config_key=config.key(),
+            engine=self._engine_of(params), kind="canonical", stale=0,
+            params_text=_canonical_json(params),
+            payload_text=json.dumps(payload))
+        telemetry.count("repro_store_writes_total", kind="canonical")
+        return entry
+
+    # -- legacy kwargs-keyed interface --------------------------------------
+
+    def get(self, experiment_id: str, fidelity: str,
+            params: Optional[Dict[str, Any]] = None):
+        """Stored result under the legacy kwargs key, or ``None``."""
+        return self._decode(self._payload_text(
+            self._entry_for_params(experiment_id, fidelity, params)))
+
+    def put(self, result, params: Optional[Dict[str, Any]] = None) -> str:
+        """Store a result under the legacy kwargs key."""
+        params_doc = {k: repr(v) for k, v in sorted((params or {}).items())}
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "params": params_doc,
+            "result": result.to_dict(),
+        }
+        entry = self._entry_for_params(result.experiment_id,
+                                       result.fidelity, params)
+        self._write_row(
+            entry=entry, experiment=result.experiment_id,
+            fidelity=result.fidelity, config_key=None, engine=None,
+            kind="legacy", stale=0,
+            params_text=_canonical_json(params_doc),
+            payload_text=json.dumps(payload))
+        telemetry.count("repro_store_writes_total", kind="legacy")
+        return entry
+
+    def _write_row(self, *, entry: str, experiment: str, fidelity: str,
+                   config_key: Optional[str], engine: Optional[str],
+                   kind: str, stale: int, params_text: str,
+                   payload_text: str) -> None:
+        # INSERT OR REPLACE in autocommit mode: one atomic statement,
+        # last full write wins — the WAL analogue of os.replace.
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(entry, experiment, fidelity, config_key, engine, kind, "
+                " stale, params, payload, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (entry, experiment, fidelity, config_key, engine, kind,
+                 stale, params_text, payload_text, time.time()))
+
+    @staticmethod
+    def _engine_of(params: Dict[str, Any]) -> Optional[str]:
+        engine = params.get("engine")
+        return engine if isinstance(engine, str) else None
+
+    # -- migration ----------------------------------------------------------
+
+    def migrate_from_cache(self, cache: ResultCache) -> Dict[str, Any]:
+        """Ingest every readable flat-cache entry, byte-identically.
+
+        The payload file text is stored verbatim (no re-encoding), so a
+        migrated entry deserialises to exactly the result the flat
+        cache held.  Canonical (``rc``-keyed) entries are re-keyed from
+        their embedded params to fill the indexed ``config_key`` /
+        ``engine`` columns; entries whose recomputed current-version
+        key no longer matches their file name (written by an older
+        package version) are kept but marked ``stale`` — ``store gc``
+        reclaims them.  Unreadable or wrong-shape files are skipped,
+        never raised: migration must not be taken down by the torn
+        writes the cache itself tolerates.
+        """
+        summary = {"scanned": 0, "migrated": 0, "legacy": 0,
+                   "stale": 0, "skipped": 0}
+        with telemetry.span("store.migrate", source=str(cache.root)):
+            with self._lock:
+                self._conn.execute("BEGIN")
+                try:
+                    for path in sorted(cache.root.glob("*/*.json")):
+                        summary["scanned"] += 1
+                        if self._migrate_one(cache, path, summary):
+                            summary["migrated"] += 1
+                        else:
+                            summary["skipped"] += 1
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+        rt = telemetry.active()
+        if rt is not None and summary["migrated"]:
+            rt.count("repro_store_migrated_total", summary["migrated"])
+        return summary
+
+    def _migrate_one(self, cache: ResultCache, path: Path,
+                     summary: Dict[str, Any]) -> bool:
+        try:
+            text = path.read_text()
+            payload = json.loads(text)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != CACHE_SCHEMA_VERSION \
+                or not isinstance(payload.get("result"), dict) \
+                or not isinstance(payload.get("params"), dict):
+            return False
+        entry = path.relative_to(cache.root).as_posix()
+        experiment = path.parent.name
+        fidelity = path.stem.partition("-")[0]
+        params = payload["params"]
+        canonical = path.stem.partition("-")[2].startswith("rc")
+        config_key = engine = None
+        stale = 0
+        if canonical:
+            config = self._rebuild_config(experiment, fidelity, params)
+            if config is not None:
+                config_key = config.key()
+                engine = self._engine_of(params)
+                if self._entry_for_config(config) != entry:
+                    stale = 1  # written by another package version
+            else:
+                stale = 1      # params no longer validate (schema drift)
+        summary["stale"] += stale
+        if not canonical:
+            summary["legacy"] += 1
+        self._write_row(
+            entry=entry, experiment=experiment, fidelity=fidelity,
+            config_key=config_key, engine=engine,
+            kind="canonical" if canonical else "legacy", stale=stale,
+            params_text=_canonical_json(params), payload_text=text)
+        return True
+
+    @staticmethod
+    def _rebuild_config(experiment: str, fidelity: str,
+                        params: Dict[str, Any]):
+        from ..experiments.spec import RunConfig
+
+        try:
+            return RunConfig.build(experiment, fidelity, params)
+        except AnalysisError:
+            return None
+
+    # -- maintenance --------------------------------------------------------
+
+    def gc(self, *, legacy: bool = False,
+           dry_run: bool = False) -> Dict[str, Any]:
+        """Reclaim rows no current-version probe can ever hit.
+
+        Deletes ``stale`` rows (entries whose version-folded key no
+        longer matches their content — old package versions, drifted
+        schemas); ``legacy=True`` additionally drops every
+        kwargs-keyed row (the pre-RunConfig generation).  ``dry_run``
+        reports without deleting.  The database is compacted
+        (``VACUUM``) after a real collection.
+        """
+        clauses = ["stale != 0"]
+        if legacy:
+            clauses.append("kind = 'legacy'")
+        predicate = " OR ".join(clauses)
+        with telemetry.span("store.gc", dry_run=dry_run):
+            with self._lock:
+                doomed = self._conn.execute(
+                    f"SELECT COUNT(*) FROM results WHERE {predicate}"
+                ).fetchone()[0]
+                if not dry_run and doomed:
+                    self._conn.execute(
+                        f"DELETE FROM results WHERE {predicate}")
+                    self._conn.execute("VACUUM")
+        if not dry_run and doomed:
+            telemetry.count("repro_store_gc_deleted_total", doomed)
+        return {"candidates": int(doomed),
+                "deleted": 0 if dry_run else int(doomed),
+                "dry_run": dry_run}
+
+    def counts(self) -> Dict[str, Any]:
+        """Row totals (overall / per experiment / per kind)."""
+        with self._lock:
+            total = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+            by_experiment = dict(self._conn.execute(
+                "SELECT experiment, COUNT(*) FROM results "
+                "GROUP BY experiment ORDER BY experiment").fetchall())
+            by_kind = dict(self._conn.execute(
+                "SELECT kind, COUNT(*) FROM results GROUP BY kind"
+            ).fetchall())
+            stale = self._conn.execute(
+                "SELECT COUNT(*) FROM results WHERE stale != 0"
+            ).fetchone()[0]
+        return {"total": int(total), "by_experiment": by_experiment,
+                "by_kind": by_kind, "stale": int(stale)}
+
+    def ensure_param_index(self, param: str) -> bool:
+        """Expression index over one params field (idempotent).
+
+        Created lazily by the query layer per filtered parameter, so
+        axis filters (``where("vdd", "<", 0.7)``) run off an index
+        instead of extracting JSON per row.  Returns ``False`` when the
+        sqlite build lacks JSON1 (queries then filter in Python).
+        """
+        if not _PARAM_RE.match(param):
+            raise AnalysisError(
+                f"invalid parameter name {param!r} for an index")
+        if not self.has_json1:
+            return False
+        with self._lock:
+            self._conn.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_param_{param} "
+                f"ON results(json_extract(params, '$.{param}'))")
+        return True
+
+    # -- raw row access (query layer) ---------------------------------------
+
+    def select_rows(self, where_sql: str, args: Tuple[Any, ...]
+                    ) -> List[Tuple[str, str, str, str, str]]:
+        """``(entry, experiment, fidelity, params, payload)`` rows
+        matching a prepared WHERE clause (query-layer plumbing)."""
+        sql = ("SELECT entry, experiment, fidelity, params, payload "
+               "FROM results")
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY entry"
+        with self._lock:
+            return self._conn.execute(sql, args).fetchall()
+
+
+def _canonical_json(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))

@@ -352,6 +352,21 @@ class TestRunAndResume:
         assert len(manifests) == 1
         assert len(manifests[0]["completed"]) == 3
 
+    def test_torn_non_utf8_tail_is_partial_not_fatal(self, tmp_path):
+        spec = montecarlo_spec(3)
+        cache = ResultCache(tmp_path)
+        CampaignRunner(spec, cache).run()
+        directory = cache.root / "campaigns" / spec.name
+        log = directory / "shard-1of1.log"
+        with log.open("ab") as handle:
+            handle.write(b'{"key": "torn \xc3')  # cut mid UTF-8 sequence
+        manifests = read_manifests(spec, cache.root)
+        assert len(manifests) == 1
+        assert len(manifests[0]["completed"]) == 3
+        # A header torn into invalid bytes is as good as no manifest.
+        (directory / "shard-1of1.json").write_bytes(b'{"name": \xff\xfe')
+        assert read_manifests(spec, cache.root) == []
+
     def test_status_breaks_down_by_shard(self, tmp_path):
         spec = montecarlo_spec(5)
         cache = ResultCache(tmp_path)

@@ -269,6 +269,40 @@ class TestResultCache:
         assert cache.clear() == 1
         assert cache.get("table1", "fast", {}) is None
 
+    def test_legacy_entry_promoted_to_canonical_key(self, tmp_path):
+        from repro.experiments import RunConfig
+
+        cache = ResultCache(tmp_path)
+        result = run_experiment("ext_transistor_count", fidelity="fast")
+        legacy_path = cache.put(result, {})  # kwargs-hash generation
+        config = RunConfig.build("ext_transistor_count", "fast")
+        canonical = cache.path_for_config(config)
+        assert canonical != legacy_path
+        assert not canonical.exists()
+        # Canonical probe alone misses; with the legacy kwargs it hits
+        # and re-writes the entry under the canonical key.
+        assert cache.get_config(config) is None
+        hit = cache.get_config(config, legacy_params={})
+        assert hit is not None
+        assert hit.render() == result.render()
+        assert canonical.exists()
+        # The promoted entry now serves without the legacy fallback,
+        # byte-identically; the old file is left untouched.
+        rehit = cache.get_config(config)
+        assert rehit is not None
+        assert rehit.render() == result.render()
+        assert legacy_path.exists()
+
+    def test_legacy_miss_without_params_stays_a_miss(self, tmp_path):
+        from repro.experiments import RunConfig
+
+        cache = ResultCache(tmp_path)
+        result = run_experiment("ext_transistor_count", fidelity="fast")
+        cache.put(result, {"phantom": 1})  # different legacy kwargs
+        config = RunConfig.build("ext_transistor_count", "fast")
+        assert cache.get_config(config, legacy_params={}) is None
+        assert not cache.path_for_config(config).exists()
+
 
 class TestCliFlags:
     def test_no_cache_and_jobs_flags_accepted(self, capsys, tmp_path):
