@@ -8,6 +8,12 @@ byte-identical, and times a full-cache resume (the no-op re-run every
 interrupted campaign relies on).  Writes
 ``benchmarks/BENCH_campaigns.json``.
 
+Registered with :mod:`repro.perf` as ``script.campaigns.sharded``
+(report kind; the tracked metric is the full-cache resume time — on a
+one-core CI box the 2-process speedup hovers around 1.0 and says
+nothing, while resume latency is the cost every interrupted campaign
+pays).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_campaigns.py
@@ -17,12 +23,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
+
+from repro.perf import benchmark, cli_env, finish, host_fields
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUT = Path(__file__).parent / "BENCH_campaigns.json"
@@ -30,27 +37,19 @@ OUT = Path(__file__).parent / "BENCH_campaigns.json"
 #: Eight DC-transfer configs at ~1 s each: per-config work that dwarfs
 #: interpreter start-up, the regime sharding is for (the example yield
 #: campaign's millisecond configs would only benchmark process spawn).
+DUTY_GRID = [
+    [0.1, 0.5, 0.9], [0.2, 0.5, 0.8], [0.15, 0.45, 0.85],
+    [0.25, 0.55, 0.95], [0.1, 0.4, 0.7], [0.3, 0.6, 0.9],
+    [0.2, 0.6, 1.0], [0.05, 0.5, 0.95],
+]
+
 SPEC = {
     "name": "bench-dc-transfer",
     "title": "DC-transfer duty-grid benchmark campaign",
     "experiment": "fig4",
     "fidelity": "fast",
-    "axes": [
-        {"param": "duties", "values": [
-            [0.1, 0.5, 0.9], [0.2, 0.5, 0.8], [0.15, 0.45, 0.85],
-            [0.25, 0.55, 0.95], [0.1, 0.4, 0.7], [0.3, 0.6, 0.9],
-            [0.2, 0.6, 1.0], [0.05, 0.5, 0.95],
-        ]},
-    ],
+    "axes": [{"param": "duties", "values": DUTY_GRID}],
 }
-
-
-def _cli_env() -> dict:
-    env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
-    return env
 
 
 def _run_shards(spec_path: Path, cache_dir: Path, n_shards: int,
@@ -81,12 +80,19 @@ def _report(spec_path: Path, cache_dir: Path, json_path: Path,
     return json_path.read_bytes()
 
 
-def main() -> None:
-    env = _cli_env()
+@benchmark("script.campaigns.sharded",
+           title="sharded vs serial campaign run + full-cache resume",
+           kind="report", metric="resume_full_cache_seconds", unit="s",
+           lower_is_better=True, noise=1.0,
+           tags=("script", "campaigns"))
+def bench_sharded(quick: bool = False) -> dict:
+    spec = SPEC if not quick else {
+        **SPEC, "axes": [{"param": "duties", "values": DUTY_GRID[:2]}]}
+    env = cli_env(REPO_ROOT)
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         spec_path = root / "bench_campaign.json"
-        spec_path.write_text(json.dumps(SPEC))
+        spec_path.write_text(json.dumps(spec))
 
         serial_cache, sharded_cache = root / "serial", root / "sharded"
         serial_seconds = _run_shards(spec_path, serial_cache, 1, env)
@@ -100,10 +106,10 @@ def main() -> None:
         identical = serial_doc == sharded_doc
         n_configs = json.loads(serial_doc)["total"]
 
-    payload = {
+    return {
         "benchmark": "campaign orchestration: 2 shard processes vs serial",
-        "campaign": {"experiment": SPEC["experiment"],
-                     "fidelity": SPEC["fidelity"],
+        "campaign": {"experiment": spec["experiment"],
+                     "fidelity": spec["fidelity"],
                      "n_configs": n_configs},
         "serial_seconds": round(serial_seconds, 4),
         "sharded_2proc_seconds": round(sharded_seconds, 4),
@@ -117,12 +123,13 @@ def main() -> None:
                 "core — sharding buys throughput across cores/"
                 "machines); the resume row is the no-op re-run of an "
                 "already-complete campaign (cache hits only)",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    if not identical:
+
+
+def main() -> None:
+    payload = {**bench_sharded(), **host_fields()}
+    finish(OUT, payload)
+    if not payload["aggregates_byte_identical"]:
         raise SystemExit("sharded and serial aggregates differ")
 
 

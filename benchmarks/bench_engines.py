@@ -8,6 +8,10 @@ verifies the two agree bit for bit, and records the other engines'
 timings on the same workload for the fidelity/speed ladder.  Writes
 ``benchmarks/BENCH_engines.json``.
 
+Both workloads are registered with :mod:`repro.perf`
+(``script.engines.*``, report kind) for history tracking via
+``repro perf run --bench-dir benchmarks``.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_engines.py
@@ -15,9 +19,6 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.experiments.fig6_fig7_supply import (
     PAPER_VDD,
     ROUT,
 )
+from repro.perf import benchmark, best_of_with_result, finish, host_fields
 
 OUT = Path(__file__).parent / "BENCH_engines.json"
 
@@ -39,18 +41,16 @@ PAPER_STEPS = 150
 REPEATS = 3
 
 
-def _best_of(fn, repeats: int = REPEATS) -> "tuple[float, object]":
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def bench_spice_sweep() -> dict:
+@benchmark("script.engines.spice_sweep",
+           title="spice supply sweep: batched MNA vs per-point loop",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6,
+           tags=("script", "engines"))
+def bench_spice_sweep(quick: bool = False) -> dict:
     """Batched vs per-point MNA shooting on the paper supply grid."""
+    vdd_grid = PAPER_VDD[:5] if quick else PAPER_VDD
+    steps = 30 if quick else PAPER_STEPS
+    repeats = 1 if quick else REPEATS
     spice = get_engine("spice")
     design = CellDesign()
 
@@ -58,21 +58,23 @@ def bench_spice_sweep() -> dict:
         return {duty: spice.sweep_supply(
             design,
             CellStimulus(duty=duty, frequency=FREQUENCY, rout=ROUT),
-            PAPER_VDD, steps_per_period=PAPER_STEPS, batched=batched)
+            vdd_grid, steps_per_period=steps, batched=batched)
             for duty in DUTIES}
 
     # Warm both paths once (imports, caches) before timing.
     spice.sweep_supply(design, CellStimulus(duty=0.5, rout=ROUT),
-                       PAPER_VDD[:2], steps_per_period=PAPER_STEPS)
-    t_loop, loop = _best_of(lambda: sweep(batched=False))
-    t_batch, batch = _best_of(lambda: sweep(batched=True))
+                       vdd_grid[:2], steps_per_period=steps)
+    t_loop, loop = best_of_with_result(lambda: sweep(batched=False),
+                                       repeats)
+    t_batch, batch = best_of_with_result(lambda: sweep(batched=True),
+                                         repeats)
     identical = all(np.array_equal(loop[d], batch[d]) for d in DUTIES)
     return {
         "workload": "fig6/fig7 spice supply sweep",
         "fidelity": "paper",
         "duties": list(DUTIES),
-        "n_vdd_points": len(PAPER_VDD),
-        "steps_per_period": PAPER_STEPS,
+        "n_vdd_points": len(vdd_grid),
+        "steps_per_period": steps,
         "per_point_loop_seconds": round(t_loop, 4),
         "batched_mna_seconds": round(t_batch, 4),
         "speedup": round(t_loop / t_batch, 2),
@@ -80,26 +82,34 @@ def bench_spice_sweep() -> dict:
     }
 
 
-def bench_engine_ladder() -> dict:
+@benchmark("script.engines.ladder",
+           title="behavioral/rc/spice fidelity ladder sweep",
+           kind="report", metric=None, noise=1.0,
+           tags=("script", "engines"))
+def bench_engine_ladder(quick: bool = False) -> dict:
     """All three engines on one paper-grid duty (fidelity/speed ladder)."""
+    # Quick keeps 2.5 V in the grid (the ladder's probe point).
+    vdd_grid = PAPER_VDD[:5] if quick else PAPER_VDD
+    steps = 30 if quick else PAPER_STEPS
+    repeats = 1 if quick else REPEATS
     design = CellDesign()
     stimulus = CellStimulus(duty=0.5, frequency=FREQUENCY, rout=ROUT)
     ladder = {}
     for eid in ("behavioral", "rc", "spice"):
         eng = get_engine(eid)
-        options = {"steps_per_period": PAPER_STEPS} if eid == "spice" \
+        options = {"steps_per_period": steps} if eid == "spice" \
             else {}
-        seconds, values = _best_of(
+        seconds, values = best_of_with_result(
             lambda eng=eng, options=options: eng.sweep_supply(
-                design, stimulus, PAPER_VDD, **options))
+                design, stimulus, vdd_grid, **options), repeats)
         ladder[eid] = {
             "seconds": round(seconds, 6),
             "output_at_2p5V": round(
-                float(values[list(PAPER_VDD).index(2.5)]), 6),
+                float(values[list(vdd_grid).index(2.5)]), 6),
         }
     return {
         "workload": "one-duty paper supply sweep per engine",
-        "n_vdd_points": len(PAPER_VDD),
+        "n_vdd_points": len(vdd_grid),
         "engines": ladder,
     }
 
@@ -110,12 +120,10 @@ def main() -> None:
                        "BatchTransientSolver MNA sweeps vs the "
                        "historical per-point shooting loop, plus the "
                        "behavioral/rc/spice fidelity ladder",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **host_fields(),
         "benchmarks": [bench_spice_sweep(), bench_engine_ladder()],
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    finish(OUT, payload)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,10 @@ the reference per-trial loop (``method="loop"``) and with the vectorised
 batch engine (the default), verifies the two agree, and writes
 ``benchmarks/BENCH_exec_engine.json``.
 
+Both workloads are also registered with the :mod:`repro.perf` registry
+(``script.exec.*``, report kind), so ``repro perf run --bench-dir
+benchmarks`` tracks their speedup ratios in the perf history store.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_exec_engine.py
@@ -12,9 +16,6 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -23,18 +24,19 @@ from repro.analysis import adder_monte_carlo, make_blobs, perceptron_yield
 from repro.core.training import PerceptronTrainer
 from repro.core.weighted_adder import AdderConfig, WeightedAdder
 from repro.experiments.table2_adder import PAPER_ROWS
+from repro.perf import benchmark, finish, host_fields, timed
 
 OUT = Path(__file__).parent / "BENCH_exec_engine.json"
 
 
-def _time(fn) -> "tuple[float, object]":
-    t0 = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - t0, result
-
-
-def bench_montecarlo(n_trials: int = 200) -> dict:
+@benchmark("script.exec.montecarlo",
+           title="ext_montecarlo scalar-vs-vectorised speedup",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "exec"))
+def bench_montecarlo(n_trials: int = 200, quick: bool = False) -> dict:
     """The ext_montecarlo hot loop: every Table II row, paper trial count."""
+    if quick:
+        n_trials = 40
     adder = WeightedAdder(AdderConfig())
 
     def run(method: str):
@@ -45,8 +47,8 @@ def bench_montecarlo(n_trials: int = 200) -> dict:
                 seed=3 + i, method=method))
         return stats
 
-    t_loop, loop = _time(lambda: run("loop"))
-    t_vec, vec = _time(lambda: run("vectorized"))
+    t_loop, loop = timed(lambda: run("loop"))
+    t_vec, vec = timed(lambda: run("vectorized"))
     agree = all(
         np.allclose(l.errors, v.errors, rtol=1e-9, atol=1e-15)
         for l, v in zip(loop, vec))
@@ -58,8 +60,15 @@ def bench_montecarlo(n_trials: int = 200) -> dict:
             "paths_agree_rtol_1e9": bool(agree)}
 
 
-def bench_yield(n_parts: int = 60, n_per_class: int = 30) -> dict:
+@benchmark("script.exec.yield",
+           title="ext_yield scalar-vs-vectorised speedup",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "exec"))
+def bench_yield(n_parts: int = 60, n_per_class: int = 30,
+                quick: bool = False) -> dict:
     """The ext_yield hot loop: paper part/dataset sizes."""
+    if quick:
+        n_parts, n_per_class = 12, 12
     data = make_blobs(n_per_class=n_per_class, n_features=2,
                       separation=0.35, spread=0.09, seed=13)
     trained = PerceptronTrainer(2, seed=13).fit(data.X, data.y, epochs=60)
@@ -69,10 +78,10 @@ def bench_yield(n_parts: int = 60, n_per_class: int = 30) -> dict:
         rng = np.random.default_rng(seed)
         return lambda: float(rng.uniform(1.2, 3.5))
 
-    t_loop, loop = _time(lambda: perceptron_yield(
+    t_loop, loop = timed(lambda: perceptron_yield(
         pwm, data, n_parts=n_parts, vdd_sampler=sampler(), seed=13,
         method="loop"))
-    t_vec, vec = _time(lambda: perceptron_yield(
+    t_vec, vec = timed(lambda: perceptron_yield(
         pwm, data, n_parts=n_parts, vdd_sampler=sampler(), seed=13,
         method="vectorized"))
     return {"experiment": "ext_yield", "fidelity": "paper",
@@ -88,12 +97,10 @@ def main() -> None:
         "description": "scalar per-trial loop vs vectorised batch engine "
                        "(repro.exec.batch) on the paper-fidelity "
                        "Monte-Carlo and yield campaigns",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **host_fields(),
         "benchmarks": [bench_montecarlo(), bench_yield()],
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    finish(OUT, payload)
 
 
 if __name__ == "__main__":

@@ -9,6 +9,10 @@ Three measurements, written to ``benchmarks/BENCH_serving.json``:
 * ``http``        — end-to-end rows/s through the micro-batching
   ``/predict`` endpoint (one client, whole-batch requests).
 
+All three are registered with :mod:`repro.perf` (``script.serving.*``,
+report kind) for history tracking via ``repro perf run --bench-dir
+benchmarks``.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
@@ -17,15 +21,15 @@ Run with::
 from __future__ import annotations
 
 import json
-import platform
-import time
 from pathlib import Path
+from typing import Optional
 
 import numpy as np
 
 from repro.analysis import make_blobs
 from repro.core.network import PwmMlp
 from repro.core.training import PerceptronTrainer
+from repro.perf import benchmark, best_of, finish, host_fields
 from repro.serve import (
     BatchInferenceEngine,
     ModelStore,
@@ -35,47 +39,44 @@ from repro.serve import (
 OUT = Path(__file__).parent / "BENCH_serving.json"
 
 BATCH = 256
+QUICK_BATCH = 64
 
 
-def _make_batch(seed: int = 5) -> np.ndarray:
+def _make_batch(rows: int, seed: int = 5) -> np.ndarray:
     rng = np.random.default_rng(seed)
-    return rng.uniform(0.0, 1.0, (BATCH, 2))
+    return rng.uniform(0.0, 1.0, (rows, 2))
 
 
-def _best_of(fn, repeats: int = 3) -> float:
-    """Wall-clock of the fastest of ``repeats`` runs, seconds."""
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return min(times)
-
-
-def _compare(name: str, scalar_fn, batched_fn, check_equal) -> dict:
-    t_scalar = _best_of(scalar_fn)
-    t_batched = _best_of(batched_fn)
+def _compare(name: str, rows: int, scalar_fn, batched_fn,
+             check_equal) -> dict:
+    t_scalar = best_of(scalar_fn, 3)
+    t_batched = best_of(batched_fn, 3)
     return {
         "model": name,
-        "batch_rows": BATCH,
+        "batch_rows": rows,
         "scalar_seconds": round(t_scalar, 6),
         "batched_seconds": round(t_batched, 6),
-        "scalar_rows_per_s": round(BATCH / t_scalar, 1),
-        "batched_rows_per_s": round(BATCH / t_batched, 1),
+        "scalar_rows_per_s": round(rows / t_scalar, 1),
+        "batched_rows_per_s": round(rows / t_batched, 1),
         "speedup": round(t_scalar / t_batched, 2),
         "paths_agree_exactly": bool(check_equal()),
     }
 
 
-def bench_perceptron() -> dict:
+@benchmark("script.serving.perceptron",
+           title="scalar predict() loop vs batched perceptron inference",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "serving"))
+def bench_perceptron(quick: bool = False) -> dict:
+    rows = QUICK_BATCH if quick else BATCH
     data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
                       spread=0.09, seed=7)
     model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
                                              epochs=60).perceptron
-    X = _make_batch()
+    X = _make_batch(rows)
     engine = BatchInferenceEngine()
     return _compare(
-        "perceptron",
+        "perceptron", rows,
         lambda: [model.predict(x) for x in X],
         lambda: engine.predict(model, X),
         lambda: np.array_equal(
@@ -83,15 +84,20 @@ def bench_perceptron() -> dict:
             engine.predict(model, X)))
 
 
-def bench_mlp() -> dict:
+@benchmark("script.serving.mlp",
+           title="scalar predict() loop vs batched MLP inference",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "serving"))
+def bench_mlp(quick: bool = False) -> dict:
+    rows = QUICK_BATCH if quick else BATCH
     data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
                       spread=0.09, seed=7)
     model = PwmMlp(2, 6, seed=1)
     model.fit(data.X, data.y, epochs=40)
-    X = _make_batch()
+    X = _make_batch(rows)
     engine = BatchInferenceEngine()
     return _compare(
-        "mlp(2x6)",
+        "mlp(2x6)", rows,
         lambda: [model.predict(x) for x in X],
         lambda: engine.predict_mlp(model, X),
         lambda: np.array_equal(
@@ -99,16 +105,27 @@ def bench_mlp() -> dict:
             engine.predict_mlp(model, X)))
 
 
-def bench_http(tmp_root: Path) -> dict:
+@benchmark("script.serving.http",
+           title="HTTP /predict whole-batch round-trip throughput",
+           kind="report", metric="rows_per_s", unit="rows/s",
+           lower_is_better=False, noise=1.0, tags=("script", "serving"))
+def bench_http(tmp_root: Optional[Path] = None,
+               quick: bool = False) -> dict:
+    import tempfile
     import urllib.request
 
+    if tmp_root is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return bench_http(Path(tmp), quick=quick)
+
+    rows = QUICK_BATCH if quick else BATCH
     data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
                       spread=0.09, seed=7)
     model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
                                              epochs=60).perceptron
     store = ModelStore(tmp_root)
     store.save("bench", model)
-    X = _make_batch()
+    X = _make_batch(rows)
     payload = json.dumps({"model": "bench",
                           "inputs": X.tolist()}).encode()
     with PerceptronServer(store, port=0) as server:
@@ -120,13 +137,13 @@ def bench_http(tmp_root: Path) -> dict:
                 return json.loads(response.read())
 
         body = roundtrip()  # warm up + sanity
-        assert body["count"] == BATCH
-        t = _best_of(roundtrip)
+        assert body["count"] == rows
+        t = best_of(roundtrip, 3)
     return {
         "model": "perceptron over HTTP /predict",
-        "batch_rows": BATCH,
+        "batch_rows": rows,
         "roundtrip_seconds": round(t, 6),
-        "rows_per_s": round(BATCH / t, 1),
+        "rows_per_s": round(rows / t, 1),
     }
 
 
@@ -138,13 +155,11 @@ def main() -> None:
             "description": "per-sample scalar inference vs the batched "
                            "serving engine (repro.serve) at batch "
                            f"{BATCH}, plus HTTP round-trip throughput",
-            "python": platform.python_version(),
-            "machine": platform.machine(),
+            **host_fields(),
             "benchmarks": [bench_perceptron(), bench_mlp(),
                            bench_http(Path(tmp))],
         }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    finish(OUT, payload)
 
 
 if __name__ == "__main__":

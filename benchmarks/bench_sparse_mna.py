@@ -16,6 +16,10 @@ Four workloads:
   :meth:`~repro.serve.server.PerceptronServer.handle_predict` with
   ``engine="spice"``.
 
+All four are registered with :mod:`repro.perf` (``script.sparse.*``,
+report kind) for history tracking via ``repro perf run --bench-dir
+benchmarks``.
+
 Writes ``benchmarks/BENCH_sparse_mna.json``.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_sparse_mna.py
@@ -23,9 +27,6 @@ Writes ``benchmarks/BENCH_sparse_mna.json``.  Run with::
 
 from __future__ import annotations
 
-import json
-import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.experiments.ext_dynamic_supply import (
     _build,
     _run_family,
 )
+from repro.perf import benchmark, best_of_with_result, finish, host_fields
 
 OUT = Path(__file__).parent / "BENCH_sparse_mna.json"
 
@@ -52,19 +54,14 @@ PERCEPTRON_OBSERVE = ["out", "decision", "vref", "XCMP.d2", "XCMP.d1",
                       "XCMP.tail", "XCMP.outb"]
 
 
-def _best_of(fn, repeats: int = REPEATS) -> "tuple[float, object]":
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def bench_ramp_family() -> dict:
+@benchmark("script.sparse.ramp_family",
+           title="supply-ramp waveform family: stacked vs per-ramp loop",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "sparse"))
+def bench_ramp_family(quick: bool = False) -> dict:
     """ext_dynamic_supply's waveform family: stacked vs per-ramp loop."""
-    n_windows, periods_per_window = 14, 8
+    n_windows, periods_per_window = (4, 4) if quick else (14, 8)
+    repeats = 1 if quick else REPEATS
     period = 1.0 / FREQUENCY
     t_ramp = n_windows * periods_per_window * period
     dt = period / 40
@@ -75,8 +72,10 @@ def bench_ramp_family() -> dict:
                            solver="auto")
 
     run(batched=True)  # warm caches before timing
-    t_loop, loop = _best_of(lambda: run(batched=False))
-    t_batch, batch = _best_of(lambda: run(batched=True))
+    t_loop, loop = best_of_with_result(lambda: run(batched=False),
+                                       repeats)
+    t_batch, batch = best_of_with_result(lambda: run(batched=True),
+                                         repeats)
     identical = all(np.array_equal(s.X, b.X) and np.array_equal(s.t, b.t)
                     for s, b in zip(loop, batch))
     return {
@@ -90,9 +89,14 @@ def bench_ramp_family() -> dict:
     }
 
 
-def bench_perceptron_jacobian() -> dict:
+@benchmark("script.sparse.jacobian",
+           title="full-perceptron shooting Jacobian: batched FD probes",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, noise=0.6, tags=("script", "sparse"))
+def bench_perceptron_jacobian(quick: bool = False) -> dict:
     """Full Fig. 1 perceptron PSS: batched FD probes vs the scalar loop."""
-    steps = 80
+    steps = 30 if quick else 80
+    repeats = 1 if quick else REPEATS
     duties, weights, theta = (0.5, 0.5, 0.5), (7, 7, 7), 9.0
     period = 1.0 / FREQUENCY
 
@@ -106,8 +110,8 @@ def bench_perceptron_jacobian() -> dict:
             build_full_perceptron_circuit(duties, weights, theta),
             period, observe=PERCEPTRON_OBSERVE, steps_per_period=steps)
 
-    t_scalar, ref = _best_of(scalar)
-    t_batch, got = _best_of(batched)
+    t_scalar, ref = best_of_with_result(scalar, repeats)
+    t_batch, got = best_of_with_result(batched, repeats)
     identical = (np.array_equal(ref.waves.X, got.waves.X)
                  and ref.iterations == got.iterations)
     return {
@@ -134,16 +138,20 @@ def _big_ladder(stages: int) -> Circuit:
     return c
 
 
-def bench_sparse_crossover() -> dict:
+@benchmark("script.sparse.crossover",
+           title="dense vs sparse linear backend on a big RC ladder",
+           kind="report", metric="dense_seconds", unit="s",
+           lower_is_better=True, noise=1.0, tags=("script", "sparse"))
+def bench_sparse_crossover(quick: bool = False) -> dict:
     """One big RC ladder through the dense and sparse backends."""
     stages = 3 * SPARSE_MIN_SIZE  # comfortably past the crossover
-    t_stop, dt = 20e-9, 0.5e-9
+    t_stop, dt = (8e-9, 0.5e-9) if quick else (20e-9, 0.5e-9)
 
     def run(solver: str):
         return transient(_big_ladder(stages), t_stop, dt, solver=solver)
 
-    t_dense, dense = _best_of(lambda: run("dense"), repeats=1)
-    t_sparse, sparse = _best_of(lambda: run("sparse"), repeats=1) \
+    t_dense, dense = best_of_with_result(lambda: run("dense"), 1)
+    t_sparse, sparse = best_of_with_result(lambda: run("sparse"), 1) \
         if HAS_SCIPY else (None, None)
     out = {
         "workload": f"{stages}-stage RC ladder transient "
@@ -161,7 +169,11 @@ def bench_sparse_crossover() -> dict:
     return out
 
 
-def bench_predict_round_trip() -> dict:
+@benchmark("script.sparse.predict",
+           title="spice-backed /predict margin round-trip",
+           kind="report", metric="round_trip_seconds", unit="s",
+           lower_is_better=True, noise=1.0, tags=("script", "sparse"))
+def bench_predict_round_trip(quick: bool = False) -> dict:
     """North star: spice-backed served margins, payload to response."""
     import tempfile
 
@@ -169,6 +181,7 @@ def bench_predict_round_trip() -> dict:
     from repro.serve.artifacts import ModelStore
     from repro.serve.server import PerceptronServer
 
+    repeats = 1 if quick else REPEATS
     payload = {"model": "m", "inputs": [[0.9, 0.9]], "engine": "spice"}
     with tempfile.TemporaryDirectory() as tmp:
         store = ModelStore(tmp)
@@ -176,8 +189,8 @@ def bench_predict_round_trip() -> dict:
         with PerceptronServer(store, port=0) as server:
             behavioral = server.handle_predict(
                 {**payload, "engine": "behavioral"})
-            t_spice, spice = _best_of(
-                lambda: server.handle_predict(payload))
+            t_spice, spice = best_of_with_result(
+                lambda: server.handle_predict(payload), repeats)
     return {
         "workload": "POST /predict, one row, engine=spice",
         "round_trip_seconds": round(t_spice, 4),
@@ -197,14 +210,12 @@ def main() -> None:
                        "lock-step batched solves, the dense/sparse "
                        "linear-backend crossover, and the spice-backed "
                        "/predict margin round-trip",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **host_fields(),
         "benchmarks": [bench_ramp_family(), bench_perceptron_jacobian(),
                        bench_sparse_crossover(),
                        bench_predict_round_trip()],
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    finish(OUT, payload)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,10 @@ exists for:
 Verifies the store-backed aggregate document is byte-identical to the
 flat-cache one, and writes ``benchmarks/BENCH_store.json``.
 
+Registered with :mod:`repro.perf` as ``script.store.compare`` (report
+kind, wall-seconds metric: the payload's interesting numbers are
+nested ratios, so history tracks the whole comparison's cost).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_store.py
@@ -25,8 +29,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
-import statistics
 import subprocess
 import sys
 import tempfile
@@ -34,6 +36,17 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import (  # noqa: E402
+    benchmark,
+    cli_env,
+    finish,
+    host_fields,
+    median_of,
+)
+
 OUT = Path(__file__).parent / "BENCH_store.json"
 
 N_CONFIGS = 200
@@ -70,14 +83,6 @@ print(time.perf_counter() - t0)
 """
 
 
-def _cli_env() -> dict:
-    env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
-    return env
-
-
 def _flat_scan(cache, experiment: str, param: str, below) -> list:
     """What an axis filter costs without an index: parse every file."""
     rows = []
@@ -94,43 +99,45 @@ def _flat_scan(cache, experiment: str, param: str, below) -> list:
     return rows
 
 
-def _time(fn, repeats: int) -> float:
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples)
-
-
-def _writer_throughput(backend: str, root: Path, env: dict) -> float:
+def _writer_throughput(backend: str, root: Path, env: dict,
+                       n_writers: int, writes_per_writer: int) -> float:
     t0 = time.perf_counter()
     procs = [subprocess.Popen(
         [sys.executable, "-c", _WRITER, backend, str(root), str(i),
-         str(WRITES_PER_WRITER)],
+         str(writes_per_writer)],
         cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE) for i in range(N_WRITERS)]
+        stderr=subprocess.PIPE) for i in range(n_writers)]
     for proc in procs:
         _out, err = proc.communicate(timeout=600)
         if proc.returncode != 0:
             raise SystemExit(f"writer failed: {err.decode()}")
     wall = time.perf_counter() - t0
-    return N_WRITERS * WRITES_PER_WRITER / wall
+    return n_writers * writes_per_writer / wall
 
 
-def main() -> None:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+@benchmark("script.store.compare",
+           title="SQLite result store vs flat-JSON cache",
+           kind="report", metric=None, noise=1.0,
+           tags=("script", "store"))
+def bench_store_compare(quick: bool = False) -> dict:
     from repro.campaigns import (CampaignRunner, CampaignSpec,
                                  collect_results, results_document)
     from repro.exec.cache import ResultCache
     from repro.store import ResultStore, StoreQuery
 
-    env = _cli_env()
+    n_configs = 40 if quick else N_CONFIGS
+    query_repeats = 5 if quick else QUERY_REPEATS
+    n_writers = 2 if quick else N_WRITERS
+    writes_per_writer = 10 if quick else WRITES_PER_WRITER
+    spec_dict = {**SPEC, "axes": [{"param": "seed", "range": {
+        "start": 0, "count": n_configs}}]}
+
+    env = cli_env(REPO_ROOT)
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
-        spec = CampaignSpec.from_dict(SPEC)
+        spec = CampaignSpec.from_dict(spec_dict)
         flat = ResultCache(root / "flat")
-        print(f"populating {N_CONFIGS} configs in the flat cache ...",
+        print(f"populating {n_configs} configs in the flat cache ...",
               file=sys.stderr)
         CampaignRunner(spec, flat).run()
         store = ResultStore(root / "flat",
@@ -145,27 +152,29 @@ def main() -> None:
             spec, collect_results(spec, store)), sort_keys=True)
         identical = flat_doc == store_doc
 
-        below = N_CONFIGS // 10    # a selective filter (10% of rows)
+        below = n_configs // 10    # a selective filter (10% of rows)
         query = StoreQuery(store, "ext_montecarlo").where(
             "seed", "<", below)
         query.rows()               # warm: builds the expression index
-        indexed = _time(lambda: query.rows(), QUERY_REPEATS)
-        scanned = _time(
+        indexed = median_of(lambda: query.rows(), query_repeats)
+        scanned = median_of(
             lambda: _flat_scan(flat, "ext_montecarlo", "seed", below),
-            QUERY_REPEATS)
+            query_repeats)
         n_hits = len(query.rows())
         assert n_hits == len(_flat_scan(flat, "ext_montecarlo",
                                         "seed", below))
 
-        bulk = _time(lambda: collect_results(spec, store), 5)
-        per_file = _time(lambda: collect_results(spec, flat), 5)
+        bulk = median_of(lambda: collect_results(spec, store), 5)
+        per_file = median_of(lambda: collect_results(spec, flat), 5)
 
-        store_rate = _writer_throughput("store", root / "wstore", env)
-        flat_rate = _writer_throughput("flat", root / "wflat", env)
+        store_rate = _writer_throughput("store", root / "wstore", env,
+                                        n_writers, writes_per_writer)
+        flat_rate = _writer_throughput("flat", root / "wflat", env,
+                                       n_writers, writes_per_writer)
 
-    payload = {
+    return {
         "benchmark": "SQLite result store vs flat-JSON cache",
-        "n_configs": N_CONFIGS,
+        "n_configs": n_configs,
         "migrate": {"seconds": round(migrate_seconds, 4),
                     "summary": migrated},
         "aggregates_byte_identical": bool(identical),
@@ -182,8 +191,8 @@ def main() -> None:
             "speedup": round(per_file / bulk, 2),
         },
         "concurrent_writers": {
-            "processes": N_WRITERS,
-            "writes_per_process": WRITES_PER_WRITER,
+            "processes": n_writers,
+            "writes_per_process": writes_per_writer,
             "store_rows_per_second": round(store_rate, 1),
             "flat_files_per_second": round(flat_rate, 1),
             "note": "includes interpreter start-up and one warm-up "
@@ -191,16 +200,19 @@ def main() -> None:
                     "WAL-serialised INSERT OR REPLACE, the flat number "
                     "is tmp-file + os.replace per entry",
         },
-        "query_repeats_median": QUERY_REPEATS,
+        "query_repeats_median": query_repeats,
         "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    if not identical:
+
+
+def main() -> None:
+    result = bench_store_compare()
+    payload = {**result, **host_fields()}
+    finish(OUT, payload)
+    if not payload["aggregates_byte_identical"]:
         raise SystemExit("store and flat aggregates differ")
-    if indexed >= scanned:
+    if payload["axis_query"]["store_indexed_seconds"] >= \
+            payload["axis_query"]["flat_scan_seconds"]:
         raise SystemExit("indexed query failed to beat the flat scan")
 
 

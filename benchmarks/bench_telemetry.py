@@ -13,6 +13,12 @@ hottest instrumented code in the repository:
   a disabled one (spans, counters and histogram observations on every
   Newton solve).
 
+Registered with :mod:`repro.perf` as ``script.telemetry.overhead``
+(report kind, wall-seconds metric — the overhead percentages can be
+negative at this workload size, so relative noise bands on them are
+meaningless; the wall time of the whole comparison is what history
+tracks).
+
 Writes ``benchmarks/BENCH_telemetry.json``.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_telemetry.py
@@ -20,13 +26,11 @@ Writes ``benchmarks/BENCH_telemetry.json``.  Run with::
 
 from __future__ import annotations
 
-import json
-import platform
-import time
 from pathlib import Path
 
 from repro import telemetry
 from repro.core.weighted_adder import AdderConfig, WeightedAdder
+from repro.perf import benchmark, best_of_with_result, finish, host_fields
 
 OUT = Path(__file__).parent / "BENCH_telemetry.json"
 
@@ -41,42 +45,41 @@ WEIGHTS = (5, 6, 7)
 STEPS_PER_PERIOD = 30
 
 
-def _best_of(fn, repeats: int = REPEATS) -> "tuple[float, object]":
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def _run_wrapped(adder: WeightedAdder):
+def _run_wrapped(adder: WeightedAdder, steps: int):
     return adder.evaluate(DUTIES, WEIGHTS, engine="spice",
-                          steps_per_period=STEPS_PER_PERIOD)
+                          steps_per_period=steps)
 
 
-def _run_impl(adder: WeightedAdder):
+def _run_impl(adder: WeightedAdder, steps: int):
     """The same solve through the raw ``_impl`` entry points (as if the
     telemetry wrappers had never been added)."""
     return adder._evaluate_impl(
         DUTIES, WEIGHTS, engine="spice", vdd=None, frequency=None,
         frequencies=None, phases=None, input_amplitude=None,
-        steps_per_period=STEPS_PER_PERIOD, cell_overrides=None,
+        steps_per_period=steps, cell_overrides=None,
         solver="auto")
 
 
-def bench_overhead() -> dict:
+@benchmark("script.telemetry.overhead",
+           title="telemetry wrapper overhead on the table2 PSS path",
+           kind="report", metric=None, noise=1.0,
+           tags=("script", "telemetry"))
+def bench_overhead(quick: bool = False) -> dict:
+    steps = 12 if quick else STEPS_PER_PERIOD
+    repeats = 2 if quick else REPEATS
     telemetry.disable()
     adder = WeightedAdder(AdderConfig())
-    _run_wrapped(adder)  # warm caches before timing
+    _run_wrapped(adder, steps)  # warm caches before timing
 
-    t_impl, ref = _best_of(lambda: _run_impl(adder))
-    t_disabled, disabled = _best_of(lambda: _run_wrapped(adder))
+    t_impl, ref = best_of_with_result(
+        lambda: _run_impl(adder, steps), repeats)
+    t_disabled, disabled = best_of_with_result(
+        lambda: _run_wrapped(adder, steps), repeats)
 
     telemetry.enable()
     try:
-        t_enabled, enabled = _best_of(lambda: _run_wrapped(adder))
+        t_enabled, enabled = best_of_with_result(
+            lambda: _run_wrapped(adder, steps), repeats)
         rt = telemetry.active()
         trace_events = len(rt.tracer.events())
         counters = len(rt.registry.flat_values())
@@ -87,7 +90,7 @@ def bench_overhead() -> dict:
     enabled_pct = 100.0 * (t_enabled - t_disabled) / t_disabled
     return {
         "workload": "table2 adder, engine=spice shooting PSS, "
-                    f"steps_per_period={STEPS_PER_PERIOD}",
+                    f"steps_per_period={steps}",
         "impl_seconds": round(t_impl, 4),
         "disabled_seconds": round(t_disabled, 4),
         "enabled_seconds": round(t_enabled, 4),
@@ -108,12 +111,10 @@ def main() -> None:
                        "path: wrapper-vs-impl when disabled (the "
                        "zero-cost contract) and enabled-vs-disabled "
                        "(spans + counters on every Newton solve)",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **host_fields(),
         "benchmarks": [result],
     }
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    finish(OUT, payload)
     assert result["results_identical"], \
         "telemetry perturbed the solve — instrumentation must observe only"
     assert result["disabled_overhead_percent"] < \

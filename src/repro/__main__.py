@@ -39,7 +39,20 @@ Commands
     flat-JSON cache byte-identically; ``query`` filters stored results
     by experiment/fidelity/engine and axis parameters (``--where
     PARAM OP VALUE``, JSON1-indexed) with table/JSON/CSV/figure
-    output; ``gc`` reclaims stale (and optionally legacy) rows.
+    output; ``gc`` reclaims stale (and optionally legacy) rows —
+    ``--older-than DAYS`` turns it into an age-based retention sweep
+    that also reclaims old perf runs (the flagged baseline survives).
+``perf run|list|history|compare|gate``
+    Continuous performance observability (:mod:`repro.perf`): ``run``
+    executes registered benchmarks under their warmup/repeat policy
+    and records a fingerprinted run into the store's ``perf_runs`` /
+    ``perf_samples`` tables; ``list`` shows the registry; ``history``
+    renders per-benchmark sparkline series; ``compare`` diffs two
+    stored runs with per-benchmark noise bands; ``gate`` exits
+    nonzero on any out-of-band regression against the baseline
+    (``--baseline FILE``, the store's flagged baseline run, or the
+    committed ``benchmarks/perf_baseline.json``), re-running each
+    regressed benchmark traced to name the dominant telemetry span.
 
 Execution flags (``run`` and ``all``)
 -------------------------------------
@@ -456,10 +469,15 @@ def _cmd_store(args) -> int:
         return 0
 
     if args.store_command == "gc":
-        summary = store.gc(legacy=args.legacy, dry_run=args.dry_run)
+        summary = store.gc(legacy=args.legacy, dry_run=args.dry_run,
+                           older_than_days=args.older_than)
         verb = "would delete" if args.dry_run else "deleted"
-        print(f"store gc: {verb} {summary['candidates']} row(s); "
-              f"{store.counts()['total']} row(s) remain")
+        line = (f"store gc: {verb} {summary['candidates']} row(s); "
+                f"{store.counts()['total']} row(s) remain")
+        if args.older_than is not None:
+            line += (f"; {verb} {summary['perf_candidates']} perf "
+                     f"run(s) older than {args.older_than:g} day(s)")
+        print(line)
         return 0
 
     # query
@@ -488,6 +506,210 @@ def _cmd_store(args) -> int:
         table_to_csv(table, target)
         print(f"CSV written to {target}", file=sys.stderr)
     return 0
+
+
+# -- performance observability ---------------------------------------------
+
+
+#: The baseline committed with the tree, used by `perf gate` when
+#: neither --baseline nor a store-flagged baseline run is present.
+_PERF_BASELINE_NAME = Path("benchmarks") / "perf_baseline.json"
+
+
+def _perf_store(args):
+    from .store import ResultStore
+
+    root = args.cache_dir if args.cache_dir is not None \
+        else default_cache_dir()
+    return ResultStore(root, db_path=args.db)
+
+
+def _default_perf_baseline() -> "Path | None":
+    """The committed baseline: resolved from cwd, then the checkout
+    this package runs from (so `repro perf gate` works anywhere)."""
+    candidates = [Path.cwd() / _PERF_BASELINE_NAME,
+                  Path(__file__).resolve().parents[2]
+                  / _PERF_BASELINE_NAME]
+    for path in candidates:
+        if path.is_file():
+            return path
+    return None
+
+
+def _fmt_value(value, unit) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g} {unit}" if unit else f"{value:.6g}"
+
+
+def _print_comparison(rows) -> None:
+    marks = {"regression": "FAIL", "improvement": "good", "ok": " ok ",
+             "new": " new", "missing": "miss"}
+    for row in rows:
+        line = (f"  [{marks.get(row['status'], '????')}] "
+                f"{row['benchmark']}: {row['metric']} "
+                f"{_fmt_value(row['value'], row['unit'])}")
+        if row.get("baseline_value") is not None:
+            line += f" vs baseline {_fmt_value(row['baseline_value'], row['unit'])}"
+            if row.get("delta_pct") is not None:
+                line += (f" ({row['delta_pct']:+.1f}%, "
+                         f"band ±{row['noise'] * 100:.0f}%)")
+        print(line)
+        attribution = row.get("attribution")
+        if attribution:
+            if attribution.get("dominant_span"):
+                print(f"         dominant span: "
+                      f"{attribution['dominant_span']} "
+                      f"({attribution['dominant_share'] * 100:.1f}% of "
+                      "traced self time)")
+                for span in attribution["spans"][1:3]:
+                    print(f"           then {span['name']} "
+                          f"({span['share'] * 100:.1f}%)")
+            elif attribution.get("error"):
+                print("         span attribution failed: "
+                      f"{attribution['error']}")
+            else:
+                print("         no instrumented spans traced")
+
+
+def _cmd_perf(args) -> int:
+    from .perf import (baseline_document, compare_runs, describe_benchmarks,
+                       gate_run, load_baseline, load_benchmark_scripts,
+                       run_benchmarks, sparkline)
+
+    if getattr(args, "bench_dir", None) is not None:
+        load_benchmark_scripts(args.bench_dir)
+
+    if args.perf_command == "list":
+        entries = describe_benchmarks(args.tag)
+        if args.json:
+            print(json.dumps({"count": len(entries),
+                              "benchmarks": entries},
+                             indent=2, sort_keys=True))
+            return 0
+        for entry in entries:
+            policy = (f"x{entry['repeats']}"
+                      if entry["kind"] == "workload" else "report")
+            print(f"{entry['id']:28s} [{','.join(entry['tags'])}] "
+                  f"{entry['metric']} ({policy}, "
+                  f"band ±{entry['noise'] * 100:.0f}%) "
+                  f"{entry['title']}")
+        return 0
+
+    if args.perf_command == "run":
+        store = None if args.no_store else _perf_store(args)
+        doc = run_benchmarks(
+            args.benchmarks or None, tag=args.tag, quick=args.quick,
+            repeats=args.repeats, store=store,
+            progress=lambda spec: print(f"[perf] {spec.id} ...",
+                                        file=sys.stderr))
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for bench in doc["benchmarks"]:
+                print(f"  {bench['benchmark']:28s} "
+                      f"{_fmt_value(bench['value'], bench['unit'])} "
+                      f"({bench['metric']}, "
+                      f"{len(bench['samples'])} sample(s))")
+            stamp = doc["fingerprint"]
+            sha = (stamp.get("git_sha") or "unknown")[:12]
+            where = (f"stored as perf run {doc['run_id']}"
+                     if "run_id" in doc else "not stored (--no-store)")
+            print(f"perf run: {len(doc['benchmarks'])} benchmark(s), "
+                  f"{'quick' if doc['quick'] else 'full'} mode, "
+                  f"git {sha} — {where}")
+        if args.set_baseline:
+            if store is None or "run_id" not in doc:
+                print("error: --set-baseline needs a stored run "
+                      "(drop --no-store)", file=sys.stderr)
+                return 2
+            store.set_perf_baseline(doc["run_id"])
+            print(f"perf run {doc['run_id']} flagged as the store "
+                  "baseline", file=sys.stderr)
+        if args.baseline_out is not None:
+            args.baseline_out.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline_out.write_text(json.dumps(
+                baseline_document(doc), indent=2, sort_keys=True) + "\n")
+            print(f"baseline written to {args.baseline_out}",
+                  file=sys.stderr)
+        return 0
+
+    if args.perf_command == "history":
+        store = _perf_store(args)
+        history = store.perf_history(args.benchmark, limit=args.limit)
+        if args.json:
+            print(json.dumps(history, indent=2, sort_keys=True))
+            return 0
+        if not history:
+            print("no stored perf runs yet (repro perf run)")
+            return 0
+        for name in sorted(history):
+            points = history[name]
+            values = [p["value"] for p in points]
+            unit = points[-1]["unit"]
+            print(f"{name:28s} {sparkline(values)} "
+                  f"latest {_fmt_value(values[-1], unit)} "
+                  f"({len(points)} run(s))")
+        return 0
+
+    store = _perf_store(args)
+    current = store.perf_run(args.run)
+    if current is None:
+        print("error: no stored perf run to "
+              f"{args.perf_command} (repro perf run first)",
+              file=sys.stderr)
+        return 2
+
+    if args.perf_command == "compare":
+        against = (store.perf_run(args.against)
+                   if args.against is not None
+                   else store.previous_perf_run(current["run_id"]))
+        if against is None:
+            print("error: nothing to compare against (need a second "
+                  "stored run, or --against ID)", file=sys.stderr)
+            return 2
+        rows = compare_runs(current, baseline_document(against))
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        print(f"perf compare: run {current['run_id']} vs "
+              f"run {against['run_id']}")
+        _print_comparison(rows)
+        return 0
+
+    # gate
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        origin = str(args.baseline)
+    else:
+        flagged = store.perf_baseline_run()
+        if flagged is not None:
+            baseline = baseline_document(flagged)
+            origin = f"store run {flagged['run_id']}"
+        else:
+            default = _default_perf_baseline()
+            if default is None:
+                print("error: no baseline — pass --baseline FILE, flag "
+                      "a stored run (perf run --set-baseline), or "
+                      f"commit {_PERF_BASELINE_NAME}", file=sys.stderr)
+                return 2
+            baseline = load_baseline(default)
+            origin = str(default)
+    verdict = gate_run(current, baseline,
+                       attribute=not args.no_attribution,
+                       quick=current.get("quick", True))
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 0 if verdict["ok"] else 1
+    state = "PASS" if verdict["ok"] else "FAIL"
+    print(f"perf gate: {state} — run {current['run_id']} vs {origin} "
+          f"({len(verdict['regressions'])} regression(s), "
+          f"{len(verdict['improvements'])} improvement(s))")
+    _print_comparison(verdict["comparisons"])
+    for row in verdict["missing"]:
+        print(f"  warning: baseline benchmark {row['benchmark']!r} "
+              "was not in this run", file=sys.stderr)
+    return 0 if verdict["ok"] else 1
 
 
 def _train_model(dataset: str, hidden: int, epochs: int, seed: int):
@@ -835,6 +1057,120 @@ def main(argv: "list[str] | None" = None) -> int:
     store_gc.add_argument("--dry-run", action="store_true",
                           help="report what would be deleted, delete "
                                "nothing")
+    store_gc.add_argument("--older-than", type=float, default=None,
+                          metavar="DAYS",
+                          help="age-based retention: only reclaim rows "
+                               "older than DAYS, and also drop perf "
+                               "runs past that age (the flagged "
+                               "baseline run is always kept)")
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="run benchmarks, track their history, gate regressions")
+    perf_sub = perf_p.add_subparsers(
+        dest="perf_command", metavar="run|list|history|compare|gate",
+        required=True)
+
+    def _add_perf_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache root holding the store (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-pwm)")
+        p.add_argument("--db", type=Path, default=None, metavar="FILE",
+                       help="store database file (default "
+                            "<cache-root>/store.sqlite)")
+        p.add_argument("--bench-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="also register benchmarks from this "
+                            "directory's bench_*.py scripts")
+
+    perf_run = perf_sub.add_parser(
+        "run", help="execute benchmarks into a fingerprinted, stored "
+                    "perf run",
+        description="Run registered benchmarks under their "
+                    "warmup/repeat policy; every run is stamped with "
+                    "an environment fingerprint (git SHA, "
+                    "python/numpy/scipy, platform, CPUs) and recorded "
+                    "in the store's perf_runs/perf_samples tables.")
+    _add_perf_common(perf_run)
+    perf_run.add_argument("benchmarks", nargs="*", metavar="ID",
+                          help="benchmark ids to run (default: all "
+                               "registered)")
+    perf_run.add_argument("--tag", default=None,
+                          help="only benchmarks carrying this tag")
+    perf_run.add_argument("--quick", action="store_true",
+                          help="reduced problem sizes and repeats "
+                               "(CI smoke mode)")
+    perf_run.add_argument("--repeats", type=int, default=None,
+                          metavar="N",
+                          help="override every workload's repeat count")
+    perf_run.add_argument("--no-store", action="store_true",
+                          help="do not record the run (print only)")
+    perf_run.add_argument("--set-baseline", action="store_true",
+                          help="flag this run as the store's gate "
+                               "baseline")
+    perf_run.add_argument("--baseline-out", type=Path, default=None,
+                          metavar="FILE",
+                          help="also distill this run into a "
+                               "committable baseline file")
+    perf_run.add_argument("--json", action="store_true",
+                          help="dump the full run document")
+
+    perf_list = perf_sub.add_parser(
+        "list", help="list registered benchmarks")
+    _add_perf_common(perf_list)
+    perf_list.add_argument("--tag", default=None,
+                           help="only benchmarks carrying this tag")
+    perf_list.add_argument("--json", action="store_true",
+                           help="dump the full registry description")
+
+    perf_history = perf_sub.add_parser(
+        "history", help="per-benchmark tracked-value history "
+                        "(sparklines)")
+    _add_perf_common(perf_history)
+    perf_history.add_argument("benchmark", nargs="?", default=None,
+                              help="restrict to one benchmark id")
+    perf_history.add_argument("--limit", type=int, default=60,
+                              metavar="N",
+                              help="last N runs per benchmark "
+                                   "(default 60)")
+    perf_history.add_argument("--json", action="store_true",
+                              help="dump the history document")
+
+    perf_compare = perf_sub.add_parser(
+        "compare", help="diff one stored run against another "
+                        "(noise-aware, informative)")
+    _add_perf_common(perf_compare)
+    perf_compare.add_argument("--run", type=int, default=None,
+                              metavar="ID",
+                              help="run to compare (default: latest)")
+    perf_compare.add_argument("--against", type=int, default=None,
+                              metavar="ID",
+                              help="reference run (default: the run "
+                                   "before --run)")
+    perf_compare.add_argument("--json", action="store_true",
+                              help="dump the comparison rows")
+
+    perf_gate = perf_sub.add_parser(
+        "gate", help="fail (exit 1) on any out-of-band regression vs "
+                     "the baseline",
+        description="Compare the latest (or --run) stored run against "
+                    "the baseline with per-benchmark noise bands; "
+                    "each regression is re-run traced and the gate "
+                    "names the telemetry span that owns the slowdown.")
+    _add_perf_common(perf_gate)
+    perf_gate.add_argument("--run", type=int, default=None, metavar="ID",
+                           help="run to gate (default: latest)")
+    perf_gate.add_argument("--baseline", type=Path, default=None,
+                           metavar="FILE",
+                           help="baseline file (default: the store's "
+                                "flagged baseline run, else the "
+                                "committed benchmarks/"
+                                "perf_baseline.json)")
+    perf_gate.add_argument("--no-attribution", action="store_true",
+                           help="skip the traced re-run of regressed "
+                                "benchmarks")
+    perf_gate.add_argument("--json", action="store_true",
+                           help="dump the gate verdict document")
 
     export_p = sub.add_parser(
         "export-model", help="train a model and save it to the store")
@@ -903,6 +1239,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "store":
         try:
             return _cmd_store(args)
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "perf":
+        try:
+            return _cmd_perf(args)
         except AnalysisError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -1,0 +1,265 @@
+"""Noise-aware run comparison, baselines, and the regression gate.
+
+The comparison contract is deliberately simple and symmetric:
+
+* the tracked ``value`` is min-of-repeats (workloads) or a payload
+  metric (reports) — see :mod:`repro.perf.runner`;
+* each benchmark carries a relative **noise band**: a lower-is-better
+  value regresses only when ``value > baseline * (1 + noise)`` and
+  improves only below ``baseline * (1 - noise)``; higher-is-better
+  metrics mirror the bands.  The band comes from the baseline entry
+  when present (a committed baseline can widen per-benchmark), else
+  the registered spec, else the comparison default.
+
+``perf gate`` adds *span attribution*: a regressed benchmark is
+re-run once inside an isolated :func:`repro.telemetry.session`, the
+trace is folded into per-span **self time** (own duration minus child
+durations), and the gate names the dominant span — "the regression is
+in ``mna.newton``", not just "something got slower".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .. import telemetry
+from ..circuit.exceptions import AnalysisError
+from .registry import BENCHMARKS, BenchmarkSpec, _ensure_registered
+
+#: Bump when the baseline-document layout changes incompatibly.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Noise band when neither the baseline entry nor a spec provides one.
+DEFAULT_NOISE = 0.5
+
+#: How many attributed spans a gate report keeps per regression.
+_TOP_SPANS = 5
+
+
+def baseline_document(run_doc: Dict[str, Any], *,
+                      notes: str = "") -> Dict[str, Any]:
+    """Distill a run document into a committable baseline file."""
+    entries = []
+    for bench in run_doc.get("benchmarks", []):
+        entries.append({
+            "benchmark": bench["benchmark"],
+            "metric": bench["metric"],
+            "unit": bench.get("unit"),
+            "lower_is_better": bool(bench.get("lower_is_better", True)),
+            "noise": bench.get("noise", DEFAULT_NOISE),
+            "value": bench["value"],
+        })
+    return {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "quick": bool(run_doc.get("quick", False)),
+        "fingerprint": run_doc.get("fingerprint", {}),
+        "notes": notes,
+        "benchmarks": entries,
+    }
+
+
+def load_baseline(path) -> Dict[str, Any]:
+    """Read and validate a baseline file (committed or exported)."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) \
+            or doc.get("schema") != BASELINE_SCHEMA_VERSION \
+            or not isinstance(doc.get("benchmarks"), list):
+        raise AnalysisError(
+            f"baseline {path} has an unexpected shape (want schema "
+            f"{BASELINE_SCHEMA_VERSION} with a 'benchmarks' list)")
+    return doc
+
+
+def _resolve_noise(current: Dict[str, Any],
+                   base_entry: Optional[Dict[str, Any]],
+                   default: float) -> float:
+    for source in (base_entry or {}, current):
+        noise = source.get("noise")
+        if isinstance(noise, (int, float)) and noise >= 0:
+            return float(noise)
+    return default
+
+
+def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any], *,
+                 default_noise: float = DEFAULT_NOISE
+                 ) -> List[Dict[str, Any]]:
+    """Per-benchmark comparison rows (current order, then missing).
+
+    Statuses: ``regression`` / ``improvement`` / ``ok`` outside/inside
+    the noise band, ``new`` (no baseline entry), ``missing`` (baseline
+    entry the current run did not execute).
+    """
+    base_by_id = {b["benchmark"]: b
+                  for b in baseline.get("benchmarks", [])}
+    rows: List[Dict[str, Any]] = []
+    seen = set()
+    for bench in current.get("benchmarks", []):
+        name = bench["benchmark"]
+        seen.add(name)
+        base = base_by_id.get(name)
+        row: Dict[str, Any] = {
+            "benchmark": name,
+            "metric": bench["metric"],
+            "unit": bench.get("unit"),
+            "lower_is_better": bool(bench.get("lower_is_better", True)),
+            "value": float(bench["value"]),
+        }
+        if base is None:
+            row.update(baseline_value=None, ratio=None, delta_pct=None,
+                       noise=_resolve_noise(bench, None, default_noise),
+                       status="new")
+            rows.append(row)
+            continue
+        base_value = float(base["value"])
+        noise = _resolve_noise(bench, base, default_noise)
+        row["baseline_value"] = base_value
+        row["noise"] = noise
+        if base_value != 0:
+            ratio = row["value"] / base_value
+            row["ratio"] = ratio
+            row["delta_pct"] = (ratio - 1.0) * 100.0
+        else:
+            ratio = None
+            row["ratio"] = row["delta_pct"] = None
+        if ratio is None:
+            status = "ok"
+        elif row["lower_is_better"]:
+            status = ("regression" if ratio > 1.0 + noise else
+                      "improvement" if ratio < 1.0 - noise else "ok")
+        else:
+            status = ("regression" if ratio < 1.0 - noise else
+                      "improvement" if ratio > 1.0 + noise else "ok")
+        row["status"] = status
+        rows.append(row)
+    for name, base in base_by_id.items():
+        if name not in seen:
+            rows.append({
+                "benchmark": name, "metric": base.get("metric"),
+                "unit": base.get("unit"),
+                "lower_is_better": bool(
+                    base.get("lower_is_better", True)),
+                "value": None,
+                "baseline_value": float(base["value"]),
+                "ratio": None, "delta_pct": None,
+                "noise": _resolve_noise({}, base, default_noise),
+                "status": "missing",
+            })
+    return rows
+
+
+# -- span attribution -------------------------------------------------------
+
+def self_times(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Fold trace events into per-span-name **self** time.
+
+    Self time is a span's duration minus its direct children's — the
+    quantity that sums to total traced time without double counting,
+    so "which span owns the regression" has a well-defined answer.
+    Returns ``{name: {"count", "seconds", "self_seconds"}}``.
+    """
+    child_dur: Dict[Any, float] = {}
+    for event in events:
+        parent = event.get("parent")
+        if parent is not None:
+            child_dur[parent] = child_dur.get(parent, 0.0) \
+                + float(event["dur"])
+    folded: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        name = event["name"]
+        dur = float(event["dur"])
+        own = max(0.0, dur - child_dur.get(event.get("id"), 0.0))
+        slot = folded.setdefault(
+            name, {"count": 0, "seconds": 0.0, "self_seconds": 0.0})
+        slot["count"] += 1
+        slot["seconds"] += dur
+        slot["self_seconds"] += own
+    return folded
+
+
+def attribute_benchmark(spec: BenchmarkSpec, *,
+                        quick: bool = True) -> Dict[str, Any]:
+    """Re-run one benchmark traced; return its span self-time profile.
+
+    Runs inside an isolated telemetry session (the caller's enabled
+    state, if any, is untouched).  Workloads execute setup plus one
+    timed call; reports execute once.  Returns ``{"spans": [...top
+    self-time...], "dominant_span", "dominant_share", "traced_seconds"}``
+    — empty spans mean the benchmark touches no instrumented code.
+    """
+    # Workload setup runs *outside* the session, mirroring the runner's
+    # timed region — attribution must blame the measured call, not the
+    # factory's one-off fixture building.
+    traced = spec.fn(quick=quick) if spec.kind == "workload" \
+        else (lambda: spec.fn(quick=quick))
+    with telemetry.session() as runtime:
+        with telemetry.span("perf.attribute", benchmark=spec.id):
+            traced()
+        events = [e for e in runtime.tracer.events()
+                  if e["name"] != "perf.attribute"]
+    folded = self_times(events)
+    ranked = sorted(folded.items(),
+                    key=lambda kv: kv[1]["self_seconds"], reverse=True)
+    total_self = sum(v["self_seconds"] for v in folded.values())
+    spans = [{"name": name, "count": stats["count"],
+              "seconds": stats["seconds"],
+              "self_seconds": stats["self_seconds"],
+              "share": (stats["self_seconds"] / total_self
+                        if total_self > 0 else 0.0)}
+             for name, stats in ranked[:_TOP_SPANS]]
+    return {
+        "spans": spans,
+        "dominant_span": spans[0]["name"] if spans else None,
+        "dominant_share": spans[0]["share"] if spans else None,
+        "traced_seconds": total_self,
+    }
+
+
+def gate_run(current: Dict[str, Any], baseline: Dict[str, Any], *,
+             default_noise: float = DEFAULT_NOISE,
+             attribute: bool = True,
+             quick: bool = True) -> Dict[str, Any]:
+    """The pass/fail verdict: comparison plus per-regression blame.
+
+    A gate fails iff at least one benchmark regresses outside its
+    noise band.  Each regression is (optionally) re-run traced and
+    annotated with its dominant span.  ``missing`` baseline entries
+    are surfaced as warnings, not failures — a partial run must not
+    masquerade as a green full run, but it should not hard-fail local
+    subset iteration either.
+    """
+    comparisons = compare_runs(current, baseline,
+                               default_noise=default_noise)
+    regressions = [r for r in comparisons if r["status"] == "regression"]
+    if attribute:
+        _ensure_registered()
+        for row in regressions:
+            spec = BENCHMARKS.get(row["benchmark"])
+            if spec is None:
+                row["attribution"] = None
+                continue
+            try:
+                row["attribution"] = attribute_benchmark(
+                    spec, quick=quick)
+            except Exception as exc:   # blame must not mask the verdict
+                row["attribution"] = {
+                    "error": f"{type(exc).__name__}: {exc}"}
+    ok = not regressions
+    telemetry.count("repro_perf_gate_total",
+                    outcome="pass" if ok else "fail")
+    return {
+        "ok": ok,
+        "regressions": regressions,
+        "improvements": [r for r in comparisons
+                         if r["status"] == "improvement"],
+        "missing": [r for r in comparisons if r["status"] == "missing"],
+        "comparisons": comparisons,
+    }

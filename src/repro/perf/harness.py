@@ -1,0 +1,114 @@
+"""Shared measurement helpers for benchmark scripts and the runner.
+
+Before PR 9 every ``benchmarks/bench_*.py`` hand-rolled the same four
+fragments: a ``perf_counter`` wrapper, a best/median-of-N loop, the
+``PYTHONPATH`` environment for subprocess re-execution, and the
+"``json.dumps(indent=2)`` to file + stdout" epilogue.  They live here
+once, dependency-free, so the scripts shrink to pure workload code and
+the registry runner shares the exact same timing discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Eight-level bar alphabet for terminal/dashboard history sparklines.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """``(wall_seconds, result)`` for one call."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def sample(fn: Callable[[], Any], repeats: int, *,
+           warmup: int = 0) -> List[float]:
+    """Per-repeat wall times after ``warmup`` unrecorded calls."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    return [timed(fn)[0] for _ in range(repeats)]
+
+
+def best_of(fn: Callable[[], Any], repeats: int, *,
+            warmup: int = 0) -> float:
+    """Min-of-N wall time: the least-noise cost estimate."""
+    return min(sample(fn, repeats, warmup=warmup))
+
+
+def median_of(fn: Callable[[], Any], repeats: int, *,
+              warmup: int = 0) -> float:
+    """Median-of-N wall time (the historical bench_store policy)."""
+    return statistics.median(sample(fn, repeats, warmup=warmup))
+
+
+def best_of_with_result(fn: Callable[[], Any], repeats: int, *,
+                        warmup: int = 0) -> Tuple[float, Any]:
+    """``(min wall seconds, last result)`` — for benchmark scripts
+    that verify the timed result (bit-identity checks) as well."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        seconds, result = timed(fn)
+        best = min(best, seconds)
+    return best, result
+
+
+def host_fields() -> Dict[str, str]:
+    """The ``python``/``machine`` stamp every legacy payload carries."""
+    return {"python": platform.python_version(),
+            "machine": platform.machine()}
+
+
+def cli_env(repo_root) -> Dict[str, str]:
+    """A subprocess environment with ``<repo>/src`` on ``PYTHONPATH``."""
+    env = dict(os.environ)
+    src = str(Path(repo_root) / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def finish(out_path, payload: Dict[str, Any]) -> None:
+    """The shared script epilogue: write ``BENCH_*.json``, echo it.
+
+    Exactly the historical byte shape: ``json.dumps(payload, indent=2)``
+    plus a trailing newline in the file, the same text (sans trailing
+    newline) on stdout.
+    """
+    text = json.dumps(payload, indent=2)
+    Path(out_path).write_text(text + "\n")
+    print(text)
+
+
+def sparkline(values, width: Optional[int] = None) -> str:
+    """A unicode sparkline of a numeric series (empty-safe).
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    >>> sparkline([])
+    ''
+    """
+    series = [float(v) for v in values]
+    if width is not None and len(series) > width:
+        series = series[-width:]
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    if hi <= lo:
+        return SPARK_CHARS[0] * len(series)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[int(round((v - lo) / (hi - lo) * top))]
+        for v in series)

@@ -1,0 +1,192 @@
+"""The ``@benchmark`` registry: typed, discoverable performance specs.
+
+Mirrors the ``@experiment`` registry (:mod:`repro.experiments.spec`):
+every benchmark is a frozen :class:`BenchmarkSpec` registered under a
+unique id, so the CLI can enumerate, filter by tag, and ``describe()``
+the whole performance surface as JSON without running anything.
+
+Two benchmark kinds:
+
+* ``"workload"`` — the registered function is a *factory*: called once
+  per run as ``fn(quick=...)`` it does all setup and returns a zero-arg
+  callable.  The runner applies the spec's warmup/repeat policy to that
+  callable, records every repeat as a sample, and reports the **min**
+  (the classic best-of-N: the least-noise estimate of the true cost on
+  a shared machine).
+* ``"report"`` — the function runs once and returns a plain dict (the
+  shape of the legacy ``BENCH_*.json`` payloads); the tracked value is
+  ``payload[spec.metric]``, or the wall time when ``metric`` is
+  ``None``.  This is how the seven historical ``bench_*.py`` scripts
+  register without giving up their self-managed output files.
+
+Every spec carries its own relative ``noise`` band — the fraction of
+the baseline value the comparator treats as measurement noise rather
+than a regression.  Absolute-seconds benchmarks on shared CI runners
+need wide bands (100%+); dimensionless ratios (speedups) are far more
+stable across machines and can use tight ones.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..circuit.exceptions import AnalysisError
+
+#: The two registration kinds (see module docstring).
+BENCHMARK_KINDS = ("workload", "report")
+
+#: Registry of every known benchmark, keyed by id.
+BENCHMARKS: Dict[str, "BenchmarkSpec"] = {}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark: identity, policy, and the function."""
+
+    id: str
+    title: str
+    fn: Callable[..., Any]
+    kind: str = "workload"
+    #: Name of the tracked scalar ("best_seconds" for workloads; a
+    #: payload key for reports, or None -> wall seconds).
+    metric: Optional[str] = "best_seconds"
+    unit: str = "s"
+    lower_is_better: bool = True
+    repeats: int = 5
+    warmup: int = 1
+    #: Repeat count under ``--quick`` (workload kind only).
+    quick_repeats: int = 3
+    #: Relative noise band for the comparator (fraction of baseline).
+    noise: float = 0.5
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+
+    def resolved_metric(self) -> str:
+        if self.metric is not None:
+            return self.metric
+        return "best_seconds" if self.kind == "workload" else "wall_seconds"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary (``perf list --json``; no callables)."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "kind": self.kind,
+            "metric": self.resolved_metric(),
+            "unit": self.unit,
+            "lower_is_better": self.lower_is_better,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "quick_repeats": self.quick_repeats,
+            "noise": self.noise,
+            "tags": list(self.tags),
+            "description": self.description,
+        }
+
+
+def benchmark(id: str, *, title: str, kind: str = "workload",
+              metric: Optional[str] = "best_seconds", unit: str = "s",
+              lower_is_better: bool = True, repeats: int = 5,
+              warmup: int = 1, quick_repeats: int = 3,
+              noise: float = 0.5, tags: Tuple[str, ...] = (),
+              description: str = ""):
+    """Class-free registration decorator, the ``@experiment`` twin.
+
+    >>> @benchmark("doc.noop", title="docstring example", repeats=1,
+    ...            warmup=0, tags=("doc",))
+    ... def _noop(quick=False):
+    ...     return lambda: None
+    >>> BENCHMARKS["doc.noop"].kind
+    'workload'
+    >>> del BENCHMARKS["doc.noop"]
+    """
+    if kind not in BENCHMARK_KINDS:
+        raise AnalysisError(
+            f"benchmark {id!r}: unknown kind {kind!r} "
+            f"(expected one of {BENCHMARK_KINDS})")
+    if kind == "workload" and metric not in (None, "best_seconds"):
+        raise AnalysisError(
+            f"benchmark {id!r}: workload benchmarks always track "
+            f"'best_seconds', not {metric!r}")
+    if repeats < 1 or warmup < 0 or quick_repeats < 1:
+        raise AnalysisError(
+            f"benchmark {id!r}: repeats/quick_repeats must be >= 1 "
+            "and warmup >= 0")
+    if noise < 0:
+        raise AnalysisError(f"benchmark {id!r}: noise band must be >= 0")
+
+    def register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if id in BENCHMARKS:
+            raise AnalysisError(f"duplicate benchmark id {id!r}")
+        BENCHMARKS[id] = BenchmarkSpec(
+            id=id, title=title, fn=fn, kind=kind, metric=metric,
+            unit=unit, lower_is_better=lower_is_better, repeats=repeats,
+            warmup=warmup, quick_repeats=quick_repeats, noise=noise,
+            tags=tuple(tags),
+            description=description or (fn.__doc__ or "").strip())
+        return fn
+
+    return register
+
+
+def _ensure_registered() -> None:
+    """Import the built-in suite exactly once (lazy, like SPECS)."""
+    from . import suite  # noqa: F401
+
+
+def get_benchmark(benchmark_id: str) -> BenchmarkSpec:
+    _ensure_registered()
+    try:
+        return BENCHMARKS[benchmark_id]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS)) or "(none)"
+        raise AnalysisError(
+            f"unknown benchmark {benchmark_id!r}; registered: {known}"
+        ) from None
+
+
+def list_benchmarks(tag: Optional[str] = None) -> List[BenchmarkSpec]:
+    """All registered specs (registration order), optionally by tag."""
+    _ensure_registered()
+    specs = list(BENCHMARKS.values())
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
+    return specs
+
+
+def describe_benchmarks(tag: Optional[str] = None) -> List[Dict[str, Any]]:
+    return [spec.describe() for spec in list_benchmarks(tag)]
+
+
+def load_benchmark_scripts(directory) -> List[str]:
+    """Import every ``bench_*.py`` in a directory, registering its
+    benchmarks.
+
+    The legacy scripts register ``script.*`` report benchmarks at
+    import time; this pulls them into the registry on demand
+    (``perf run --bench-dir benchmarks``) without making the core
+    suite import seven heavyweight modules.  Idempotent: an already
+    imported script is skipped, so double registration cannot occur.
+    """
+    directory = Path(directory)
+    loaded: List[str] = []
+    for path in sorted(directory.glob("bench_*.py")):
+        module_name = f"repro_perf_scripts.{path.stem}"
+        if module_name in sys.modules:
+            continue
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        if spec is None or spec.loader is None:
+            continue
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except BaseException:
+            del sys.modules[module_name]
+            raise
+        loaded.append(path.stem)
+    return loaded

@@ -1,0 +1,199 @@
+"""The built-in benchmark suite: one hot path per subsystem.
+
+Every benchmark here is **quick-capable** (sized to finish in well
+under a second per repeat with ``--quick`` on a single-core CI runner)
+and tagged ``gate`` so ``repro perf gate`` exercises the whole stack
+by default: circuit (shooting PSS + dense MNA transient), exec
+(vectorised Monte-Carlo), serving (batched inference), and the SQLite
+store (indexed axis query).  Workload factories do all setup outside
+the timed region; the returned callables traverse the instrumented
+spans (``adder.evaluate`` → ``pss.shooting`` → ``mna.transient`` →
+``mna.newton``, …), which is what makes gate span-attribution
+meaningful.
+
+Absolute-seconds benchmarks carry wide noise bands (100%) because the
+committed baseline is measured on a different machine than any given
+CI runner; the dimensionless speedup ratio is machine-stable and gets
+a tighter band.  The heavyweight end-to-end numbers stay in the
+``benchmarks/bench_*.py`` scripts (registered separately as
+``script.*`` report benchmarks).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .harness import best_of
+from .registry import benchmark
+
+
+def _ladder(stages: int):
+    """A deterministic RC ladder driven by a pulse source."""
+    from ..circuit import Capacitor, Circuit, Resistor, Vpulse
+
+    c = Circuit("perf_ladder")
+    c.add(Vpulse("VIN", "n0", "0", v1=0.0, v2=1.0, rise=1e-9, fall=1e-9,
+                 width=40e-9, period=100e-9))
+    rng = np.random.default_rng(11)
+    for k in range(stages):
+        c.add(Resistor(f"R{k}", f"n{k}", f"n{k + 1}",
+                       float(10 ** rng.uniform(3, 4))))
+        c.add(Capacitor(f"C{k}", f"n{k + 1}", "0",
+                        float(10 ** rng.uniform(-13, -12))))
+    return c
+
+
+@benchmark("pss.shooting.adder",
+           title="3-input weighted adder via the spice shooting PSS",
+           tags=("gate", "circuit"), repeats=3, warmup=1,
+           quick_repeats=2, noise=1.0,
+           description="WeightedAdder.evaluate(engine='spice'): the "
+                       "transistor netlist through shooting PSS, the "
+                       "paper's core analogue compute primitive.")
+def _pss_shooting_adder(quick: bool = False):
+    from ..core.weighted_adder import AdderConfig, WeightedAdder
+
+    adder = WeightedAdder(AdderConfig())
+    steps = 12 if quick else 24
+
+    def workload():
+        return adder.evaluate((0.2, 0.6, 0.8), (5, 6, 7),
+                              engine="spice", steps_per_period=steps)
+
+    return workload
+
+
+@benchmark("mna.transient.ladder",
+           title="RC-ladder transient through the MNA engine",
+           tags=("gate", "circuit"), repeats=3, warmup=1,
+           quick_repeats=2, noise=1.0,
+           description="Fixed-step transient of a pulse-driven RC "
+                       "ladder (the dense linear backend's bread and "
+                       "butter).")
+def _mna_transient_ladder(quick: bool = False):
+    from ..circuit import transient
+
+    stages = 12 if quick else 24
+    circuit = _ladder(stages)
+    t_stop, dt = 10e-9, 0.5e-9
+    transient(circuit, t_stop, dt)   # warm any lazy assembly caches
+
+    def workload():
+        return transient(circuit, t_stop, dt)
+
+    return workload
+
+
+@benchmark("exec.montecarlo.vectorized",
+           title="vectorised Monte-Carlo mismatch batch",
+           tags=("gate", "exec"), repeats=3, warmup=1,
+           quick_repeats=2, noise=1.0,
+           description="adder_monte_carlo(method='vectorized') on one "
+                       "Table II row — the 51x exec-engine win's fast "
+                       "path.")
+def _exec_montecarlo_vectorized(quick: bool = False):
+    from ..analysis import adder_monte_carlo
+    from ..core.weighted_adder import AdderConfig, WeightedAdder
+    from ..experiments.table2_adder import PAPER_ROWS
+
+    adder = WeightedAdder(AdderConfig())
+    row = PAPER_ROWS[0]
+    n_trials = 40 if quick else 200
+
+    def workload():
+        return adder_monte_carlo(adder, row.duties, row.weights,
+                                 n_trials=n_trials, seed=3,
+                                 method="vectorized")
+
+    return workload
+
+
+@benchmark("exec.montecarlo.speedup",
+           title="Monte-Carlo loop-vs-vectorised speedup ratio",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, tags=("gate", "exec"), noise=0.6,
+           description="Dimensionless loop/vectorised ratio on one "
+                       "Table II row — machine-stable, so it guards "
+                       "the exec-engine win across CI runners.")
+def _exec_montecarlo_speedup(quick: bool = False):
+    from ..analysis import adder_monte_carlo
+    from ..core.weighted_adder import AdderConfig, WeightedAdder
+    from ..experiments.table2_adder import PAPER_ROWS
+
+    adder = WeightedAdder(AdderConfig())
+    row = PAPER_ROWS[0]
+    n_trials = 40 if quick else 200
+
+    def run(method: str):
+        return adder_monte_carlo(adder, row.duties, row.weights,
+                                 n_trials=n_trials, seed=3,
+                                 method=method)
+
+    repeats = 1 if quick else 2
+    t_loop = best_of(lambda: run("loop"), repeats, warmup=1)
+    t_vec = best_of(lambda: run("vectorized"), repeats, warmup=1)
+    return {"n_trials": n_trials,
+            "loop_seconds": t_loop,
+            "vectorized_seconds": t_vec,
+            "speedup": t_loop / t_vec}
+
+
+@benchmark("serve.batch_predict",
+           title="batched perceptron inference (serve engine)",
+           tags=("gate", "serve"), repeats=5, warmup=1,
+           quick_repeats=3, noise=1.0,
+           description="BatchInferenceEngine.predict on a uniform "
+                       "random batch — the serving plane's vectorised "
+                       "hot path.")
+def _serve_batch_predict(quick: bool = False):
+    from ..analysis import make_blobs
+    from ..core.training import PerceptronTrainer
+    from ..serve import BatchInferenceEngine
+
+    data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                      spread=0.09, seed=7)
+    model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
+                                             epochs=60).perceptron
+    rng = np.random.default_rng(5)
+    X = rng.uniform(0.0, 1.0, (128 if quick else 256, 2))
+    engine = BatchInferenceEngine()
+    engine.predict(model, X)         # warm
+
+    def workload():
+        return engine.predict(model, X)
+
+    return workload
+
+
+@benchmark("store.indexed_query",
+           title="JSON1-indexed axis query over the SQLite store",
+           tags=("gate", "store"), repeats=5, warmup=1,
+           quick_repeats=3, noise=1.0,
+           description="StoreQuery.where('seed', '<', k).rows() "
+                       "against a populated store, expression index "
+                       "warm — the campaign-analysis hot path.")
+def _store_indexed_query(quick: bool = False):
+    from ..experiments import RunConfig, run_config
+    from ..store import ResultStore, StoreQuery
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-perf-store-")
+    store = ResultStore(Path(tmp.name))
+    result = run_config(RunConfig.build("ext_montecarlo", "fast",
+                                        {"seed": 0}))
+    n_rows = 60 if quick else 150
+    for k in range(n_rows):
+        store.put_config(result, RunConfig.build(
+            "ext_montecarlo", "fast", {"seed": k}))
+    query = StoreQuery(store, "ext_montecarlo").where(
+        "seed", "<", n_rows // 10)
+    query.rows()                     # warm: builds the expression index
+
+    def workload():
+        return query.rows()
+
+    # The tempdir (and the store in it) must outlive the timing loop.
+    workload._keepalive = (tmp, store)
+    return workload

@@ -19,6 +19,12 @@ watches one campaign while its shards run elsewhere:
     The aggregate tidy results document
     (:func:`repro.campaigns.results.results_document`) for everything
     finished so far — no re-running.
+``GET /perf``
+    Per-benchmark performance history out of the store's
+    ``perf_runs``/``perf_samples`` tables (:mod:`repro.perf`), each
+    series rendered as a unicode sparkline plus its latest/best
+    values.  Serving from a flat cache (no perf tables) returns an
+    empty benchmark list with a note instead of an error.
 ``GET /``
     A minimal HTML index linking the endpoints (auto-refreshing
     status summary; deliberately no JS framework, no assets).
@@ -49,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from .. import telemetry
 from ..campaigns.results import collect_results, results_document
 from ..campaigns.spec import CampaignSpec
+from ..perf.harness import sparkline
 from .watch import status_with_eta
 
 #: An alert hook: called once per newly-fired alert document.
@@ -172,6 +179,7 @@ _INDEX_HTML = """<!doctype html>
 <li><a href="/status">/status</a> &mdash; live progress + per-shard ETA</li>
 <li><a href="/alerts">/alerts</a> &mdash; threshold rule evaluation</li>
 <li><a href="/results">/results</a> &mdash; aggregate tidy results</li>
+<li><a href="/perf">/perf</a> &mdash; benchmark history sparklines</li>
 <li><a href="/healthz">/healthz</a></li>
 </ul>
 <p>(auto-refreshes every 5 s)</p>
@@ -219,6 +227,30 @@ class CampaignDashboard:
     def results_payload(self) -> Dict[str, Any]:
         return results_document(
             self.spec, collect_results(self.spec, self.cache))
+
+    def perf_payload(self, limit: int = 40) -> Dict[str, Any]:
+        history_fn = getattr(self.cache, "perf_history", None)
+        if history_fn is None:
+            return {"campaign": self.spec.name, "benchmarks": [],
+                    "note": "perf history needs the SQLite store "
+                            "(campaign dashboard --store)"}
+        history = history_fn(limit=limit)
+        benchmarks = []
+        for name in sorted(history):
+            points = history[name]
+            values = [p["value"] for p in points]
+            lower = points[-1]["lower_is_better"]
+            benchmarks.append({
+                "benchmark": name,
+                "unit": points[-1]["unit"],
+                "lower_is_better": lower,
+                "runs": len(points),
+                "latest": values[-1],
+                "best": min(values) if lower else max(values),
+                "sparkline": sparkline(values),
+                "history": points,
+            })
+        return {"campaign": self.spec.name, "benchmarks": benchmarks}
 
     def index_html(self) -> str:
         status = status_with_eta(self.spec, self.cache)
@@ -316,6 +348,8 @@ def _make_handler(dashboard: "CampaignDashboard"):
                 self._observed("/alerts", dashboard.alerts_payload)
             elif path == "/results":
                 self._observed("/results", dashboard.results_payload)
+            elif path == "/perf":
+                self._observed("/perf", dashboard.perf_payload)
             else:
                 self._reply(404,
                             {"error": f"unknown endpoint {self.path}"})

@@ -84,6 +84,30 @@ CREATE TABLE IF NOT EXISTS store_meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+-- Performance history (repro.perf).  Additive tables: older builds
+-- simply never touch them, so STORE_SCHEMA_VERSION stays at 1 and
+-- existing databases gain them on first open by a perf-aware build.
+CREATE TABLE IF NOT EXISTS perf_runs (
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at  REAL NOT NULL,
+    quick       INTEGER NOT NULL DEFAULT 0,
+    baseline    INTEGER NOT NULL DEFAULT 0,
+    fingerprint TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS perf_samples (
+    run_id          INTEGER NOT NULL,
+    benchmark       TEXT NOT NULL,
+    metric          TEXT NOT NULL,
+    unit            TEXT,
+    lower_is_better INTEGER NOT NULL DEFAULT 1,
+    kind            TEXT NOT NULL DEFAULT 'workload',
+    noise           REAL,
+    repeat          INTEGER NOT NULL,
+    value           REAL NOT NULL,
+    PRIMARY KEY (run_id, benchmark, repeat)
+);
+CREATE INDEX IF NOT EXISTS idx_perf_samples_benchmark
+    ON perf_samples(benchmark, run_id);
 """
 
 
@@ -420,10 +444,187 @@ class ResultStore:
         except AnalysisError:
             return None
 
+    # -- performance history (repro.perf) -----------------------------------
+
+    def record_perf_run(self, doc: Dict[str, Any]) -> int:
+        """Persist one :mod:`repro.perf` run document; returns its id.
+
+        One transaction: the ``perf_runs`` header plus every
+        per-repeat sample — a run is either fully recorded or absent.
+        """
+        with telemetry.span("store.perf_record"):
+            with self._lock:
+                self._conn.execute("BEGIN")
+                try:
+                    cursor = self._conn.execute(
+                        "INSERT INTO perf_runs"
+                        "(created_at, quick, baseline, fingerprint) "
+                        "VALUES (?, ?, 0, ?)",
+                        (float(doc.get("created_at", time.time())),
+                         1 if doc.get("quick") else 0,
+                         _canonical_json(doc.get("fingerprint", {}))))
+                    run_id = cursor.lastrowid
+                    for bench in doc.get("benchmarks", []):
+                        for repeat, value in enumerate(bench["samples"]):
+                            self._conn.execute(
+                                "INSERT INTO perf_samples"
+                                "(run_id, benchmark, metric, unit, "
+                                " lower_is_better, kind, noise, repeat, "
+                                " value) "
+                                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                                (run_id, bench["benchmark"],
+                                 bench["metric"], bench.get("unit"),
+                                 1 if bench.get("lower_is_better", True)
+                                 else 0,
+                                 bench.get("kind", "workload"),
+                                 bench.get("noise"), repeat,
+                                 float(value)))
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+        telemetry.count("repro_store_perf_writes_total")
+        return int(run_id)
+
+    def _perf_header(self, row) -> Dict[str, Any]:
+        run_id, created_at, quick, baseline, fingerprint = row
+        try:
+            stamp = json.loads(fingerprint)
+        except (json.JSONDecodeError, TypeError):
+            stamp = {}
+        return {"run_id": int(run_id), "created_at": float(created_at),
+                "quick": bool(quick), "baseline": bool(baseline),
+                "fingerprint": stamp}
+
+    _PERF_RUN_COLS = "run_id, created_at, quick, baseline, fingerprint"
+
+    def perf_run(self, run_id: Optional[int] = None
+                 ) -> Optional[Dict[str, Any]]:
+        """One stored run as a runner-shaped document (latest when
+        ``run_id`` is ``None``); ``None`` if absent."""
+        with self._lock:
+            if run_id is None:
+                row = self._conn.execute(
+                    f"SELECT {self._PERF_RUN_COLS} FROM perf_runs "
+                    "ORDER BY run_id DESC LIMIT 1").fetchone()
+            else:
+                row = self._conn.execute(
+                    f"SELECT {self._PERF_RUN_COLS} FROM perf_runs "
+                    "WHERE run_id = ?", (int(run_id),)).fetchone()
+            if row is None:
+                return None
+            samples = self._conn.execute(
+                "SELECT benchmark, metric, unit, lower_is_better, kind, "
+                "noise, value FROM perf_samples WHERE run_id = ? "
+                "ORDER BY rowid", (row[0],)).fetchall()
+        doc = self._perf_header(row)
+        benchmarks: Dict[str, Dict[str, Any]] = {}
+        for name, metric, unit, lower, kind, noise, value in samples:
+            slot = benchmarks.setdefault(name, {
+                "benchmark": name, "kind": kind, "metric": metric,
+                "unit": unit, "lower_is_better": bool(lower),
+                "noise": noise, "samples": []})
+            slot["samples"].append(float(value))
+        for slot in benchmarks.values():
+            pick = min if slot["lower_is_better"] else max
+            slot["value"] = pick(slot["samples"])
+        doc["benchmarks"] = list(benchmarks.values())
+        return doc
+
+    def perf_runs(self, *, limit: Optional[int] = None
+                  ) -> List[Dict[str, Any]]:
+        """Run headers, newest first, with per-run benchmark counts."""
+        sql = (f"SELECT {self._PERF_RUN_COLS}, "
+               "(SELECT COUNT(DISTINCT benchmark) FROM perf_samples s "
+               " WHERE s.run_id = perf_runs.run_id) "
+               "FROM perf_runs ORDER BY run_id DESC")
+        args: Tuple[Any, ...] = ()
+        if limit is not None:
+            sql += " LIMIT ?"
+            args = (int(limit),)
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        headers = []
+        for row in rows:
+            header = self._perf_header(row[:5])
+            header["benchmarks"] = int(row[5])
+            headers.append(header)
+        return headers
+
+    def previous_perf_run(self, run_id: int) -> Optional[Dict[str, Any]]:
+        """The newest run older than ``run_id`` (compare's default)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT run_id FROM perf_runs WHERE run_id < ? "
+                "ORDER BY run_id DESC LIMIT 1", (int(run_id),)).fetchone()
+        return self.perf_run(int(row[0])) if row is not None else None
+
+    def set_perf_baseline(self, run_id: int) -> None:
+        """Flag exactly one stored run as the gate baseline."""
+        with self._lock:
+            exists = self._conn.execute(
+                "SELECT 1 FROM perf_runs WHERE run_id = ?",
+                (int(run_id),)).fetchone()
+            if exists is None:
+                raise AnalysisError(
+                    f"no stored perf run {run_id} to flag as baseline")
+            self._conn.execute("BEGIN")
+            try:
+                self._conn.execute("UPDATE perf_runs SET baseline = 0")
+                self._conn.execute(
+                    "UPDATE perf_runs SET baseline = 1 WHERE run_id = ?",
+                    (int(run_id),))
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def perf_baseline_run(self) -> Optional[Dict[str, Any]]:
+        """The run flagged by :meth:`set_perf_baseline`, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT run_id FROM perf_runs WHERE baseline = 1 "
+                "ORDER BY run_id DESC LIMIT 1").fetchone()
+        return self.perf_run(int(row[0])) if row is not None else None
+
+    def perf_history(self, benchmark: Optional[str] = None, *,
+                     limit: int = 60) -> Dict[str, List[Dict[str, Any]]]:
+        """Per-benchmark tracked-value series, oldest-to-newest.
+
+        ``{benchmark: [{"run_id", "created_at", "quick", "value",
+        "unit", "lower_is_better"}, ...]}`` — the last ``limit`` runs
+        per benchmark, the ``/perf`` sparkline feed.
+        """
+        sql = ("SELECT s.benchmark, s.run_id, r.created_at, r.quick, "
+               "s.unit, s.lower_is_better, MIN(s.value), MAX(s.value) "
+               "FROM perf_samples s "
+               "JOIN perf_runs r ON r.run_id = s.run_id")
+        args: Tuple[Any, ...] = ()
+        if benchmark is not None:
+            sql += " WHERE s.benchmark = ?"
+            args = (benchmark,)
+        sql += " GROUP BY s.benchmark, s.run_id ORDER BY s.benchmark, s.run_id"
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        history: Dict[str, List[Dict[str, Any]]] = {}
+        for name, run_id, created_at, quick, unit, lower, vmin, vmax in rows:
+            history.setdefault(name, []).append({
+                "run_id": int(run_id),
+                "created_at": float(created_at),
+                "quick": bool(quick),
+                "unit": unit,
+                "lower_is_better": bool(lower),
+                "value": float(vmin if lower else vmax),
+            })
+        if limit is not None:
+            history = {name: points[-int(limit):]
+                       for name, points in history.items()}
+        return history
+
     # -- maintenance --------------------------------------------------------
 
-    def gc(self, *, legacy: bool = False,
-           dry_run: bool = False) -> Dict[str, Any]:
+    def gc(self, *, legacy: bool = False, dry_run: bool = False,
+           older_than_days: Optional[float] = None) -> Dict[str, Any]:
         """Reclaim rows no current-version probe can ever hit.
 
         Deletes ``stale`` rows (entries whose version-folded key no
@@ -432,24 +633,62 @@ class ResultStore:
         kwargs-keyed row (the pre-RunConfig generation).  ``dry_run``
         reports without deleting.  The database is compacted
         (``VACUUM``) after a real collection.
+
+        ``older_than_days`` turns collection into an age-based
+        retention policy: result rows only qualify when *also* older
+        than the cutoff, and perf runs (with their samples) older than
+        the cutoff are reclaimed too — except the flagged baseline
+        run, which is history worth keeping at any age.
         """
+        cutoff = (time.time() - float(older_than_days) * 86400.0
+                  if older_than_days is not None else None)
         clauses = ["stale != 0"]
         if legacy:
             clauses.append("kind = 'legacy'")
+        if cutoff is not None:
+            clauses = [f"({clause} AND updated_at < ?)"
+                       for clause in clauses]
+            args: Tuple[Any, ...] = (cutoff,) * len(clauses)
+        else:
+            args = ()
         predicate = " OR ".join(clauses)
+        perf_doomed = 0
         with telemetry.span("store.gc", dry_run=dry_run):
             with self._lock:
                 doomed = self._conn.execute(
-                    f"SELECT COUNT(*) FROM results WHERE {predicate}"
-                ).fetchone()[0]
-                if not dry_run and doomed:
-                    self._conn.execute(
-                        f"DELETE FROM results WHERE {predicate}")
+                    f"SELECT COUNT(*) FROM results WHERE {predicate}",
+                    args).fetchone()[0]
+                if cutoff is not None:
+                    perf_doomed = self._conn.execute(
+                        "SELECT COUNT(*) FROM perf_runs "
+                        "WHERE baseline = 0 AND created_at < ?",
+                        (cutoff,)).fetchone()[0]
+                if not dry_run and (doomed or perf_doomed):
+                    if doomed:
+                        self._conn.execute(
+                            f"DELETE FROM results WHERE {predicate}",
+                            args)
+                    if perf_doomed:
+                        self._conn.execute(
+                            "DELETE FROM perf_samples WHERE run_id IN "
+                            "(SELECT run_id FROM perf_runs "
+                            " WHERE baseline = 0 AND created_at < ?)",
+                            (cutoff,))
+                        self._conn.execute(
+                            "DELETE FROM perf_runs "
+                            "WHERE baseline = 0 AND created_at < ?",
+                            (cutoff,))
                     self._conn.execute("VACUUM")
-        if not dry_run and doomed:
-            telemetry.count("repro_store_gc_deleted_total", doomed)
+        if not dry_run:
+            if doomed:
+                telemetry.count("repro_store_gc_deleted_total", doomed)
+            if perf_doomed:
+                telemetry.count("repro_store_gc_perf_runs_deleted_total",
+                                perf_doomed)
         return {"candidates": int(doomed),
                 "deleted": 0 if dry_run else int(doomed),
+                "perf_candidates": int(perf_doomed),
+                "perf_deleted": 0 if dry_run else int(perf_doomed),
                 "dry_run": dry_run}
 
     def counts(self) -> Dict[str, Any]:

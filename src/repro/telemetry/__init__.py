@@ -41,9 +41,10 @@ golden artifacts and batched-vs-scalar bit-identity are unchanged
 from __future__ import annotations
 
 import atexit
+import contextlib
 import os
 import sys
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from .metrics import (DEFAULT_BUCKETS, Registry,  # noqa: F401
                       validate_prometheus_text)
@@ -136,6 +137,28 @@ def disable() -> None:
     """Turn telemetry off and drop the runtime (state is discarded)."""
     global _STATE
     _STATE = None
+
+
+@contextlib.contextmanager
+def session(trace_path: Optional[str] = None, *,
+            registry: Optional[Registry] = None) -> Iterator[Runtime]:
+    """A scoped telemetry session with a fresh :class:`Runtime`.
+
+    Installs a brand-new runtime for the duration of the ``with``
+    block and restores whatever was active before on exit — including
+    ``None``.  This is how one-shot instrumented re-runs (perf gate
+    span attribution, tests) capture an isolated trace without
+    clobbering a long-lived enabled session's counters or trace
+    buffer.
+    """
+    global _STATE
+    previous = _STATE
+    runtime = Runtime(trace_path=trace_path, registry=registry)
+    _STATE = runtime
+    try:
+        yield runtime
+    finally:
+        _STATE = previous
 
 
 def span(name: str, **tags: Any):

@@ -228,7 +228,8 @@ class TestMigrate:
         assert store.get_config(config) is not None
         # ...and gc reclaims them (dry run first, then for real).
         assert store.gc(dry_run=True) == \
-            {"candidates": 1, "deleted": 0, "dry_run": True}
+            {"candidates": 1, "deleted": 0, "perf_candidates": 0,
+             "perf_deleted": 0, "dry_run": True}
         assert store.gc()["deleted"] == 1
         assert store.counts()["stale"] == 0
 
@@ -480,6 +481,54 @@ class TestWatchAndDashboard:
         assert done["missing"] == 0
         assert done["eta"]["eta_seconds"] == 0.0
         assert "complete" in format_watch_line(done)
+
+    def test_eta_with_empty_manifests(self, tmp_path):
+        # No shard has ever run: no manifests, no timings, no ETA —
+        # the poll must still produce a complete, render-able document.
+        spec = montecarlo_spec(3)
+        store = ResultStore(tmp_path)
+        status = status_with_eta(spec, store)
+        assert status["missing"] == 3
+        assert len(status["shards"]) == 1
+        eta = status["eta"]
+        assert eta["fresh"] == 0
+        assert eta["mean_seconds_per_fresh"] is None
+        assert eta["running_shards"] == 0
+        assert eta["eta_seconds"] is None
+        line = format_watch_line(status)
+        assert "0/3 done (0.0%)" in line
+        assert "eta" not in line and "complete" not in line
+
+    def test_eta_with_zero_completed_shards(self, tmp_path):
+        # Manifests exist (both shards started) but every config is
+        # still pending: zero fresh completions must not divide by
+        # zero, and the widest manifest partition still drives the
+        # shard breakdown.
+        from repro.campaigns.runner import _ShardManifest
+
+        spec = montecarlo_spec(2)
+        store = ResultStore(tmp_path)
+        for index in (1, 2):
+            _ShardManifest(spec, store.root, (index, 2),
+                           total=2, in_shard=1)
+        status = status_with_eta(spec, store)
+        assert len(status["shards"]) == 2
+        assert all(b["done"] == 0 for b in status["shards"])
+        assert status["eta"]["fresh"] == 0
+        assert status["eta"]["eta_seconds"] is None
+
+    def test_watch_single_poll_incomplete(self, tmp_path, capsys):
+        # --max-polls 1 on an incomplete campaign: exactly one status
+        # line, the final document still reports the misses.
+        spec = montecarlo_spec(3)
+        store = ResultStore(tmp_path)
+        CampaignRunner(spec, store, shard=(1, 3)).run()
+        final = watch(spec, store, interval=0.0, max_polls=1,
+                      stream=sys.stdout)
+        out = capsys.readouterr().out
+        # Hash-based sharding ran some but not all of the 3 configs.
+        assert 0 < final["missing"] < 3
+        assert out.count("[watch") == 1
 
     def test_watch_polls_until_complete(self, tmp_path, capsys):
         spec = montecarlo_spec(
