@@ -4,7 +4,8 @@ Every benchmark here is **quick-capable** (sized to finish in well
 under a second per repeat with ``--quick`` on a single-core CI runner)
 and tagged ``gate`` so ``repro perf gate`` exercises the whole stack
 by default: circuit (shooting PSS + dense MNA transient), exec
-(vectorised Monte-Carlo), serving (batched inference), and the SQLite
+(vectorised Monte-Carlo), serving (batched inference plus closed-loop
+HTTP load generation against the asyncio transport), and the SQLite
 store (indexed axis query).  Workload factories do all setup outside
 the timed region; the returned callables traverse the instrumented
 spans (``adder.evaluate`` → ``pss.shooting`` → ``mna.transient`` →
@@ -166,6 +167,81 @@ def _serve_batch_predict(quick: bool = False):
         return engine.predict(model, X)
 
     return workload
+
+
+def _loadgen_model(tmp_root: str):
+    """Export the blobs perceptron into a throwaway store; returns the
+    store and a 4-row request payload."""
+    from ..analysis import make_blobs
+    from ..core.training import PerceptronTrainer
+    from ..serve import ModelStore
+
+    data = make_blobs(n_per_class=30, n_features=2, separation=0.35,
+                      spread=0.09, seed=7)
+    model = PerceptronTrainer(2, seed=7).fit(data.X, data.y,
+                                             epochs=60).perceptron
+    store = ModelStore(tmp_root)
+    store.save("loadgen", model)
+    return store, data.X[:4].tolist()
+
+
+@benchmark("serve.loadgen.aio",
+           title="asyncio /predict saturation under concurrent load",
+           kind="report", metric="rows_per_s", unit="rows/s",
+           lower_is_better=False, tags=("gate", "serve"), noise=1.0,
+           description="Closed-loop load generation against the "
+                       "asyncio transport: keep-alive connections "
+                       "sending 4-row /predict requests back-to-back; "
+                       "tracks the serving plane's saturation rows/s.")
+def _serve_loadgen_aio(quick: bool = False):
+    from ..serve import AsyncPerceptronServer
+    from ..serve.loadgen import run_closed_loop
+
+    connections = 16 if quick else 64
+    duration = 0.5 if quick else 2.0
+    with tempfile.TemporaryDirectory(
+            prefix="repro-perf-loadgen-") as tmp:
+        store, inputs = _loadgen_model(tmp)
+        with AsyncPerceptronServer(store, workers=0) as server:
+            report = run_closed_loop(server.url, "loadgen", inputs,
+                                     connections=connections,
+                                     duration=duration)
+    return report
+
+
+@benchmark("serve.loadgen.speedup",
+           title="asyncio vs threaded transport saturation ratio",
+           kind="report", metric="speedup", unit="x",
+           lower_is_better=False, tags=("gate", "serve"), noise=0.8,
+           description="Closed-loop saturation rows/s of the asyncio "
+                       "transport over the threaded one, same model "
+                       "and load — the dimensionless guard on the "
+                       "serving-plane rewrite (acceptance: >= 5x at "
+                       "full load).")
+def _serve_loadgen_speedup(quick: bool = False):
+    from ..serve import AsyncPerceptronServer, PerceptronServer
+    from ..serve.loadgen import run_closed_loop
+
+    connections = 16 if quick else 64
+    duration = 0.5 if quick else 2.0
+    with tempfile.TemporaryDirectory(
+            prefix="repro-perf-loadgen-") as tmp:
+        store, inputs = _loadgen_model(tmp)
+        with AsyncPerceptronServer(store, workers=0) as aio:
+            r_aio = run_closed_loop(aio.url, "loadgen", inputs,
+                                    connections=connections,
+                                    duration=duration)
+        with PerceptronServer(store) as threaded:
+            r_thr = run_closed_loop(threaded.url, "loadgen", inputs,
+                                    connections=connections,
+                                    duration=duration)
+    return {"connections": connections,
+            "aio_rows_per_s": r_aio["rows_per_s"],
+            "threaded_rows_per_s": r_thr["rows_per_s"],
+            "aio_latency_ms": r_aio["latency_ms"],
+            "threaded_latency_ms": r_thr["latency_ms"],
+            "speedup": round(r_aio["rows_per_s"]
+                             / max(r_thr["rows_per_s"], 1e-9), 2)}
 
 
 @benchmark("store.indexed_query",

@@ -15,19 +15,36 @@ into something deployable:
     scalar path, plus RC supply-sweep batching through
     :class:`~repro.core.rc_model.RcBatchSolver`.
 ``repro.serve.scheduler``
-    :class:`MicroBatcher` — a thread-safe micro-batching request queue
-    (max batch size + max latency flush) feeding the engine.
+    :class:`MicroBatcher` (thread-safe queue + worker thread) and
+    :class:`AsyncMicroBatcher` (event-loop, cross-connection) — the
+    micro-batching request schedulers (max batch size + max latency
+    flush) feeding the engine.
 ``repro.serve.server``
-    A stdlib ``http.server`` JSON API (``/predict``, ``/models``,
-    ``/experiments``, ``/experiments/<id>/run``, ``/healthz``,
-    ``/metrics``) wired into the CLI as ``python -m repro serve`` /
-    ``export-model`` / ``predict``.  Experiments are served from their
-    declarative specs (:mod:`repro.experiments.spec`): schemas via GET,
-    config-validated fast-fidelity runs via POST.
+    :class:`ServingCore` — the transport-independent request handling
+    (validation, response/error shapes, experiment and campaign runs)
+    — plus the legacy ``ThreadingHTTPServer`` transport
+    (:class:`PerceptronServer`).  The JSON API (``/predict``,
+    ``/models``, ``/experiments``, ``/experiments/<id>/run``,
+    ``/healthz``, ``/metrics``) is wired into the CLI as ``python -m
+    repro serve`` / ``export-model`` / ``predict``.
+``repro.serve.aio_server``
+    :class:`AsyncPerceptronServer` — the default asyncio transport:
+    keep-alive connections, incremental parsing, cross-connection
+    micro-batching, slow engines sharded over the
+    :class:`~repro.serve.pool.EngineWorkerPool`.
+``repro.serve.pool``
+    :class:`EngineWorkerPool` — process-pool dispatch for rc/spice
+    ``/predict`` requests, with per-worker model caching.
+``repro.serve.loadgen``
+    Closed- and open-loop HTTP load generation against either
+    transport: saturation rows/s, latency percentiles, batch-fill
+    histograms (``benchmarks/bench_loadgen.py`` and the serving perf
+    gate build on it).
 """
 
 from __future__ import annotations
 
+from .aio_server import AsyncPerceptronServer
 from .artifacts import (
     ARTIFACT_SCHEMA_VERSION,
     ModelStore,
@@ -36,8 +53,14 @@ from .artifacts import (
     serialize_model,
 )
 from .engine import BatchInferenceEngine
-from .scheduler import BatchStats, MicroBatcher
-from .server import NotFoundError, PerceptronServer, ServingMetrics
+from .pool import EngineWorkerPool
+from .scheduler import AsyncMicroBatcher, BatchStats, MicroBatcher
+from .server import (
+    NotFoundError,
+    PerceptronServer,
+    ServingCore,
+    ServingMetrics,
+)
 
 __all__ = [
     "NotFoundError",
@@ -49,6 +72,10 @@ __all__ = [
     "BatchInferenceEngine",
     "BatchStats",
     "MicroBatcher",
+    "AsyncMicroBatcher",
+    "AsyncPerceptronServer",
+    "EngineWorkerPool",
     "PerceptronServer",
+    "ServingCore",
     "ServingMetrics",
 ]

@@ -18,9 +18,14 @@ Schema history
 --------------
 * **v1** — initial format; perceptron calibration was a single
   coefficient list applied to both banks.
-* **v2** (current) — per-bank calibration (``{"pos": ..., "neg": ...}``)
-  and the ``hash`` stamp.  v1 documents load transparently through
-  :func:`upgrade_artifact`.
+* **v2** — per-bank calibration (``{"pos": ..., "neg": ...}``) and the
+  ``hash`` stamp.
+* **v3** (current) — the adder config carries the full
+  :class:`~repro.core.cells.CellDesign` (device parameters, geometry,
+  output resistor, scale), so models trained on *custom* cell designs
+  — not just the paper's Table I cell — serialise and serve.  Older
+  documents load transparently through :func:`upgrade_artifact`
+  (v2 → v3 fills in the Table I cell they implicitly assumed).
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..circuit.exceptions import AnalysisError
 from ..core.behavioral import CalibrationModel
@@ -38,8 +43,9 @@ from ..core.cells import CellDesign
 from ..core.network import PwmMlp
 from ..core.perceptron import DifferentialPwmPerceptron
 from ..core.weighted_adder import AdderConfig
+from ..tech.mosfet_models import MosfetParams
 
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Artifact fields excluded from the content hash: mutable metadata that
 #: does not change the served model.
@@ -59,25 +65,72 @@ def artifact_hash(doc: Dict[str, Any]) -> str:
 
 # -- config (de)serialisation ----------------------------------------------
 
-def _config_to_dict(config: AdderConfig) -> Dict[str, Any]:
-    if config.cell != CellDesign():
+#: Numeric MosfetParams fields carried by a v3 artifact (``polarity``
+#: and ``name`` ride separately; ``name`` is cosmetic, compare=False).
+_MOSFET_FIELDS = ("vt0", "kp", "lam", "n_sub", "cox", "cgso", "cgdo",
+                  "cj_per_w")
+
+#: Numeric CellDesign fields besides the two device parameter sets.
+_CELL_FIELDS = ("nmos_width", "pmos_width", "length", "rout", "scale")
+
+
+def _mosfet_to_dict(params: MosfetParams) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"polarity": params.polarity}
+    doc.update({f: float(getattr(params, f)) for f in _MOSFET_FIELDS})
+    if params.name:
+        doc["name"] = params.name
+    return doc
+
+
+def _mosfet_from_dict(doc: Dict[str, Any]) -> MosfetParams:
+    try:
+        return MosfetParams(
+            polarity=doc["polarity"], name=doc.get("name", ""),
+            **{f: float(doc[f]) for f in _MOSFET_FIELDS})
+    except (KeyError, TypeError, ValueError) as exc:
         raise AnalysisError(
-            "artifacts cover the Table I cell only; custom CellDesigns "
-            "are not serialisable yet")
+            f"bad device parameters in artifact cell: {exc}") from exc
+
+
+def cell_to_dict(cell: CellDesign) -> Dict[str, Any]:
+    """Full :class:`CellDesign` → JSON (schema-v3 ``config.cell``)."""
+    doc: Dict[str, Any] = {"nmos": _mosfet_to_dict(cell.nmos),
+                           "pmos": _mosfet_to_dict(cell.pmos)}
+    doc.update({f: float(getattr(cell, f)) for f in _CELL_FIELDS})
+    return doc
+
+
+def cell_from_dict(doc: Dict[str, Any]) -> CellDesign:
+    """JSON ``config.cell`` → :class:`CellDesign` (round-trip inverse
+    of :func:`cell_to_dict`)."""
+    try:
+        return CellDesign(
+            nmos=_mosfet_from_dict(doc["nmos"]),
+            pmos=_mosfet_from_dict(doc["pmos"]),
+            **{f: float(doc[f]) for f in _CELL_FIELDS})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(
+            f"bad cell design in artifact: {exc}") from exc
+
+
+def _config_to_dict(config: AdderConfig) -> Dict[str, Any]:
     return {
         "n_bits": config.n_bits,
         "vdd": config.vdd,
         "frequency": config.frequency,
         "cout": config.cout,
         "rise_fraction": config.rise_fraction,
+        "cell": cell_to_dict(config.cell),
     }
 
 
 def _config_from_dict(doc: Dict[str, Any]) -> AdderConfig:
+    cell = (cell_from_dict(doc["cell"]) if "cell" in doc
+            else CellDesign())
     return AdderConfig(
         n_bits=int(doc["n_bits"]), vdd=float(doc["vdd"]),
         frequency=float(doc["frequency"]), cout=float(doc["cout"]),
-        rise_fraction=float(doc["rise_fraction"]))
+        rise_fraction=float(doc["rise_fraction"]), cell=cell)
 
 
 def _calibration_of(adder) -> Optional[List[float]]:
@@ -163,19 +216,24 @@ def serialize_model(model, *, name: str = "") -> Dict[str, Any]:
 def upgrade_artifact(doc: Dict[str, Any]) -> Dict[str, Any]:
     """Migrate an older-schema document to the current schema.
 
-    v1 → v2: a perceptron's single ``calibration`` coefficient list
-    becomes the per-bank ``{"pos": ..., "neg": ...}`` mapping (v1 applied
-    one polynomial to both banks); the content hash is restamped.
+    The migrations chain, one version at a time, and the content hash
+    is restamped once at the end:
+
+    * v1 → v2: a perceptron's single ``calibration`` coefficient list
+      becomes the per-bank ``{"pos": ..., "neg": ...}`` mapping (v1
+      applied one polynomial to both banks);
+    * v2 → v3: the adder config gains the full ``cell`` design — v2
+      artifacts could only describe the paper's Table I cell, so that
+      is exactly what the migration fills in.
     """
     schema = doc.get("schema")
     if schema == ARTIFACT_SCHEMA_VERSION:
         return doc
-    if schema != 1:
+    if schema not in (1, 2):
         raise AnalysisError(
             f"unsupported artifact schema {schema!r}; this build reads "
             f"versions 1..{ARTIFACT_SCHEMA_VERSION}")
     doc = json.loads(json.dumps(doc))  # deep copy
-    doc["schema"] = ARTIFACT_SCHEMA_VERSION
 
     def upgrade_unit(unit: Dict[str, Any]) -> None:
         cal = unit.get("calibration")
@@ -185,12 +243,19 @@ def upgrade_artifact(doc: Dict[str, Any]) -> Dict[str, Any]:
             unit["calibration"] = {"pos": list(cal), "neg": list(cal)}
         unit.setdefault("comparator", {"offset": 0.0, "hysteresis": 0.0})
 
-    if doc["kind"] == "perceptron":
-        upgrade_unit(doc)
-    elif doc["kind"] == "mlp":
-        for unit in doc["hidden"]:
-            upgrade_unit(unit)
-        upgrade_unit(doc["output"])
+    if schema == 1:
+        if doc["kind"] == "perceptron":
+            upgrade_unit(doc)
+        elif doc["kind"] == "mlp":
+            for unit in doc["hidden"]:
+                upgrade_unit(unit)
+            upgrade_unit(doc["output"])
+        schema = 2
+    if schema == 2:
+        if isinstance(doc.get("config"), dict):
+            doc["config"].setdefault("cell", cell_to_dict(CellDesign()))
+        schema = 3
+    doc["schema"] = ARTIFACT_SCHEMA_VERSION
     doc["hash"] = artifact_hash(doc)
     return doc
 
@@ -250,6 +315,20 @@ class ModelStore:
         tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         os.replace(tmp, path)
         return path
+
+    def stat(self, name: str) -> Optional[Tuple[int, int]]:
+        """Cheap freshness token for ``name``: ``(mtime_ns, size)``.
+
+        The serving plane compares this against the token captured at
+        load time to skip re-reading (and re-hashing) the artifact on
+        every request while still noticing re-exports.  ``None`` means
+        the artifact is missing (or unreadable) right now.
+        """
+        try:
+            st = self.path_for(name).stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     def load_doc(self, name: str) -> Dict[str, Any]:
         """Raw artifact document, hash-verified and schema-upgraded."""

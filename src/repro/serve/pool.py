@@ -1,0 +1,112 @@
+"""Worker-process pool for slow-engine ``/predict`` dispatch.
+
+The behavioural hot path is pure numpy and stays on the serving event
+loop, but ``rc`` (switch-level) and ``spice`` (transistor-level)
+margins are per-row periodic solves — tens of milliseconds each — that
+would serialise every other connection behind the GIL if they ran
+in-process.  :class:`EngineWorkerPool` ships those requests to a
+``ProcessPoolExecutor``:
+
+* the *artifact document* travels, not the model object — workers
+  rebuild the model with :func:`~repro.serve.artifacts.deserialize_model`
+  and memoise it per process keyed by the artifact's content hash, so
+  repeated requests against one model deserialise once per worker;
+* dispatch is futures-based: the event loop awaits
+  ``asyncio.wrap_future(pool.submit(...))`` without blocking;
+* queue depth (submitted minus completed) is tracked for the
+  ``repro_worker_pool_queue_depth`` gauge.
+
+The pool is created lazily on the first slow-engine request, so
+behavioural-only deployments never fork a worker.  ``workers=0``
+disables it entirely — callers fall back to in-process dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Per-worker-process model cache: artifact hash -> rebuilt model.
+#: Bounded by the number of distinct models a deployment serves.
+_WORKER_MODELS: Dict[str, Any] = {}
+
+
+def _pool_margins(doc: Dict[str, Any], X: np.ndarray,
+                  vdd: Optional[float], engine_id: str,
+                  solver: str) -> np.ndarray:
+    """Run one slow-engine margin request inside a worker process.
+
+    Module-level (picklable) by construction; ``doc`` is the upgraded,
+    hash-stamped artifact document.
+    """
+    from .artifacts import deserialize_model
+    from .engine import BatchInferenceEngine
+
+    key = doc.get("hash") or ""
+    model = _WORKER_MODELS.get(key)
+    if model is None:
+        model = deserialize_model(doc)
+        if key:
+            _WORKER_MODELS[key] = model
+    return np.asarray(BatchInferenceEngine().model_margins(
+        model, X, vdd=vdd, engine=engine_id, solver=solver))
+
+
+class EngineWorkerPool:
+    """Lazily-started process pool with queue-depth accounting."""
+
+    def __init__(self, workers: int = 2):
+        self.workers = int(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.completed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet finished (running + queued)."""
+        with self._lock:
+            return self._in_flight
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers)
+            return self._executor
+
+    def submit(self, doc: Dict[str, Any], X: np.ndarray,
+               vdd: Optional[float], engine_id: str,
+               solver: str) -> Future:
+        """Dispatch one slow-engine request; returns its future."""
+        if not self.enabled:
+            raise RuntimeError("EngineWorkerPool is disabled (workers=0)")
+        executor = self._ensure_executor()
+        with self._lock:
+            self._in_flight += 1
+        future = executor.submit(_pool_margins, doc, np.asarray(X),
+                                 vdd, engine_id, solver)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self.completed += 1
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return (f"<EngineWorkerPool workers={self.workers} "
+                f"in_flight={self.queue_depth}>")

@@ -55,11 +55,22 @@ JSON API (content type ``application/json`` throughout):
     memo as single experiment runs; paper-fidelity or oversized
     campaigns are redirected to the sharded CLI.
 
-Each loaded model owns one :class:`~repro.serve.scheduler.MicroBatcher`,
-so predictions from concurrent requests against the same model coalesce
-into single :class:`~repro.serve.engine.BatchInferenceEngine` calls
-(``ThreadingHTTPServer`` gives every request its own thread; the
-batcher's futures give each thread back exactly its rows).
+Each loaded model owns one micro-batcher, so predictions from
+concurrent requests against the same model coalesce into single
+:class:`~repro.serve.engine.BatchInferenceEngine` calls.
+
+Two transports speak this API.  :class:`ServingCore` (this module)
+holds everything transport-independent — model loading, request
+validation, the prediction/error response shapes, experiment/campaign
+handling, metrics — so both produce **byte-identical** response bodies
+for the same requests.  :class:`PerceptronServer` is the original
+``ThreadingHTTPServer`` transport (one thread per connection, blocking
+:class:`~repro.serve.scheduler.MicroBatcher` futures);
+:class:`~repro.serve.aio_server.AsyncPerceptronServer` is the asyncio
+transport (keep-alive event loop, cross-connection
+:class:`~repro.serve.scheduler.AsyncMicroBatcher` coalescing, slow
+engines sharded over a worker-process pool).  ``repro serve`` defaults
+to asyncio; ``--transport thread`` keeps this one.
 """
 
 from __future__ import annotations
@@ -70,7 +81,7 @@ import threading
 import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -167,15 +178,72 @@ class ServingMetrics:
         return self.registry.prometheus_text()
 
 
+def encode_json(payload: Dict[str, Any]) -> bytes:
+    """One JSON encoding for every transport — byte-identical bodies
+    between the threaded and asyncio servers are a pinned contract."""
+    return json.dumps(payload).encode("utf-8")
+
+
+def predict_error_fields(payload: Any) -> Dict[str, Any]:
+    """The ``model``/``engine`` context every ``/predict`` error body
+    carries (best-effort from the raw request payload; ``None`` when
+    the request never said).  Key order is part of the byte-identity
+    contract: ``error``, then ``model``, then ``engine``."""
+    model = engine = None
+    if isinstance(payload, dict):
+        name = payload.get("model")
+        if isinstance(name, str) and name:
+            model = name
+        requested = payload.get("engine", "behavioral")
+        if isinstance(requested, str) and requested:
+            engine = requested
+    return {"model": model, "engine": engine}
+
+
+def error_response(exc: BaseException) -> Tuple[int, Dict[str, Any]]:
+    """Map a handler exception to ``(status, body)`` — shared by both
+    transports so error bodies are byte-identical too."""
+    if isinstance(exc, NotFoundError):
+        return 404, {"error": str(exc)}
+    if isinstance(exc, AnalysisError):
+        # Unknown experiments/endpoints arrive as NotFoundError above;
+        # only the model store still signals absence by message.
+        message = str(exc)
+        return (404 if "no model" in message else 400), {"error": message}
+    return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+class PredictRequest(NamedTuple):
+    """One validated ``/predict`` payload, ready to dispatch."""
+
+    name: str
+    loaded: "_LoadedModel"
+    X: np.ndarray
+    vdd: Optional[float]
+    engine: str
+    solver: str
+
+
 class _LoadedModel:
-    """A stored model plus its private micro-batcher."""
+    """A stored model plus its private micro-batcher.
+
+    ``batcher_factory`` receives the model's flush handler and returns
+    the transport's scheduler (threaded :class:`MicroBatcher` or the
+    asyncio one); both expose ``stats`` and a synchronous ``stop()``.
+    """
 
     def __init__(self, name: str, model, engine: BatchInferenceEngine, *,
-                 max_batch: int, max_latency: float,
-                 artifact_hash: Optional[str] = None):
+                 batcher_factory: Callable,
+                 artifact_hash: Optional[str] = None,
+                 artifact_stat: Optional[Tuple[int, int]] = None,
+                 doc: Optional[Dict[str, Any]] = None):
         self.name = name
         self.model = model
         self.artifact_hash = artifact_hash
+        self.artifact_stat = artifact_stat
+        #: The upgraded artifact document — what the worker-process
+        #: pool ships to rebuild the model in a worker.
+        self.doc = doc
         self.n_features = model_n_features(model)
         #: Decision threshold on the batched margins — one forward pass
         #: yields both margins and predictions.
@@ -189,16 +257,16 @@ class _LoadedModel:
                 supply = np.where(np.isnan(vdds), nominal, vdds)
             return engine.model_margins(model, features, vdd=supply)
 
-        self.batcher = MicroBatcher(handler, max_batch=max_batch,
-                                    max_latency=max_latency).start()
+        self.batcher = batcher_factory(handler)
 
 
-class PerceptronServer:
-    """Micro-batching model server over a :class:`ModelStore`.
+class ServingCore:
+    """Everything the serving API does that is not transport.
 
-    Use as a context manager (tests, examples) or via :meth:`run`
-    (CLI).  ``port=0`` binds an ephemeral free port; read it back from
-    :attr:`port` after construction.
+    Both HTTP front ends (threaded :class:`PerceptronServer`, asyncio
+    :class:`~repro.serve.aio_server.AsyncPerceptronServer`) subclass
+    this; the request-validation and response-shaping paths are shared
+    so the two transports answer byte-identically.
     """
 
     #: Most-recently-used experiment runs memoised per process.
@@ -211,8 +279,7 @@ class PerceptronServer:
     #: Bigger sweeps belong on the CLI (sharded, cached on disk).
     campaign_config_max = 128
 
-    def __init__(self, store: ModelStore, *, host: str = "127.0.0.1",
-                 port: int = 0, max_batch: int = 64,
+    def __init__(self, store: ModelStore, *, max_batch: int = 64,
                  max_latency: float = 0.005,
                  campaign_dir: "str | None" = None):
         self.store = store
@@ -232,85 +299,61 @@ class PerceptronServer:
         self._experiment_results: "OrderedDict[Any, Dict[str, Any]]" = \
             OrderedDict()
         self._experiments_lock = threading.Lock()
-        handler = _make_handler(self)
-        self.httpd = ThreadingHTTPServer((host, port), handler)
-        self.httpd.daemon_threads = True
-        self.host, self.port = self.httpd.server_address[:2]
-        self._thread: Optional[threading.Thread] = None
 
     # -- model access -----------------------------------------------------
+
+    def _batcher_factory(self, handler: Callable):
+        """The transport's scheduler for one loaded model."""
+        return MicroBatcher(handler, max_batch=self.max_batch,
+                            max_latency=self.max_latency).start()
 
     def get_model(self, name: str) -> _LoadedModel:
         """Cached model + batcher, reloaded when the artifact changes.
 
-        The stamped content hash is re-read per request, so re-exporting
-        a model under the same name takes effect without a restart —
-        ``/predict`` can never drift from what ``/models`` advertises.
+        Freshness is checked per request so re-exporting a model under
+        the same name takes effect without a restart — ``/predict`` can
+        never drift from what ``/models`` advertises.  The fast path is
+        one ``stat()``: only when mtime/size moved (or the model was
+        never loaded) is the document re-read and hash-verified.
         """
+        stat = self.store.stat(name)
+        with self._models_lock:
+            loaded = self._models.get(name)
+            if loaded is not None and stat is not None \
+                    and loaded.artifact_stat == stat:
+                return loaded
         doc = self.store.load_doc(name)  # raises on unknown/corrupt name
         with self._models_lock:
             loaded = self._models.get(name)
             if loaded is not None and \
                     loaded.artifact_hash == doc.get("hash"):
+                # Same content rewritten (hash unchanged): adopt the new
+                # stat so the fast path holds again.
+                loaded.artifact_stat = stat
                 return loaded
             if loaded is not None:
                 loaded.batcher.stop()  # drains pending futures
             loaded = _LoadedModel(name, deserialize_model(doc),
                                   self.engine,
-                                  max_batch=self.max_batch,
-                                  max_latency=self.max_latency,
-                                  artifact_hash=doc.get("hash"))
+                                  batcher_factory=self._batcher_factory,
+                                  artifact_hash=doc.get("hash"),
+                                  artifact_stat=stat, doc=doc)
             self._models[name] = loaded
             return loaded
 
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    # -- lifecycle --------------------------------------------------------
-
-    def start(self) -> "PerceptronServer":
-        """Serve from a background thread (for tests/examples)."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self.httpd.serve_forever, daemon=True,
-                name="repro-serve")
-            self._thread.start()
-        return self
-
-    def run(self) -> None:
-        """Serve from the calling thread until interrupted (CLI)."""
-        try:
-            self.httpd.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            self.close()
-
-    def close(self) -> None:
-        self.httpd.shutdown()
-        self.httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+    def close_models(self) -> None:
+        """Stop every model's batcher (drain, so in-flight callers get
+        their futures resolved instead of timing out)."""
         with self._models_lock:
-            # Drain (the scheduler default) so in-flight request threads
-            # get their futures resolved instead of timing out.
             for loaded in self._models.values():
                 loaded.batcher.stop()
             self._models.clear()
 
-    def __enter__(self) -> "PerceptronServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
     # -- request handling (transport-independent) -------------------------
 
-    def handle_predict(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Run one ``/predict`` payload; raises AnalysisError on bad
-        input (mapped to HTTP 4xx by the transport)."""
+    def parse_predict(self, payload: Dict[str, Any]) -> PredictRequest:
+        """Validate one ``/predict`` payload; raises AnalysisError on
+        bad input (mapped to HTTP 4xx by the transport)."""
         if not isinstance(payload, dict):
             raise AnalysisError("request body must be a JSON object")
         name = payload.get("model")
@@ -347,23 +390,38 @@ class PerceptronServer:
             # backend with the same registry-backed error the slow
             # paths raise instead of silently ignoring it.
             resolve_solver(solver, engine_id=engine)
-            margins = loaded.batcher.submit(X, vdd=vdd).result(timeout=30)
+        return PredictRequest(name, loaded, X, vdd, engine, solver)
+
+    @staticmethod
+    def predict_response(request: PredictRequest,
+                         margins: np.ndarray) -> Dict[str, Any]:
+        """The ``/predict`` success body (key order is contract)."""
+        margins = np.asarray(margins)
+        predictions = (margins > request.loaded.offset).astype(int)
+        return {
+            "model": request.name,
+            "predictions": [int(p) for p in predictions],
+            "margins": [float(m) for m in margins],
+            "count": int(request.X.shape[0]),
+            "engine": request.engine,
+            "solver": request.solver,
+        }
+
+    def handle_predict(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one ``/predict`` payload synchronously (the threaded
+        transport and direct Python callers)."""
+        request = self.parse_predict(payload)
+        if request.engine == "behavioral":
+            margins = request.loaded.batcher.submit(
+                request.X, vdd=request.vdd).result(timeout=30)
         else:
             # Non-default fidelities skip the micro-batcher: they are
             # per-row solves whose latency would stall the behavioural
             # hot path's batches.  The registry validates the id.
-            margins = self.engine.model_margins(loaded.model, X, vdd=vdd,
-                                                engine=engine,
-                                                solver=solver)
-        predictions = (margins > loaded.offset).astype(int)
-        return {
-            "model": name,
-            "predictions": [int(p) for p in predictions],
-            "margins": [float(m) for m in margins],
-            "count": int(X.shape[0]),
-            "engine": engine,
-            "solver": solver,
-        }
+            margins = self.engine.model_margins(
+                request.loaded.model, request.X, vdd=request.vdd,
+                engine=request.engine, solver=request.solver)
+        return self.predict_response(request, margins)
 
     def batcher_metrics(self) -> Dict[str, Any]:
         with self._models_lock:
@@ -592,6 +650,69 @@ class PerceptronServer:
         return document
 
 
+class PerceptronServer(ServingCore):
+    """Micro-batching model server over a :class:`ModelStore` — the
+    threaded (``ThreadingHTTPServer``) transport.
+
+    Use as a context manager (tests, examples) or via :meth:`run`
+    (CLI).  ``port=0`` binds an ephemeral free port; read it back from
+    :attr:`port` after construction.
+    """
+
+    def __init__(self, store: ModelStore, *, host: str = "127.0.0.1",
+                 port: int = 0, max_batch: int = 64,
+                 max_latency: float = 0.005,
+                 campaign_dir: "str | None" = None):
+        super().__init__(store, max_batch=max_batch,
+                         max_latency=max_latency,
+                         campaign_dir=campaign_dir)
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "PerceptronServer":
+        """Serve from a background thread (for tests/examples)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, daemon=True,
+                name="repro-serve")
+            self._thread.start()
+        return self
+
+    def run(self) -> None:
+        """Serve from the calling thread until interrupted (CLI)."""
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Drain (the scheduler default) so in-flight request threads
+        # get their futures resolved instead of timing out.
+        self.close_models()
+
+    def __enter__(self) -> "PerceptronServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def _make_handler(server: "PerceptronServer"):
     """Bind a BaseHTTPRequestHandler subclass to one server instance."""
 
@@ -604,7 +725,7 @@ def _make_handler(server: "PerceptronServer"):
             pass
 
         def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-            body = json.dumps(payload).encode("utf-8")
+            body = encode_json(payload)
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -649,22 +770,17 @@ def _make_handler(server: "PerceptronServer"):
             return ("text/plain" in accept
                     or "openmetrics" in accept)
 
-        def _observed(self, endpoint: str, fn) -> None:
+        def _observed(self, endpoint: str, fn, error_extra=None) -> None:
             t0 = time.perf_counter()
             status, payload, rows = 500, {"error": "internal error"}, 0
             try:
                 status, payload, rows = fn()
-            except NotFoundError as exc:
-                status, payload = 404, {"error": str(exc)}
-            except AnalysisError as exc:
-                # Unknown experiments/endpoints arrive as NotFoundError
-                # above; only the model store still signals absence by
-                # message.
-                message = str(exc)
-                status = 404 if "no model" in message else 400
-                payload = {"error": message}
-            except Exception as exc:  # pragma: no cover - defensive
-                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            except Exception as exc:
+                status, payload = error_response(exc)
+                if error_extra is not None:
+                    # /predict errors carry the requested model/engine
+                    # (the pinned error-shape contract).
+                    payload = {**payload, **error_extra()}
             finally:
                 server.metrics.observe(
                     endpoint, time.perf_counter() - t0, rows=rows,
@@ -729,12 +845,17 @@ def _make_handler(server: "PerceptronServer"):
         def do_POST(self) -> None:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path == "/predict":
+                raw: Dict[str, Any] = {"payload": None}
+
                 def predict() -> Tuple[int, Dict[str, Any], int]:
-                    payload = self._read_json(required=True)
-                    result = server.handle_predict(payload)
+                    raw["payload"] = self._read_json(required=True)
+                    result = server.handle_predict(raw["payload"])
                     return 200, result, result["count"]
 
-                self._observed("/predict", predict)
+                self._observed(
+                    "/predict", predict,
+                    error_extra=lambda: predict_error_fields(
+                        raw["payload"]))
             elif path.startswith("/experiments/") and path.endswith("/run"):
                 experiment_id = path[len("/experiments/"):-len("/run")]
 

@@ -94,7 +94,7 @@ class Tracer:
         return stack[-1] if stack else None
 
     def _record(self, span: Span, dur: float) -> None:
-        event = {
+        self._append({
             "name": span.name,
             "tags": span.tags,
             "ts": span._t0_wall,
@@ -102,7 +102,34 @@ class Tracer:
             "id": span.span_id,
             "parent": span.parent_id,
             "thread": threading.get_ident(),
-        }
+        })
+
+    def record(self, name: str, *, ts: float, dur: float,
+               tags: Optional[Dict[str, Any]] = None,
+               parent: Optional[int] = None) -> int:
+        """Record a completed span without touching any thread's stack.
+
+        Event-loop transports (the asyncio serving plane) interleave
+        many connection lifetimes on one thread, so their spans cannot
+        nest through the thread-local stack; they time themselves and
+        report here.  Returns the allocated span id so callers can link
+        children (requests) to a parent (their connection).
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        self._append({
+            "name": name,
+            "tags": dict(tags) if tags else {},
+            "ts": ts,
+            "dur": dur,
+            "id": span_id,
+            "parent": parent,
+            "thread": threading.get_ident(),
+        })
+        return span_id
+
+    def _append(self, event: Dict[str, Any]) -> None:
         with self._lock:
             if len(self._events) >= self.max_events:
                 self.dropped += 1

@@ -559,7 +559,7 @@ class TestServingCli:
                          "--epochs", "40", "--store", store]) == 0
         out = capsys.readouterr().out
         assert "exported perceptron model 'cli-demo'" in out
-        assert "schema v2" in out
+        assert "schema v3" in out
         assert cli_main(["predict", "cli-demo", "--input", "0.9,0.1",
                          "--input", "0.1,0.9", "--store", store]) == 0
         out = capsys.readouterr().out

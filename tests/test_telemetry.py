@@ -165,6 +165,26 @@ class TestTracer:
         assert len(tracer.events()) == 2
         assert tracer.dropped == 3
 
+    def test_record_bypasses_the_span_stack(self):
+        # The asyncio transport's stack-free path: connection and
+        # request spans recorded by explicit parent id, with the
+        # thread-local stack left untouched.
+        tracer = Tracer()
+        with tracer.span("ambient"):
+            conn = tracer.record("conn", ts=1.0, dur=0.0,
+                                 tags={"peer": "x"})
+            child = tracer.record("req", ts=1.1, dur=0.2, parent=conn)
+            assert tracer.current() is not None
+            assert tracer.current().name == "ambient"
+        events = {e["name"]: e for e in tracer.events()}
+        # record() must not parent onto (or under) the ambient span.
+        assert events["conn"]["parent"] is None
+        assert events["req"]["parent"] == conn
+        assert events["req"]["id"] == child
+        assert events["conn"]["tags"] == {"peer": "x"}
+        assert events["ambient"]["parent"] is None
+        assert child > conn  # ids stay monotonic across both paths
+
     def test_threads_get_separate_stacks(self):
         tracer = Tracer()
         seen = {}
